@@ -1,0 +1,16 @@
+// Regenerates Figure 10: boost of influence vs k with random seeds.
+
+#include "bench/bench_common.h"
+#include "bench/bench_flags.h"
+
+int main(int argc, char** argv) {
+  using namespace kboost;
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBanner(
+      "Figure 10: boost of influence vs k (random seeds)",
+      "same ordering as Fig. 5 (PRR-Boost best, then PRR-Boost-LB, then the "
+      "heuristics), with larger relative boosts than the influential case",
+      flags);
+  RunBoostVsK(SeedMode::kRandom, flags);
+  return 0;
+}

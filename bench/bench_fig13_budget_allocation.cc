@@ -1,0 +1,51 @@
+// Regenerates Figure 13: budget allocation between seeding and boosting on
+// the Flixster and Flickr stand-ins, for several seed:boost cost ratios.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/bench_flags.h"
+#include "src/expt/budget.h"
+#include "src/expt/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace kboost;
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBanner(
+      "Figure 13: budget allocation between seeding and boosting",
+      "a mixed budget beats pure seeding (rightmost point); the best mix "
+      "moves toward seeding as the cost ratio drops, and differs per "
+      "dataset",
+      flags);
+
+  // All-budget-on-seeds buys `max_seeds` seeds; one seed trades for
+  // `cost_ratio` boosts. Paper: 100 seeds, ratios {100, 200, 400, 800}.
+  const size_t max_seeds = flags.full ? 100 : 20;
+  const std::vector<double> ratios =
+      flags.full ? std::vector<double>{100, 200, 400, 800}
+                 : std::vector<double>{10, 20, 40};
+
+  TablePrinter table(
+      {"dataset", "cost_ratio", "seed_frac", "seeds", "boosted", "spread"});
+  for (const char* name : {"flixster", "flickr"}) {
+    Dataset d = MakeDataset(SpecByName(name, flags.scale));
+    for (double ratio : ratios) {
+      BudgetAllocationOptions opts;
+      opts.max_seeds = max_seeds;
+      opts.cost_ratio = ratio;
+      opts.seed_fractions = {0.2, 0.4, 0.6, 0.8, 1.0};
+      opts.boost_options = MakeBoostOptions(1, flags);  // k set per split
+      opts.sim_options.num_simulations = flags.sims;
+      opts.sim_options.num_threads = flags.ResolvedThreads();
+      for (const BudgetAllocationPoint& p : RunBudgetAllocation(d.graph, opts)) {
+        table.AddRow({d.name, FormatDouble(ratio, 0),
+                      FormatDouble(p.seed_fraction, 1),
+                      std::to_string(p.num_seeds),
+                      std::to_string(p.num_boosted),
+                      FormatDouble(p.boosted_spread, 1)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

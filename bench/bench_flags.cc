@@ -1,0 +1,92 @@
+#include "bench/bench_flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/thread_pool.h"
+
+namespace kboost {
+
+int BenchFlags::ResolvedThreads() const {
+  return threads > 0 ? threads : DefaultThreadCount();
+}
+
+namespace {
+
+bool ParseDouble(const char* arg, const char* name, double* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = std::atof(arg + len);
+  return true;
+}
+
+bool ParseU64(const char* arg, const char* name, uint64_t* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = std::strtoull(arg + len, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t u64 = 0;
+    if (ParseDouble(arg, "--scale=", &flags.scale)) continue;
+    if (ParseDouble(arg, "--epsilon=", &flags.epsilon)) continue;
+    if (ParseU64(arg, "--sims=", &u64)) {
+      flags.sims = u64;
+      continue;
+    }
+    if (ParseU64(arg, "--threads=", &u64)) {
+      flags.threads = static_cast<int>(u64);
+      continue;
+    }
+    if (ParseU64(arg, "--seed=", &flags.seed)) continue;
+    if (ParseU64(arg, "--max-samples=", &u64)) {
+      flags.max_samples = u64;
+      continue;
+    }
+    if (std::strncmp(arg, "--k=", 4) == 0) {
+      flags.ks.clear();
+      const char* p = arg + 4;
+      while (*p) {
+        flags.ks.push_back(std::strtoull(p, const_cast<char**>(&p), 10));
+        if (*p == ',') ++p;
+      }
+      continue;
+    }
+    if (std::strcmp(arg, "--full") == 0) {
+      flags.full = true;
+      flags.scale = 1.0;
+      flags.sims = 20000;
+      flags.max_samples = 50'000'000;
+      continue;
+    }
+    std::fprintf(
+        stderr,
+        "usage: %s [--scale=F] [--sims=N] [--threads=N] [--epsilon=F]\n"
+        "          [--seed=N] [--k=a,b,c] [--full]\n"
+        "  --scale    dataset size relative to the paper's (default 0.02)\n"
+        "  --sims     Monte-Carlo evaluations per point (default 2000)\n"
+        "  --full     paper-scale sizes and 20000 simulations\n",
+        argv[0]);
+    std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);
+  }
+  return flags;
+}
+
+void PrintBanner(const std::string& experiment, const std::string& shape,
+                 const BenchFlags& flags) {
+  std::printf("== %s ==\n", experiment.c_str());
+  std::printf("paper_shape: %s\n", shape.c_str());
+  std::printf("config: scale=%.3g sims=%zu threads=%d epsilon=%.2f seed=%llu%s\n\n",
+              flags.scale, flags.sims, flags.ResolvedThreads(), flags.epsilon,
+              static_cast<unsigned long long>(flags.seed),
+              flags.full ? " (paper scale)" : "");
+}
+
+}  // namespace kboost

@@ -1,0 +1,48 @@
+// Micro-benchmarks for the influence-maximization substrate: RR-set
+// generation throughput and Monte-Carlo diffusion simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/expt/datasets.h"
+#include "src/expt/seed_selection.h"
+#include "src/im/rr_set.h"
+#include "src/sim/ic_model.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+void BM_RrSetGeneration(benchmark::State& state) {
+  static Dataset* dataset =
+      new Dataset(MakeDataset(SpecByName("digg", 0.02)));
+  Rng rng(3);
+  RrScratch scratch;
+  std::vector<NodeId> rr;
+  size_t edges = 0;
+  for (auto _ : state) {
+    rr.clear();
+    edges += GenerateRandomRrSet(dataset->graph, rng, scratch, rr);
+    benchmark::DoNotOptimize(rr);
+  }
+  state.counters["edges/op"] = benchmark::Counter(
+      static_cast<double>(edges), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RrSetGeneration);
+
+void BM_DiffusionSimulation(benchmark::State& state) {
+  static Dataset* dataset =
+      new Dataset(MakeDataset(SpecByName("digg", 0.02)));
+  static std::vector<NodeId>* seeds = new std::vector<NodeId>(
+      SelectInfluentialSeeds(dataset->graph, 10, 7, 4));
+  SimScratch scratch;
+  uint64_t world = 0;
+  for (auto _ : state) {
+    size_t count = SimulateDiffusionOnce(dataset->graph, *seeds, ++world,
+                                         nullptr, scratch);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_DiffusionSimulation);
+
+}  // namespace
+}  // namespace kboost

@@ -1,0 +1,100 @@
+// Micro-benchmarks for the PRR-graph machinery: generation (with and
+// without the LB-mode shortcut), the compression ablation, and estimator
+// evaluation. These quantify the design choices DESIGN.md §5.6 calls out.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/prr_collection.h"
+#include "src/core/prr_graph.h"
+#include "src/expt/datasets.h"
+#include "src/expt/seed_selection.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    dataset = MakeDataset(SpecByName("digg", 0.02));
+    seeds = SelectInfluentialSeeds(dataset.graph, 10, 7, 4);
+  }
+  Dataset dataset;
+  std::vector<NodeId> seeds;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_PrrGenerateFull(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  PrrGenerator gen(f.dataset.graph, f.seeds);
+  Rng rng(1);
+  const size_t k = state.range(0);
+  size_t edges = 0;
+  for (auto _ : state) {
+    PrrGenResult r = gen.GenerateRandomRoot(k, /*lb_only=*/false, rng);
+    edges += r.edges_examined;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["edges/op"] =
+      benchmark::Counter(static_cast<double>(edges),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PrrGenerateFull)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PrrGenerateLbOnly(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  PrrGenerator gen(f.dataset.graph, f.seeds);
+  Rng rng(1);
+  const size_t k = state.range(0);
+  for (auto _ : state) {
+    PrrGenResult r = gen.GenerateRandomRoot(k, /*lb_only=*/true, rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PrrGenerateLbOnly)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PrrEvaluateActivation(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  PrrGenerator gen(f.dataset.graph, f.seeds);
+  Rng rng(2);
+  std::vector<PrrGraph> graphs;
+  while (graphs.size() < 200) {
+    PrrGenResult r = gen.GenerateRandomRoot(100, false, rng);
+    if (r.status == PrrStatus::kBoostable) graphs.push_back(std::move(r.graph));
+  }
+  std::vector<uint8_t> boosted(f.dataset.graph.num_nodes(), 0);
+  for (NodeId v = 0; v < 50; ++v) boosted[v * 7 % boosted.size()] = 1;
+  PrrEvaluator eval;
+  size_t i = 0;
+  for (auto _ : state) {
+    bool active = eval.IsActivated(graphs[i++ % graphs.size()], boosted.data());
+    benchmark::DoNotOptimize(active);
+  }
+}
+BENCHMARK(BM_PrrEvaluateActivation);
+
+void BM_PrrCriticalNodes(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  PrrGenerator gen(f.dataset.graph, f.seeds);
+  Rng rng(3);
+  std::vector<PrrGraph> graphs;
+  while (graphs.size() < 200) {
+    PrrGenResult r = gen.GenerateRandomRoot(100, false, rng);
+    if (r.status == PrrStatus::kBoostable) graphs.push_back(std::move(r.graph));
+  }
+  std::vector<uint8_t> boosted(f.dataset.graph.num_nodes(), 0);
+  PrrEvaluator eval;
+  std::vector<uint32_t> critical;
+  size_t i = 0;
+  for (auto _ : state) {
+    eval.CriticalNodes(graphs[i++ % graphs.size()], boosted.data(), &critical);
+    benchmark::DoNotOptimize(critical);
+  }
+}
+BENCHMARK(BM_PrrCriticalNodes);
+
+}  // namespace
+}  // namespace kboost

@@ -1,0 +1,50 @@
+// Micro-benchmarks for the bidirected-tree evaluator: the O(n) exact
+// boosted-spread computation and one Greedy-Boost round.
+
+#include <benchmark/benchmark.h>
+
+#include "src/tree/tree_evaluator.h"
+#include "src/tree/tree_generators.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+BidirectedTree MakeTree(NodeId n) {
+  Rng rng(11);
+  TreeProbModel model;
+  BidirectedTree tree = BuildCompleteBinaryTree(n, model, rng);
+  return WithTreeSeeds(tree, 50, /*influential=*/false, rng);
+}
+
+void BM_TreeEvaluatorCompute(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  BidirectedTree tree = MakeTree(n);
+  TreeBoostEvaluator eval(tree);
+  std::vector<uint8_t> boost(n, 0);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) boost[rng.NextBounded(n)] = 1;
+  for (auto _ : state) {
+    eval.Compute(boost);
+    benchmark::DoNotOptimize(eval.boosted_spread());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TreeEvaluatorCompute)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Complexity(benchmark::oN);
+
+void BM_GreedyBoostOneRound(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  BidirectedTree tree = MakeTree(n);
+  for (auto _ : state) {
+    GreedyBoostResult r = GreedyBoost(tree, 1);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GreedyBoostOneRound)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace kboost

@@ -1,0 +1,59 @@
+// Boosting on a cascade tree: when information propagates along a fixed
+// tree topology (e.g. an organizational hierarchy or a forwarding cascade),
+// the exact algorithms of Sec. VI apply. This example runs the exact
+// evaluator, Greedy-Boost, and the DP-Boost FPTAS side by side and
+// cross-checks them against Monte-Carlo simulation on the equivalent
+// directed graph.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/boost_model.h"
+#include "src/tree/dp_boost.h"
+#include "src/tree/tree_evaluator.h"
+#include "src/tree/tree_generators.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace kboost;
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 511;
+  const size_t k = 25;
+
+  Rng rng(7);
+  TreeProbModel model;  // trivalency probabilities, p' = 1-(1-p)^2
+  BidirectedTree tree = BuildCompleteBinaryTree(n, model, rng);
+  tree = WithTreeSeeds(tree, 20, /*influential=*/true, rng);
+
+  TreeBoostEvaluator evaluator(tree);
+  std::printf("complete binary tree: n=%zu, 20 seeds, base spread %.3f\n\n",
+              tree.num_nodes(), evaluator.base_spread());
+
+  // Greedy-Boost: exact marginal gains, k rounds.
+  WallTimer greedy_timer;
+  GreedyBoostResult greedy = GreedyBoost(tree, k);
+  std::printf("Greedy-Boost : boost %.4f  (%zu nodes, %.3fs)\n", greedy.boost,
+              greedy.boost_set.size(), greedy_timer.Seconds());
+
+  // DP-Boost: certified (1-eps)-approximation.
+  for (double eps : {1.0, 0.5}) {
+    DpBoostOptions opts;
+    opts.k = k;
+    opts.epsilon = eps;
+    WallTimer dp_timer;
+    DpBoostResult dp = DpBoost(tree, opts);
+    std::printf("DP-Boost e=%.1f: boost %.4f  (certified >= %.4f, "
+                "delta=%.2e, %.3fs)\n",
+                eps, dp.boost, dp.dp_value, dp.delta, dp_timer.Seconds());
+  }
+
+  // Cross-check the greedy pick with plain Monte Carlo on the graph view.
+  DirectedGraph g = tree.ToDirectedGraph();
+  SimulationOptions sim;
+  sim.num_simulations = 100000;
+  BoostEstimate mc = EstimateBoost(g, tree.seeds(), greedy.boost_set, sim);
+  std::printf("\nMonte-Carlo check of the greedy set: %.4f +- %.4f "
+              "(exact evaluator said %.4f)\n",
+              mc.boost, 2 * mc.boost_stderr, greedy.boost);
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "src/baselines/high_degree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/sim/boost_model.h"
+#include "src/util/logging.h"
+
+namespace kboost {
+
+namespace {
+
+/// Base (undiscounted) score of node v under `kind`.
+double BaseScore(const DirectedGraph& graph, NodeId v, DegreeKind kind) {
+  double score = 0.0;
+  switch (kind) {
+    case DegreeKind::kOutProbabilitySum:
+    case DegreeKind::kOutProbabilitySumDiscount:
+      for (const DirectedGraph::OutEdge& e : graph.OutEdges(v)) score += e.p;
+      break;
+    case DegreeKind::kInBoostGapSum:
+    case DegreeKind::kInBoostGapSumDiscount:
+      for (const DirectedGraph::InEdge& e : graph.InEdges(v)) {
+        score += static_cast<double>(e.p_boost) - e.p;
+      }
+      break;
+  }
+  return score;
+}
+
+bool IsDiscounted(DegreeKind kind) {
+  return kind == DegreeKind::kOutProbabilitySumDiscount ||
+         kind == DegreeKind::kInBoostGapSumDiscount;
+}
+
+/// Greedy highest-score selection over `candidates`. For the discounted
+/// kinds, picking v removes the contribution of edges between v and already
+/// picked nodes; scores only decrease, so CELF-style lazy re-evaluation is
+/// exact.
+std::vector<NodeId> SelectByScore(const DirectedGraph& graph,
+                                  const std::vector<NodeId>& candidates,
+                                  const std::vector<uint8_t>& excluded,
+                                  size_t k, DegreeKind kind) {
+  struct Entry {
+    double score;
+    NodeId node;
+    uint32_t round;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) { return a.score < b.score; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (NodeId v : candidates) {
+    if (!excluded[v]) heap.push(Entry{BaseScore(graph, v, kind), v, 0});
+  }
+
+  std::vector<uint8_t> picked(graph.num_nodes(), 0);
+  std::vector<NodeId> result;
+  const bool discounted = IsDiscounted(kind);
+  uint32_t round = 0;
+  auto rescore = [&](NodeId v) -> double {
+    double score = 0.0;
+    switch (kind) {
+      case DegreeKind::kOutProbabilitySumDiscount:
+        for (const DirectedGraph::OutEdge& e : graph.OutEdges(v)) {
+          if (!picked[e.to]) score += e.p;
+        }
+        break;
+      case DegreeKind::kInBoostGapSumDiscount:
+        for (const DirectedGraph::InEdge& e : graph.InEdges(v)) {
+          if (!picked[e.from]) {
+            score += static_cast<double>(e.p_boost) - e.p;
+          }
+        }
+        break;
+      default:
+        score = BaseScore(graph, v, kind);
+    }
+    return score;
+  };
+
+  while (result.size() < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (picked[top.node]) continue;
+    if (discounted && top.round != round) {
+      heap.push(Entry{rescore(top.node), top.node, round});
+      continue;
+    }
+    picked[top.node] = 1;
+    result.push_back(top.node);
+    ++round;
+  }
+  return result;
+}
+
+/// Candidates ordered ring by ring outward from the seeds (union of in- and
+/// out-neighbourhoods, since boosting both attracts and relays influence).
+std::vector<std::vector<NodeId>> NeighborhoodRings(
+    const DirectedGraph& graph, const std::vector<NodeId>& seeds) {
+  const size_t n = graph.num_nodes();
+  std::vector<int> ring(n, -1);
+  std::vector<NodeId> frontier;
+  for (NodeId s : seeds) {
+    if (ring[s] < 0) {
+      ring[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<std::vector<NodeId>> rings;
+  int depth = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (const DirectedGraph::OutEdge& e : graph.OutEdges(u)) {
+        if (ring[e.to] < 0) {
+          ring[e.to] = depth + 1;
+          next.push_back(e.to);
+        }
+      }
+      for (const DirectedGraph::InEdge& e : graph.InEdges(u)) {
+        if (ring[e.from] < 0) {
+          ring[e.from] = depth + 1;
+          next.push_back(e.from);
+        }
+      }
+    }
+    ++depth;
+    if (next.empty()) break;
+    rings.push_back(next);
+    frontier = rings.back();
+  }
+  return rings;
+}
+
+}  // namespace
+
+std::vector<NodeId> HighDegreeGlobal(const DirectedGraph& graph,
+                                     const std::vector<NodeId>& seeds,
+                                     size_t k, DegreeKind kind) {
+  std::vector<uint8_t> excluded = MakeNodeBitmap(graph.num_nodes(), seeds);
+  std::vector<NodeId> candidates(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) candidates[v] = v;
+  return SelectByScore(graph, candidates, excluded, k, kind);
+}
+
+std::vector<NodeId> HighDegreeLocal(const DirectedGraph& graph,
+                                    const std::vector<NodeId>& seeds,
+                                    size_t k, DegreeKind kind) {
+  std::vector<uint8_t> excluded = MakeNodeBitmap(graph.num_nodes(), seeds);
+  std::vector<NodeId> result;
+  for (const std::vector<NodeId>& ring : NeighborhoodRings(graph, seeds)) {
+    if (result.size() >= k) break;
+    std::vector<NodeId> picked =
+        SelectByScore(graph, ring, excluded, k - result.size(), kind);
+    for (NodeId v : picked) {
+      excluded[v] = 1;  // no double-selection in later rings
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<NodeId>> HighDegreeGlobalAll(
+    const DirectedGraph& graph, const std::vector<NodeId>& seeds, size_t k) {
+  std::vector<std::vector<NodeId>> out;
+  for (DegreeKind kind :
+       {DegreeKind::kOutProbabilitySum, DegreeKind::kOutProbabilitySumDiscount,
+        DegreeKind::kInBoostGapSum, DegreeKind::kInBoostGapSumDiscount}) {
+    out.push_back(HighDegreeGlobal(graph, seeds, k, kind));
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> HighDegreeLocalAll(
+    const DirectedGraph& graph, const std::vector<NodeId>& seeds, size_t k) {
+  std::vector<std::vector<NodeId>> out;
+  for (DegreeKind kind :
+       {DegreeKind::kOutProbabilitySum, DegreeKind::kOutProbabilitySumDiscount,
+        DegreeKind::kInBoostGapSum, DegreeKind::kInBoostGapSumDiscount}) {
+    out.push_back(HighDegreeLocal(graph, seeds, k, kind));
+  }
+  return out;
+}
+
+}  // namespace kboost

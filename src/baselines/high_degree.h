@@ -1,0 +1,42 @@
+#ifndef KBOOST_BASELINES_HIGH_DEGREE_H_
+#define KBOOST_BASELINES_HIGH_DEGREE_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace kboost {
+
+/// The four weighted-degree definitions of the HighDegree baselines
+/// (Sec. VII "Baselines").
+enum class DegreeKind {
+  kOutProbabilitySum,          ///< Σ_{e_uv} p_uv
+  kOutProbabilitySumDiscount,  ///< Σ_{e_uv, v∉B} p_uv
+  kInBoostGapSum,              ///< Σ_{e_vu} (p'_vu − p_vu)
+  kInBoostGapSumDiscount,      ///< Σ_{e_vu, v∉B} (p'_vu − p_vu)
+};
+
+/// HighDegreeGlobal with one degree definition: repeatedly add the non-seed
+/// node of highest (possibly discounted) weighted degree.
+std::vector<NodeId> HighDegreeGlobal(const DirectedGraph& graph,
+                                     const std::vector<NodeId>& seeds,
+                                     size_t k, DegreeKind kind);
+
+/// HighDegreeLocal: same scoring, but candidates are taken ring by ring —
+/// first direct neighbours of seeds, then 2-hop neighbours, and so on until
+/// k nodes are found.
+std::vector<NodeId> HighDegreeLocal(const DirectedGraph& graph,
+                                    const std::vector<NodeId>& seeds,
+                                    size_t k, DegreeKind kind);
+
+/// All four degree definitions for Global (resp. Local); the experiment
+/// harness evaluates each candidate set and reports the best, exactly as the
+/// paper does.
+std::vector<std::vector<NodeId>> HighDegreeGlobalAll(
+    const DirectedGraph& graph, const std::vector<NodeId>& seeds, size_t k);
+std::vector<std::vector<NodeId>> HighDegreeLocalAll(
+    const DirectedGraph& graph, const std::vector<NodeId>& seeds, size_t k);
+
+}  // namespace kboost
+
+#endif  // KBOOST_BASELINES_HIGH_DEGREE_H_

@@ -1,0 +1,22 @@
+#ifndef KBOOST_BASELINES_MORE_SEEDS_H_
+#define KBOOST_BASELINES_MORE_SEEDS_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/im/imm.h"
+
+namespace kboost {
+
+/// MoreSeeds baseline (Sec. VII): the IMM framework adapted to pick k
+/// *additional* seeds maximizing the marginal influence increase over the
+/// existing seed set S; the k picks are then treated as boost nodes.
+/// RR-sets already intersecting S are counted as pre-covered, so greedy
+/// coverage maximizes exactly the marginal spread.
+std::vector<NodeId> SelectMoreSeeds(const DirectedGraph& graph,
+                                    const std::vector<NodeId>& seeds,
+                                    const ImmOptions& options);
+
+}  // namespace kboost
+
+#endif  // KBOOST_BASELINES_MORE_SEEDS_H_

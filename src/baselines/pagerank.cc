@@ -1,0 +1,75 @@
+#include "src/baselines/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/sim/boost_model.h"
+#include "src/util/logging.h"
+
+namespace kboost {
+
+std::vector<double> InfluencePageRank(const DirectedGraph& graph,
+                                      const PageRankOptions& options) {
+  const size_t n = graph.num_nodes();
+  KB_CHECK(n > 0);
+  KB_CHECK(options.restart_probability > 0.0 &&
+           options.restart_probability < 1.0);
+
+  // ρ(a): total influence probability entering a. The walk at a moves to
+  // its influencer b with probability p_ba / ρ(a) ("v votes for u").
+  std::vector<double> rho(n, 0.0);
+  for (NodeId a = 0; a < n; ++a) {
+    for (const DirectedGraph::InEdge& e : graph.InEdges(a)) rho[a] += e.p;
+  }
+
+  std::vector<double> pr(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const double restart = options.restart_probability;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId a = 0; a < n; ++a) {
+      if (rho[a] <= 0.0) {
+        dangling += pr[a];
+        continue;
+      }
+      const double share = pr[a] / rho[a];
+      for (const DirectedGraph::InEdge& e : graph.InEdges(a)) {
+        next[e.from] += share * e.p;
+      }
+    }
+    const double base =
+        (restart + (1.0 - restart) * dangling) / static_cast<double>(n);
+    double l1 = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] = base + (1.0 - restart) * next[v];
+      l1 += std::abs(next[v] - pr[v]);
+    }
+    pr.swap(next);
+    if (l1 <= options.tolerance) break;
+  }
+  return pr;
+}
+
+std::vector<NodeId> PageRankBoost(const DirectedGraph& graph,
+                                  const std::vector<NodeId>& seeds, size_t k,
+                                  const PageRankOptions& options) {
+  const std::vector<double> pr = InfluencePageRank(graph, options);
+  const std::vector<uint8_t> excluded =
+      MakeNodeBitmap(graph.num_nodes(), seeds);
+
+  std::vector<NodeId> order;
+  order.reserve(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (!excluded[v]) order.push_back(v);
+  }
+  const size_t take = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&](NodeId a, NodeId b) { return pr[a] > pr[b]; });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace kboost

@@ -1,0 +1,32 @@
+#ifndef KBOOST_BASELINES_PAGERANK_H_
+#define KBOOST_BASELINES_PAGERANK_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace kboost {
+
+/// Parameters of the PageRank baseline (Sec. VII): influence-weighted
+/// transition probabilities with restart 0.15, iterated until consecutive
+/// vectors differ by at most `tolerance` in L1 norm.
+struct PageRankOptions {
+  double restart_probability = 0.15;
+  double tolerance = 1e-4;
+  int max_iterations = 1000;
+};
+
+/// Influence-weighted PageRank scores: when u influences v, v "votes" for u,
+/// i.e. the walk moves along edge e_uv *backwards* with probability
+/// p_uv / ρ(u), where ρ(u) is the total incoming influence probability of u.
+std::vector<double> InfluencePageRank(const DirectedGraph& graph,
+                                      const PageRankOptions& options = {});
+
+/// The PageRank baseline: the k highest-scoring non-seed nodes.
+std::vector<NodeId> PageRankBoost(const DirectedGraph& graph,
+                                  const std::vector<NodeId>& seeds, size_t k,
+                                  const PageRankOptions& options = {});
+
+}  // namespace kboost
+
+#endif  // KBOOST_BASELINES_PAGERANK_H_

@@ -1,0 +1,140 @@
+#include "src/core/prr_boost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/im/imm.h"
+#include "src/sim/boost_model.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace kboost {
+
+PrrBoostEngine::PrrBoostEngine(const DirectedGraph& graph,
+                               std::vector<NodeId> seeds,
+                               const BoostOptions& options, bool lb_only)
+    : graph_(graph),
+      seeds_(std::move(seeds)),
+      options_(options),
+      lb_only_(lb_only) {
+  KB_CHECK(graph_.num_nodes() >= 2);
+  KB_CHECK(options_.k >= 1);
+  KB_CHECK(!seeds_.empty()) << "the k-boosting problem requires seeds";
+  excluded_ = MakeNodeBitmap(graph_.num_nodes(), seeds_);
+  collection_ = std::make_unique<PrrCollection>(graph_.num_nodes());
+  sampler_ = std::make_unique<PrrSampler>(graph_, seeds_, options_.k,
+                                          lb_only_, options_.seed,
+                                          options_.num_threads);
+}
+
+BoostResult PrrBoostEngine::Run() {
+  BoostResult result;
+  const size_t n = graph_.num_nodes();
+
+  WallTimer sampling_timer;
+  if (!sampled_) {
+    // Algorithm 2 line 1: ℓ' = ℓ(1 + log3 / log n) so that the three failure
+    // events (sampling, LB selection, sandwich comparison) union-bound.
+    ImmBounds bounds;
+    bounds.epsilon = options_.epsilon;
+    bounds.ell = options_.ell *
+                 (1.0 + std::log(3.0) / std::log(static_cast<double>(n)));
+    bounds.n = n;
+    bounds.k = options_.k;
+
+    ImmScheduleCallbacks callbacks;
+    callbacks.ensure_samples = [&](size_t target) {
+      if (options_.max_samples > 0 && target > options_.max_samples) {
+        target = options_.max_samples;
+        samples_capped_ = true;
+      }
+      return sampler_->EnsureSamples(*collection_, target);
+    };
+    callbacks.select_coverage = [&]() {
+      return collection_->coverage()
+          .SelectGreedy(options_.k, &excluded_)
+          .coverage_fraction;
+    };
+    RunImmSchedule(bounds, callbacks);
+    sampled_ = true;
+  }
+  result.sampling_seconds = sampling_timer.Seconds();
+
+  WallTimer selection_timer;
+  // NodeSelectionLB: maximize μ̂ by greedy max-coverage over critical sets.
+  PrrCollection::LbResult lb =
+      collection_->SelectGreedyLowerBound(options_.k, excluded_);
+  result.lb_set = std::move(lb.nodes);
+  result.lb_mu_hat = lb.mu_hat;
+
+  if (lb_only_) {
+    result.best_set = result.lb_set;
+    result.best_estimate = result.lb_mu_hat;
+  } else {
+    // NodeSelection: greedy on Δ̂ directly, reusing the same pool.
+    PrrCollection::DeltaResult dr =
+        collection_->SelectGreedyDelta(options_.k, excluded_);
+    result.delta_set = std::move(dr.nodes);
+    result.delta_delta_hat = dr.delta_hat;
+    result.lb_delta_hat =
+        collection_->EstimateDelta(result.lb_set, options_.num_threads);
+    // Sandwich pick: the better of B_µ and B_Δ under Δ̂ (Alg. 2 line 5).
+    if (result.lb_delta_hat >= result.delta_delta_hat) {
+      result.best_set = result.lb_set;
+      result.best_estimate = result.lb_delta_hat;
+    } else {
+      result.best_set = result.delta_set;
+      result.best_estimate = result.delta_delta_hat;
+    }
+  }
+  result.selection_seconds = selection_timer.Seconds();
+
+  // Statistics.
+  const PrrSamplerStats& stats = sampler_->stats();
+  result.num_samples = collection_->num_samples();
+  result.samples_capped = samples_capped_;
+  result.num_boostable = collection_->num_boostable();
+  result.num_activated = collection_->num_activated();
+  result.num_hopeless = collection_->num_hopeless();
+  result.edges_examined = stats.edges_examined;
+  result.stored_graph_bytes = collection_->StoredGraphBytes();
+  if (result.num_boostable > 0) {
+    result.avg_uncompressed_edges =
+        static_cast<double>(stats.uncompressed_edges) /
+        static_cast<double>(result.num_boostable);
+    result.avg_compressed_edges =
+        static_cast<double>(stats.compressed_edges) /
+        static_cast<double>(result.num_boostable);
+    if (result.avg_compressed_edges > 0) {
+      result.compression_ratio =
+          result.avg_uncompressed_edges / result.avg_compressed_edges;
+    }
+  }
+  return result;
+}
+
+double PrrBoostEngine::EstimateDelta(
+    const std::vector<NodeId>& boost_set) const {
+  KB_CHECK(!lb_only_) << "Δ̂ needs stored PRR-graphs (full mode)";
+  return collection_->EstimateDelta(boost_set, options_.num_threads);
+}
+
+double PrrBoostEngine::EstimateMu(const std::vector<NodeId>& boost_set) const {
+  return collection_->EstimateMu(boost_set);
+}
+
+BoostResult PrrBoost(const DirectedGraph& graph,
+                     const std::vector<NodeId>& seeds,
+                     const BoostOptions& options) {
+  PrrBoostEngine engine(graph, seeds, options, /*lb_only=*/false);
+  return engine.Run();
+}
+
+BoostResult PrrBoostLb(const DirectedGraph& graph,
+                       const std::vector<NodeId>& seeds,
+                       const BoostOptions& options) {
+  PrrBoostEngine engine(graph, seeds, options, /*lb_only=*/true);
+  return engine.Run();
+}
+
+}  // namespace kboost

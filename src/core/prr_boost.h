@@ -1,0 +1,107 @@
+#ifndef KBOOST_CORE_PRR_BOOST_H_
+#define KBOOST_CORE_PRR_BOOST_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/prr_collection.h"
+#include "src/core/prr_sampler.h"
+#include "src/graph/graph.h"
+#include "src/util/thread_pool.h"
+
+namespace kboost {
+
+/// Tunables for PRR-Boost / PRR-Boost-LB (the paper uses ε = 0.5, ℓ = 1).
+struct BoostOptions {
+  size_t k = 100;       ///< boost-set budget
+  double epsilon = 0.5; ///< sampling slack ε
+  double ell = 1.0;     ///< success probability 1 - n^-ℓ
+  uint64_t seed = 42;
+  int num_threads = DefaultThreadCount();
+  /// Hard cap on the PRR-graph pool size θ (0 = no cap). When the IMM
+  /// schedule asks for more, sampling stops at the cap and
+  /// BoostResult::samples_capped is set; the (1-1/e-ε) guarantee then no
+  /// longer formally holds, but selection quality degrades gracefully.
+  /// Useful when OPT is tiny relative to n (θ = λ*/OPT explodes).
+  size_t max_samples = 0;
+};
+
+/// Everything Algorithm 2 produces, plus the statistics the paper reports.
+struct BoostResult {
+  /// B_sa — the sandwich pick (PRR-Boost) or B_µ (PRR-Boost-LB).
+  std::vector<NodeId> best_set;
+  /// Δ̂(best_set) in full mode; μ̂(B_µ) in LB mode (Δ̂ needs stored graphs).
+  double best_estimate = 0.0;
+
+  std::vector<NodeId> lb_set;      ///< B_µ from NodeSelectionLB
+  double lb_mu_hat = 0.0;          ///< μ̂(B_µ)
+  double lb_delta_hat = 0.0;       ///< Δ̂(B_µ) (full mode only)
+  std::vector<NodeId> delta_set;   ///< B_Δ from NodeSelection (full mode)
+  double delta_delta_hat = 0.0;    ///< Δ̂(B_Δ) (full mode only)
+
+  // Sampling statistics (Tables 2/3, Figs. 6/11).
+  size_t num_samples = 0;    ///< θ
+  bool samples_capped = false;  ///< hit BoostOptions::max_samples
+  size_t num_boostable = 0;
+  size_t num_activated = 0;
+  size_t num_hopeless = 0;
+  double avg_uncompressed_edges = 0.0;
+  double avg_compressed_edges = 0.0;
+  double compression_ratio = 0.0;
+  size_t stored_graph_bytes = 0;
+  size_t edges_examined = 0;
+  double sampling_seconds = 0.0;
+  double selection_seconds = 0.0;
+};
+
+/// Shared machinery behind PRR-Boost and PRR-Boost-LB. Exposed so the
+/// experiment harness can reuse the sampled pool (e.g. to evaluate the
+/// sandwich ratio μ(B)/Δ_S(B) on perturbed boost sets, Fig. 7/9/12).
+class PrrBoostEngine {
+ public:
+  /// `lb_only` selects the PRR-Boost-LB pipeline: distance-1 sampling and
+  /// no stored PRR-graphs.
+  PrrBoostEngine(const DirectedGraph& graph, std::vector<NodeId> seeds,
+                 const BoostOptions& options, bool lb_only);
+
+  /// Runs SamplingLB (IMM schedule over μ̂), then the node-selection steps,
+  /// and returns the assembled result. Idempotent: the pool is sampled once.
+  BoostResult Run();
+
+  /// The sampled pool (valid after Run()).
+  const PrrCollection& collection() const { return *collection_; }
+  /// Δ̂ on the pool for any boost set (full mode only).
+  double EstimateDelta(const std::vector<NodeId>& boost_set) const;
+  /// μ̂ on the pool for any boost set.
+  double EstimateMu(const std::vector<NodeId>& boost_set) const;
+
+  const DirectedGraph& graph() const { return graph_; }
+  const std::vector<NodeId>& seeds() const { return seeds_; }
+
+ private:
+  const DirectedGraph& graph_;
+  std::vector<NodeId> seeds_;
+  BoostOptions options_;
+  bool lb_only_;
+  std::vector<uint8_t> excluded_;  // seeds cannot be boosted
+  std::unique_ptr<PrrCollection> collection_;
+  std::unique_ptr<PrrSampler> sampler_;
+  bool sampled_ = false;
+  bool samples_capped_ = false;
+};
+
+/// PRR-Boost (Algorithm 2): sandwich approximation over {B_µ, B_Δ}.
+/// Returns a (1 − 1/e − ε)·µ(B*)/Δ_S(B*) approximation w.p. ≥ 1 − n^-ℓ.
+BoostResult PrrBoost(const DirectedGraph& graph,
+                     const std::vector<NodeId>& seeds,
+                     const BoostOptions& options);
+
+/// PRR-Boost-LB (Sec. V-C): lower-bound-only variant; same guarantee,
+/// faster sampling, much smaller memory footprint.
+BoostResult PrrBoostLb(const DirectedGraph& graph,
+                       const std::vector<NodeId>& seeds,
+                       const BoostOptions& options);
+
+}  // namespace kboost
+
+#endif  // KBOOST_CORE_PRR_BOOST_H_

@@ -1,0 +1,214 @@
+#include "src/core/prr_collection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+
+#include "src/sim/boost_model.h"
+#include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+
+namespace kboost {
+
+PrrCollection::PrrCollection(size_t num_graph_nodes)
+    : num_graph_nodes_(num_graph_nodes),
+      coverage_(num_graph_nodes),
+      node_to_graphs_(num_graph_nodes) {}
+
+void PrrCollection::AddBoostable(PrrGraph graph) {
+  const uint32_t graph_id = static_cast<uint32_t>(graphs_.size());
+  std::vector<NodeId> critical_globals;
+  critical_globals.reserve(graph.critical_locals.size());
+  for (uint32_t c : graph.critical_locals) {
+    critical_globals.push_back(graph.global_ids[c]);
+  }
+  coverage_.AddSet(critical_globals);
+  for (uint32_t v = PrrGraph::kRootLocal; v < graph.num_nodes(); ++v) {
+    node_to_graphs_[graph.global_ids[v]].push_back(graph_id);
+  }
+  stored_bytes_ += graph.MemoryBytes();
+  graphs_.push_back(std::move(graph));
+  ++num_boostable_;
+}
+
+void PrrCollection::AddBoostableCriticalOnly(
+    const std::vector<NodeId>& critical_globals) {
+  coverage_.AddSet(critical_globals);
+  stored_bytes_ += critical_globals.size() * sizeof(NodeId);
+  ++num_boostable_;
+}
+
+void PrrCollection::AddNonBoostable(PrrStatus status) {
+  KB_DCHECK(status != PrrStatus::kBoostable);
+  coverage_.AddEmptySet();
+  if (status == PrrStatus::kActivated) {
+    ++num_activated_;
+  } else {
+    ++num_hopeless_;
+  }
+}
+
+PrrCollection::LbResult PrrCollection::SelectGreedyLowerBound(
+    size_t k, const std::vector<uint8_t>& excluded) const {
+  CoverageSelector::Result cov = coverage_.SelectGreedy(k, &excluded);
+  LbResult result;
+  result.nodes = std::move(cov.selected);
+  result.mu_hat =
+      static_cast<double>(num_graph_nodes_) * cov.coverage_fraction;
+  return result;
+}
+
+PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
+    size_t k, const std::vector<uint8_t>& excluded) const {
+  DeltaResult result;
+  if (k == 0 || num_samples() == 0) return result;
+
+  const size_t n = num_graph_nodes_;
+  std::vector<uint8_t> boosted(n, 0);
+  std::vector<uint8_t> covered(graphs_.size(), 0);
+  // Current critical set per stored graph (global ids).
+  std::vector<std::vector<NodeId>> critical(graphs_.size());
+  std::vector<size_t> gains(n, 0);
+
+  for (size_t g = 0; g < graphs_.size(); ++g) {
+    critical[g].reserve(graphs_[g].critical_locals.size());
+    for (uint32_t c : graphs_[g].critical_locals) {
+      NodeId global = graphs_[g].global_ids[c];
+      critical[g].push_back(global);
+      if (!excluded[global]) ++gains[global];
+    }
+  }
+
+  // Max-heap tolerant of stale entries: an entry is valid iff its recorded
+  // gain still matches gains[node]. Gains move both ways as B grows, so we
+  // push a fresh entry on every change.
+  struct Entry {
+    size_t gain;
+    NodeId node;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) { return a.gain < b.gain; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (NodeId v = 0; v < n; ++v) {
+    if (gains[v] > 0 && !excluded[v]) heap.push(Entry{gains[v], v});
+  }
+
+  PrrEvaluator evaluator;
+  std::vector<uint32_t> new_critical_locals;
+
+  while (result.nodes.size() < k) {
+    NodeId pick = kInvalidNode;
+    while (!heap.empty()) {
+      Entry top = heap.top();
+      if (boosted[top.node] || top.gain != gains[top.node] ||
+          gains[top.node] == 0) {
+        heap.pop();
+        continue;
+      }
+      pick = top.node;
+      break;
+    }
+    if (pick == kInvalidNode) break;  // no single node has positive gain
+
+    boosted[pick] = 1;
+    result.nodes.push_back(pick);
+    gains[pick] = 0;
+
+    // Re-evaluate every graph containing the pick; update gains by diffing
+    // old and new critical sets ("linear in the size of R" update).
+    for (uint32_t g : node_to_graphs_[pick]) {
+      if (covered[g]) continue;
+      for (NodeId old : critical[g]) {
+        if (!boosted[old] && !excluded[old]) {
+          KB_DCHECK(gains[old] > 0);
+          --gains[old];
+          heap.push(Entry{gains[old], old});
+        }
+      }
+      const bool now_active = evaluator.CriticalNodes(
+          graphs_[g], boosted.data(), &new_critical_locals);
+      if (now_active) {
+        covered[g] = 1;
+        ++result.activated_samples;
+        critical[g].clear();
+        continue;
+      }
+      critical[g].clear();
+      for (uint32_t c : new_critical_locals) {
+        NodeId global = graphs_[g].global_ids[c];
+        critical[g].push_back(global);
+        if (!boosted[global] && !excluded[global]) {
+          ++gains[global];
+          heap.push(Entry{gains[global], global});
+        }
+      }
+    }
+  }
+
+  // Budget left but no single-node gains: fall back to PRR-occurrence
+  // counts (nodes present in many boostable PRR-graphs are the best
+  // remaining heuristic candidates).
+  if (result.nodes.size() < k) {
+    std::vector<NodeId> order;
+    order.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!boosted[v] && !excluded[v] && !node_to_graphs_[v].empty()) {
+        order.push_back(v);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return node_to_graphs_[a].size() > node_to_graphs_[b].size();
+    });
+    for (NodeId v : order) {
+      if (result.nodes.size() >= k) break;
+      boosted[v] = 1;
+      result.nodes.push_back(v);
+    }
+  }
+
+  result.delta_hat = static_cast<double>(num_graph_nodes_) *
+                     static_cast<double>(result.activated_samples) /
+                     static_cast<double>(num_samples());
+  return result;
+}
+
+double PrrCollection::EstimateDelta(const std::vector<NodeId>& boost_set,
+                                    int num_threads) const {
+  if (num_samples() == 0) return 0.0;
+  const std::vector<uint8_t> boosted =
+      MakeNodeBitmap(num_graph_nodes_, boost_set);
+  std::atomic<size_t> activated{0};
+  const int threads = std::max(1, num_threads);
+  std::vector<PrrEvaluator> evaluators(threads);
+  ParallelFor(
+      graphs_.size(), threads,
+      [&](size_t g, int t) {
+        if (evaluators[t].IsActivated(graphs_[g], boosted.data())) {
+          activated.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*chunk=*/256);
+  return static_cast<double>(num_graph_nodes_) *
+         static_cast<double>(activated.load()) /
+         static_cast<double>(num_samples());
+}
+
+double PrrCollection::EstimateMu(const std::vector<NodeId>& boost_set) const {
+  if (num_samples() == 0) return 0.0;
+  // Count samples whose critical set intersects B, via the coverage
+  // structure's per-node sample lists.
+  std::vector<uint8_t> hit(coverage_.num_nonempty_sets(), 0);
+  size_t covered = 0;
+  for (NodeId v : boost_set) {
+    KB_CHECK(v < num_graph_nodes_);
+    for (uint32_t set_id : coverage_.SetsContaining(v)) {
+      if (!hit[set_id]) {
+        hit[set_id] = 1;
+        ++covered;
+      }
+    }
+  }
+  return static_cast<double>(num_graph_nodes_) * static_cast<double>(covered) /
+         static_cast<double>(num_samples());
+}
+
+}  // namespace kboost

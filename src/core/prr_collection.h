@@ -1,0 +1,88 @@
+#ifndef KBOOST_CORE_PRR_COLLECTION_H_
+#define KBOOST_CORE_PRR_COLLECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/prr_graph.h"
+#include "src/graph/graph.h"
+#include "src/im/coverage.h"
+
+namespace kboost {
+
+/// The pool R of sampled PRR-graphs plus the estimators built on it:
+///   Δ̂_R(B) = n/θ · Σ_R f_R(B)        (Eq. 2)
+///   μ̂_R(B) = n/θ · Σ_R 1{B ∩ C_R ≠ ∅}
+/// θ counts *all* samples — activated and hopeless PRR-graphs contribute
+/// zero terms but stay in the denominator. Full mode stores compressed
+/// graphs; LB mode stores only critical sets (inside `coverage()`).
+class PrrCollection {
+ public:
+  explicit PrrCollection(size_t num_graph_nodes);
+
+  /// Adds a boostable sample. In full mode pass the compressed graph;
+  /// critical ids are taken from it. In LB mode pass only critical ids.
+  void AddBoostable(PrrGraph graph);
+  void AddBoostableCriticalOnly(const std::vector<NodeId>& critical_globals);
+  /// Adds an activated or hopeless sample (denominator only).
+  void AddNonBoostable(PrrStatus status);
+
+  size_t num_samples() const { return coverage_.num_sets(); }
+  size_t num_boostable() const { return num_boostable_; }
+  size_t num_activated() const { return num_activated_; }
+  size_t num_hopeless() const { return num_hopeless_; }
+  size_t num_graph_nodes() const { return num_graph_nodes_; }
+  const std::vector<PrrGraph>& graphs() const { return graphs_; }
+
+  /// Greedy max-coverage over critical sets (maximizes μ̂) — the
+  /// NodeSelectionLB step. Returns the selected nodes and μ̂ of that set.
+  struct LbResult {
+    std::vector<NodeId> nodes;
+    double mu_hat = 0.0;
+  };
+  LbResult SelectGreedyLowerBound(size_t k,
+                                  const std::vector<uint8_t>& excluded) const;
+
+  /// Greedy maximization of Δ̂ (the NodeSelection step; full mode only).
+  /// Each round picks the node with the largest marginal Δ̂ gain — i.e. the
+  /// node critical in the most not-yet-activated PRR-graphs — then
+  /// re-evaluates exactly the PRR-graphs containing it. If gains hit zero
+  /// before k picks (no single node helps), remaining slots are filled by
+  /// PRR-occurrence counts so the budget is never silently wasted.
+  struct DeltaResult {
+    std::vector<NodeId> nodes;
+    size_t activated_samples = 0;
+    double delta_hat = 0.0;
+  };
+  DeltaResult SelectGreedyDelta(size_t k,
+                                const std::vector<uint8_t>& excluded) const;
+
+  /// Δ̂_R(B) for an arbitrary boost set (full mode only).
+  double EstimateDelta(const std::vector<NodeId>& boost_set,
+                       int num_threads = 1) const;
+  /// μ̂_R(B) for an arbitrary boost set (works in both modes).
+  double EstimateMu(const std::vector<NodeId>& boost_set) const;
+
+  /// Access to the coverage structure driving the IMM schedule.
+  const CoverageSelector& coverage() const { return coverage_; }
+
+  /// Bytes held by stored PRR-graphs (the paper's Table 2/3 "memory for
+  /// boostable PRR-graphs").
+  size_t StoredGraphBytes() const { return stored_bytes_; }
+
+ private:
+  size_t num_graph_nodes_;
+  std::vector<PrrGraph> graphs_;   // full mode storage
+  CoverageSelector coverage_;      // critical sets, denominator = θ
+  size_t num_boostable_ = 0;
+  size_t num_activated_ = 0;
+  size_t num_hopeless_ = 0;
+  size_t stored_bytes_ = 0;
+  // Inverted index for the greedy: global node -> stored-graph ids whose
+  // compressed form contains it.
+  std::vector<std::vector<uint32_t>> node_to_graphs_;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_CORE_PRR_COLLECTION_H_

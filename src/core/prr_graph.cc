@@ -1,0 +1,562 @@
+#include "src/core/prr_graph.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+size_t PrrGraph::MemoryBytes() const {
+  return global_ids.capacity() * sizeof(NodeId) +
+         (out_offsets.capacity() + out_edges.capacity() +
+          in_offsets.capacity() + in_edges.capacity() +
+          critical_locals.capacity()) *
+             sizeof(uint32_t);
+}
+
+PrrGenerator::PrrGenerator(const DirectedGraph& graph,
+                           const std::vector<NodeId>& seeds)
+    : graph_(graph),
+      is_seed_(graph.num_nodes(), 0),
+      visit_stamp_(graph.num_nodes(), 0),
+      local_index_(graph.num_nodes(), 0) {
+  for (NodeId s : seeds) {
+    KB_CHECK(s < graph.num_nodes());
+    is_seed_[s] = 1;
+  }
+}
+
+uint32_t PrrGenerator::LocalOf(NodeId global) {
+  if (visit_stamp_[global] != stamp_) {
+    visit_stamp_[global] = stamp_;
+    local_index_[global] = static_cast<uint32_t>(locals_.size());
+    locals_.push_back(global);
+    dist_.push_back(kInf);
+  }
+  return local_index_[global];
+}
+
+PrrGenResult PrrGenerator::GenerateRandomRoot(size_t k, bool lb_only,
+                                              Rng& rng) {
+  NodeId root = static_cast<NodeId>(rng.NextBounded(graph_.num_nodes()));
+  return Generate(root, k, lb_only, rng);
+}
+
+PrrGenResult PrrGenerator::Generate(NodeId root, size_t k, bool lb_only,
+                                    Rng& rng) {
+  KB_CHECK(root < graph_.num_nodes());
+  PrrGenResult result;
+  if (is_seed_[root]) {
+    result.status = PrrStatus::kActivated;
+    return result;
+  }
+
+  // ---- Phase I: backward 0/1-BFS from the root (Algorithm 1) ----
+  ++stamp_;
+  if (stamp_ == 0) {  // wrapped: reset stamps
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    stamp_ = 1;
+  }
+  locals_.clear();
+  dist_.clear();
+  edges_.clear();
+  queue_.clear();
+
+  const uint32_t root_local = LocalOf(root);
+  dist_[root_local] = 0;
+  queue_.emplace_back(root_local, 0);
+
+  // LB mode only needs paths with at most one live-upon-boost edge.
+  const uint32_t prune =
+      lb_only ? static_cast<uint32_t>(std::min<size_t>(k, 1))
+              : static_cast<uint32_t>(k);
+  bool seed_found = false;
+
+  while (!queue_.empty()) {
+    auto [u_local, dur] = queue_.front();
+    queue_.pop_front();
+    if (dur > dist_[u_local]) continue;  // stale entry
+    const NodeId u_global = locals_[u_local];
+    for (const DirectedGraph::InEdge& e : graph_.InEdges(u_global)) {
+      ++result.edges_examined;
+      // Sample this edge's status on first (and only) touch.
+      const double x = rng.NextDouble();
+      const bool live = x < e.p;
+      const bool boost = !live && x < e.p_boost;
+      if (!live && !boost) continue;  // blocked
+      const uint32_t dvr = dur + (boost ? 1u : 0u);
+      if (dvr > prune) continue;  // pruning (Line 11)
+      const uint32_t v_local = LocalOf(e.from);
+      edges_.push_back(LocalEdge{v_local, u_local,
+                                 static_cast<uint8_t>(boost)});
+      if (dvr < dist_[v_local]) {
+        dist_[v_local] = dvr;
+        if (is_seed_[e.from]) {
+          if (dvr == 0) {
+            result.status = PrrStatus::kActivated;
+            return result;
+          }
+          seed_found = true;  // seeds are never expanded further
+        } else if (dvr == dur) {
+          queue_.emplace_front(v_local, dvr);
+        } else {
+          queue_.emplace_back(v_local, dvr);
+        }
+      }
+    }
+  }
+
+  if (!seed_found) {
+    result.status = PrrStatus::kHopeless;
+    return result;
+  }
+  result.status = PrrStatus::kBoostable;
+  result.uncompressed_edges = edges_.size();
+
+  if (lb_only) {
+    ExtractCriticalLbOnly(root_local, &result);
+  } else {
+    Compress(root_local, k, &result);
+  }
+  return result;
+}
+
+namespace {
+
+/// Builds a CSR over `edges` keyed by `key` (from/to selector) into
+/// offsets/slots. `slots` receives edge indices so labels stay accessible.
+template <typename KeyFn>
+void BuildLocalCsr(size_t num_nodes, size_t num_edges, KeyFn key,
+                   std::vector<uint32_t>& offsets,
+                   std::vector<uint32_t>& slots) {
+  offsets.assign(num_nodes + 1, 0);
+  for (size_t i = 0; i < num_edges; ++i) ++offsets[key(i) + 1];
+  for (size_t i = 1; i <= num_nodes; ++i) offsets[i] += offsets[i - 1];
+  slots.resize(num_edges);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t i = 0; i < num_edges; ++i) {
+    slots[cursor[key(i)]++] = static_cast<uint32_t>(i);
+  }
+}
+
+}  // namespace
+
+void PrrGenerator::Compress(uint32_t root_local, size_t k,
+                            PrrGenResult* result) {
+  const size_t num_locals = locals_.size();
+  const size_t num_edges = edges_.size();
+
+  // Local CSRs over the phase-I subgraph (edge-index slots keep labels).
+  BuildLocalCsr(
+      num_locals, num_edges, [&](size_t i) { return edges_[i].from; },
+      csr_offsets_, csr_edges_);
+  BuildLocalCsr(
+      num_locals, num_edges, [&](size_t i) { return edges_[i].to; },
+      csr_in_offsets_, csr_in_edges_);
+
+  // ---- Forward 0/1-BFS from seeds: ds_[v] = min #boosts to activate v ----
+  ds_.assign(num_locals, kInf);
+  queue_.clear();
+  for (uint32_t v = 0; v < num_locals; ++v) {
+    if (is_seed_[locals_[v]]) {
+      ds_[v] = 0;
+      queue_.emplace_back(v, 0);
+    }
+  }
+  while (!queue_.empty()) {
+    auto [u, du] = queue_.front();
+    queue_.pop_front();
+    if (du > ds_[u]) continue;
+    for (uint32_t s = csr_offsets_[u]; s < csr_offsets_[u + 1]; ++s) {
+      const LocalEdge& e = edges_[csr_edges_[s]];
+      const uint32_t dv = du + e.boost;
+      if (dv > k || dv >= ds_[e.to]) continue;
+      ds_[e.to] = dv;
+      if (e.boost) {
+        queue_.emplace_back(e.to, dv);
+      } else {
+        queue_.emplace_front(e.to, dv);
+      }
+    }
+  }
+  // Phase I guarantees no live seed→root path survives.
+  KB_DCHECK(ds_[root_local] != 0) << "activated graph reached compression";
+
+  // ---- Backward 0/1-BFS from root restricted to nodes outside X ----
+  // (paths through X would pass "through the super-seed").
+  dpr_.assign(num_locals, kInf);
+  queue_.clear();
+  dpr_[root_local] = 0;
+  queue_.emplace_back(root_local, 0);
+  while (!queue_.empty()) {
+    auto [u, du] = queue_.front();
+    queue_.pop_front();
+    if (du > dpr_[u]) continue;
+    for (uint32_t s = csr_in_offsets_[u]; s < csr_in_offsets_[u + 1]; ++s) {
+      const LocalEdge& e = edges_[csr_in_edges_[s]];
+      const uint32_t v = e.from;
+      if (ds_[v] == 0) continue;  // v ∈ X: contracted into the super-seed
+      const uint32_t dv = du + e.boost;
+      if (dv > k || dv >= dpr_[v]) continue;
+      dpr_[v] = dv;
+      if (e.boost) {
+        queue_.emplace_back(v, dv);
+      } else {
+        queue_.emplace_front(v, dv);
+      }
+    }
+  }
+
+  // ---- Keep set: every path through v must fit in the budget ----
+  // new_id_: 0 = super-seed, 1 = root, 2.. = kept intermediates.
+  new_id_.assign(num_locals, kInf);
+  new_id_[root_local] = PrrGraph::kRootLocal;
+  uint32_t next_id = 2;
+  for (uint32_t v = 0; v < num_locals; ++v) {
+    if (v == root_local || ds_[v] == 0) continue;
+    if (ds_[v] == kInf || dpr_[v] == kInf) continue;
+    if (static_cast<size_t>(ds_[v]) + dpr_[v] > k) continue;
+    new_id_[v] = next_id++;
+  }
+  const uint32_t compact_n = next_id;
+
+  // ---- Emit compressed edges ----
+  // adj[u] holds packed (target, boost) out-edges of compact node u.
+  std::vector<std::vector<uint32_t>> adj(compact_n);
+  flag_.assign(compact_n, 0);  // dedupe super-seed fanout & live shortcuts
+
+  for (uint32_t v = 0; v < num_locals; ++v) {
+    const uint32_t nv = new_id_[v];
+    if (nv == kInf) continue;
+    if (nv != PrrGraph::kRootLocal && dpr_[v] == 0) {
+      // Live path v→root: replace all out-edges with one live shortcut.
+      adj[nv].push_back(PrrGraph::PackEdge(PrrGraph::kRootLocal, false));
+      continue;
+    }
+    if (nv == PrrGraph::kRootLocal) continue;  // root keeps no out-edges
+    for (uint32_t s = csr_offsets_[v]; s < csr_offsets_[v + 1]; ++s) {
+      const LocalEdge& e = edges_[csr_edges_[s]];
+      const uint32_t nt = new_id_[e.to];
+      if (nt == kInf || ds_[e.to] == 0) continue;  // dropped or into X
+      adj[nv].push_back(PrrGraph::PackEdge(nt, e.boost != 0));
+    }
+  }
+  // Super-seed fanout: X → kept nodes. All such edges are boost edges
+  // (a live edge out of X would have pulled its head into X).
+  for (uint32_t v = 0; v < num_locals; ++v) {
+    if (ds_[v] != 0) continue;
+    for (uint32_t s = csr_offsets_[v]; s < csr_offsets_[v + 1]; ++s) {
+      const LocalEdge& e = edges_[csr_edges_[s]];
+      const uint32_t nt = new_id_[e.to];
+      if (nt == kInf) continue;
+      KB_DCHECK(e.boost) << "live edge out of the super-seed set";
+      if (!flag_[nt]) {
+        flag_[nt] = 1;
+        adj[PrrGraph::kSuperSeedLocal].push_back(
+            PrrGraph::PackEdge(nt, true));
+      }
+    }
+  }
+
+  // ---- Reachability cleanup: keep nodes on super-seed→root paths ----
+  std::vector<uint8_t> fwd(compact_n, 0), bwd(compact_n, 0);
+  std::vector<std::vector<uint32_t>> radj(compact_n);
+  for (uint32_t u = 0; u < compact_n; ++u) {
+    for (uint32_t packed : adj[u]) {
+      radj[PrrGraph::EdgeNode(packed)].push_back(
+          PrrGraph::PackEdge(u, PrrGraph::EdgeBoost(packed)));
+    }
+  }
+  std::vector<uint32_t> stack{PrrGraph::kSuperSeedLocal};
+  fwd[PrrGraph::kSuperSeedLocal] = 1;
+  while (!stack.empty()) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    for (uint32_t packed : adj[u]) {
+      uint32_t t = PrrGraph::EdgeNode(packed);
+      if (!fwd[t]) {
+        fwd[t] = 1;
+        stack.push_back(t);
+      }
+    }
+  }
+  stack.assign(1, PrrGraph::kRootLocal);
+  bwd[PrrGraph::kRootLocal] = 1;
+  while (!stack.empty()) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    for (uint32_t packed : radj[u]) {
+      uint32_t t = PrrGraph::EdgeNode(packed);
+      if (!bwd[t]) {
+        bwd[t] = 1;
+        stack.push_back(t);
+      }
+    }
+  }
+  if (!fwd[PrrGraph::kRootLocal]) {
+    // Cannot happen per the ds+dpr≤k keep rule, but degrade gracefully.
+    result->status = PrrStatus::kHopeless;
+    return;
+  }
+
+  // ---- Renumber survivors and build the final CSR arrays ----
+  std::vector<uint32_t> final_id(compact_n, kInf);
+  final_id[PrrGraph::kSuperSeedLocal] = PrrGraph::kSuperSeedLocal;
+  final_id[PrrGraph::kRootLocal] = PrrGraph::kRootLocal;
+  uint32_t final_n = 2;
+  for (uint32_t u = 2; u < compact_n; ++u) {
+    if (fwd[u] && bwd[u]) final_id[u] = final_n++;
+  }
+
+  PrrGraph& g = result->graph;
+  g.global_ids.assign(final_n, kInvalidNode);
+  g.global_ids[PrrGraph::kRootLocal] = locals_[root_local];
+  for (uint32_t v = 0; v < num_locals; ++v) {
+    const uint32_t nv = new_id_[v];
+    if (nv == kInf || nv < 2) continue;
+    const uint32_t fv = final_id[nv];
+    if (fv != kInf) g.global_ids[fv] = locals_[v];
+  }
+
+  g.out_offsets.assign(final_n + 1, 0);
+  size_t kept_edges = 0;
+  for (uint32_t u = 0; u < compact_n; ++u) {
+    if (final_id[u] == kInf) continue;
+    for (uint32_t packed : adj[u]) {
+      if (final_id[PrrGraph::EdgeNode(packed)] != kInf) ++kept_edges;
+    }
+  }
+  g.out_edges.clear();
+  g.out_edges.reserve(kept_edges);
+  for (uint32_t u = 0; u < compact_n; ++u) {
+    const uint32_t fu = final_id[u];
+    if (fu == kInf) continue;
+    g.out_offsets[fu + 1] = 0;  // filled below
+  }
+  // Two-pass CSR: count then fill, iterating compact nodes in final order.
+  std::vector<std::vector<uint32_t>> final_adj(final_n);
+  for (uint32_t u = 0; u < compact_n; ++u) {
+    const uint32_t fu = final_id[u];
+    if (fu == kInf) continue;
+    for (uint32_t packed : adj[u]) {
+      const uint32_t ft = final_id[PrrGraph::EdgeNode(packed)];
+      if (ft == kInf) continue;
+      final_adj[fu].push_back(
+          PrrGraph::PackEdge(ft, PrrGraph::EdgeBoost(packed)));
+    }
+  }
+  g.out_offsets.assign(final_n + 1, 0);
+  for (uint32_t u = 0; u < final_n; ++u) {
+    g.out_offsets[u + 1] = g.out_offsets[u] +
+                           static_cast<uint32_t>(final_adj[u].size());
+    for (uint32_t packed : final_adj[u]) g.out_edges.push_back(packed);
+  }
+  // In-CSR.
+  g.in_offsets.assign(final_n + 1, 0);
+  for (uint32_t packed : g.out_edges) {
+    ++g.in_offsets[PrrGraph::EdgeNode(packed) + 1];
+  }
+  for (uint32_t u = 0; u < final_n; ++u) g.in_offsets[u + 1] += g.in_offsets[u];
+  g.in_edges.resize(g.out_edges.size());
+  {
+    std::vector<uint32_t> cursor(g.in_offsets.begin(), g.in_offsets.end() - 1);
+    for (uint32_t u = 0; u < final_n; ++u) {
+      for (uint32_t s = g.out_offsets[u]; s < g.out_offsets[u + 1]; ++s) {
+        const uint32_t packed = g.out_edges[s];
+        g.in_edges[cursor[PrrGraph::EdgeNode(packed)]++] =
+            PrrGraph::PackEdge(u, PrrGraph::EdgeBoost(packed));
+      }
+    }
+  }
+
+  // ---- Critical nodes: super-seed boost fanout into live-to-root nodes ----
+  g.critical_locals.clear();
+  for (uint32_t s = g.out_offsets[PrrGraph::kSuperSeedLocal];
+       s < g.out_offsets[PrrGraph::kSuperSeedLocal + 1]; ++s) {
+    const uint32_t packed = g.out_edges[s];
+    const uint32_t t = PrrGraph::EdgeNode(packed);
+    // Map back: find the compact node; dpr was indexed by phase-I locals.
+    // Instead of reverse maps, recompute: t is live-to-root iff it has a
+    // live out-edge chain to root. We exploit the shortcut invariant: after
+    // compression a node has dpr==0 iff its out-edges contain a live edge
+    // to the root, or it IS the root.
+    if (t == PrrGraph::kRootLocal) {
+      g.critical_locals.push_back(t);
+      continue;
+    }
+    bool live_to_root = false;
+    for (uint32_t s2 = g.out_offsets[t]; s2 < g.out_offsets[t + 1]; ++s2) {
+      const uint32_t p2 = g.out_edges[s2];
+      if (!PrrGraph::EdgeBoost(p2) &&
+          PrrGraph::EdgeNode(p2) == PrrGraph::kRootLocal) {
+        live_to_root = true;
+        break;
+      }
+    }
+    if (live_to_root) g.critical_locals.push_back(t);
+  }
+
+  result->critical_globals.clear();
+  result->critical_globals.reserve(g.critical_locals.size());
+  for (uint32_t c : g.critical_locals) {
+    result->critical_globals.push_back(g.global_ids[c]);
+  }
+}
+
+void PrrGenerator::ExtractCriticalLbOnly(uint32_t root_local,
+                                         PrrGenResult* result) {
+  const size_t num_locals = locals_.size();
+  const size_t num_edges = edges_.size();
+
+  BuildLocalCsr(
+      num_locals, num_edges, [&](size_t i) { return edges_[i].from; },
+      csr_offsets_, csr_edges_);
+  BuildLocalCsr(
+      num_locals, num_edges, [&](size_t i) { return edges_[i].to; },
+      csr_in_offsets_, csr_in_edges_);
+
+  // X: live-reachable from seeds (forward BFS over live edges only).
+  ds_.assign(num_locals, kInf);
+  std::vector<uint32_t> stack;
+  for (uint32_t v = 0; v < num_locals; ++v) {
+    if (is_seed_[locals_[v]]) {
+      ds_[v] = 0;
+      stack.push_back(v);
+    }
+  }
+  while (!stack.empty()) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    for (uint32_t s = csr_offsets_[u]; s < csr_offsets_[u + 1]; ++s) {
+      const LocalEdge& e = edges_[csr_edges_[s]];
+      if (e.boost || ds_[e.to] == 0) continue;
+      ds_[e.to] = 0;
+      stack.push_back(e.to);
+    }
+  }
+
+  // live-to-root: backward BFS over live edges (never enters X: a live
+  // X→root chain would have made the sample "activated" in phase I).
+  dpr_.assign(num_locals, kInf);
+  dpr_[root_local] = 0;
+  stack.assign(1, root_local);
+  while (!stack.empty()) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    for (uint32_t s = csr_in_offsets_[u]; s < csr_in_offsets_[u + 1]; ++s) {
+      const LocalEdge& e = edges_[csr_in_edges_[s]];
+      if (e.boost || dpr_[e.from] == 0 || ds_[e.from] == 0) continue;
+      dpr_[e.from] = 0;
+      stack.push_back(e.from);
+    }
+  }
+
+  // Critical: v ∉ X, live path v→root, and some boost edge (u,v) with u ∈ X.
+  flag_.assign(num_locals, 0);
+  result->critical_globals.clear();
+  for (size_t i = 0; i < num_edges; ++i) {
+    const LocalEdge& e = edges_[i];
+    if (!e.boost) continue;
+    if (ds_[e.from] != 0) continue;
+    if (ds_[e.to] == 0) continue;
+    if (dpr_[e.to] != 0) continue;
+    if (flag_[e.to]) continue;
+    flag_[e.to] = 1;
+    result->critical_globals.push_back(locals_[e.to]);
+  }
+}
+
+bool PrrEvaluator::IsActivated(const PrrGraph& g,
+                               const uint8_t* boosted_global) {
+  const uint32_t n = g.num_nodes();
+  fwd0_.assign(n, 0);
+  queue_.clear();
+  fwd0_[PrrGraph::kSuperSeedLocal] = 1;
+  queue_.push_back(PrrGraph::kSuperSeedLocal);
+  while (!queue_.empty()) {
+    uint32_t u = queue_.back();
+    queue_.pop_back();
+    for (uint32_t s = g.out_offsets[u]; s < g.out_offsets[u + 1]; ++s) {
+      const uint32_t packed = g.out_edges[s];
+      const uint32_t t = PrrGraph::EdgeNode(packed);
+      if (fwd0_[t]) continue;
+      if (PrrGraph::EdgeBoost(packed) && !boosted_global[g.global_ids[t]]) {
+        continue;
+      }
+      fwd0_[t] = 1;
+      if (t == PrrGraph::kRootLocal) return true;
+      queue_.push_back(t);
+    }
+  }
+  return false;
+}
+
+void PrrEvaluator::ComputeReach(const PrrGraph& g,
+                                const uint8_t* boosted_global) {
+  const uint32_t n = g.num_nodes();
+  // Forward 0-reach from super-seed.
+  fwd0_.assign(n, 0);
+  queue_.clear();
+  fwd0_[PrrGraph::kSuperSeedLocal] = 1;
+  queue_.push_back(PrrGraph::kSuperSeedLocal);
+  while (!queue_.empty()) {
+    uint32_t u = queue_.back();
+    queue_.pop_back();
+    for (uint32_t s = g.out_offsets[u]; s < g.out_offsets[u + 1]; ++s) {
+      const uint32_t packed = g.out_edges[s];
+      const uint32_t t = PrrGraph::EdgeNode(packed);
+      if (fwd0_[t]) continue;
+      if (PrrGraph::EdgeBoost(packed) && !boosted_global[g.global_ids[t]]) {
+        continue;
+      }
+      fwd0_[t] = 1;
+      queue_.push_back(t);
+    }
+  }
+  // Backward 0-reach to root. Edge (u,v) has weight 0 iff live or v ∈ B.
+  bwd0_.assign(n, 0);
+  queue_.clear();
+  bwd0_[PrrGraph::kRootLocal] = 1;
+  queue_.push_back(PrrGraph::kRootLocal);
+  while (!queue_.empty()) {
+    uint32_t v = queue_.back();
+    queue_.pop_back();
+    const bool v_boosted = v != PrrGraph::kSuperSeedLocal &&
+                           boosted_global[g.global_ids[v]] != 0;
+    for (uint32_t s = g.in_offsets[v]; s < g.in_offsets[v + 1]; ++s) {
+      const uint32_t packed = g.in_edges[s];
+      const uint32_t u = PrrGraph::EdgeNode(packed);
+      if (bwd0_[u]) continue;
+      if (PrrGraph::EdgeBoost(packed) && !v_boosted) continue;
+      bwd0_[u] = 1;
+      queue_.push_back(u);
+    }
+  }
+}
+
+bool PrrEvaluator::CriticalNodes(const PrrGraph& g,
+                                 const uint8_t* boosted_global,
+                                 std::vector<uint32_t>* out) {
+  out->clear();
+  ComputeReach(g, boosted_global);
+  if (fwd0_[PrrGraph::kRootLocal]) return true;  // f_R(B) = 1
+  const uint32_t n = g.num_nodes();
+  // Candidates: the root (local 1) and intermediates (2..); never the
+  // super-seed.
+  for (uint32_t v = PrrGraph::kRootLocal; v < n; ++v) {
+    if (boosted_global[g.global_ids[v]]) continue;  // already boosted
+    if (!bwd0_[v]) continue;
+    // Boosting v opens its boost in-edges; need one whose tail is 0-reached.
+    for (uint32_t s = g.in_offsets[v]; s < g.in_offsets[v + 1]; ++s) {
+      const uint32_t packed = g.in_edges[s];
+      if (!PrrGraph::EdgeBoost(packed)) continue;
+      if (fwd0_[PrrGraph::EdgeNode(packed)]) {
+        out->push_back(v);
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace kboost

@@ -1,0 +1,153 @@
+#ifndef KBOOST_CORE_PRR_GRAPH_H_
+#define KBOOST_CORE_PRR_GRAPH_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+
+/// Classification of a sampled PRR-graph (Sec. V-A).
+enum class PrrStatus {
+  kActivated,  ///< a live seed→root path exists; f_R ≡ 0
+  kHopeless,   ///< no seed→root path with ≤ k live-upon-boost edges; f_R ≡ 0
+  kBoostable,  ///< boosting can flip the root; the interesting case
+};
+
+/// A compressed, boostable Potentially-Reverse-Reachable graph (Def. 3 after
+/// the Phase-II compression of Algorithm 1).
+///
+/// Local node ids: 0 is the super-seed (the contraction of every node that
+/// activates without boosting), 1 is the root, and the rest are intermediate
+/// nodes. Every edge is either *live* or *live-upon-boost* ("boost"); an
+/// edge (u,v) is traversable under boost set B iff it is live, or it is a
+/// boost edge and v ∈ B. By construction f_R(∅) = 0: all super-seed
+/// out-edges are boost edges.
+struct PrrGraph {
+  static constexpr uint32_t kSuperSeedLocal = 0;
+  static constexpr uint32_t kRootLocal = 1;
+
+  /// Packs an adjacency entry: (neighbour local id << 1) | is_boost.
+  static uint32_t PackEdge(uint32_t neighbor, bool boost) {
+    return (neighbor << 1) | static_cast<uint32_t>(boost);
+  }
+  static uint32_t EdgeNode(uint32_t packed) { return packed >> 1; }
+  static bool EdgeBoost(uint32_t packed) { return (packed & 1u) != 0; }
+
+  /// local id -> global node id; [0] is kInvalidNode (the super-seed has no
+  /// global identity), [1] is the root's global id.
+  std::vector<NodeId> global_ids;
+  std::vector<uint32_t> out_offsets;  ///< size num_nodes()+1
+  std::vector<uint32_t> out_edges;    ///< packed (target, boost)
+  std::vector<uint32_t> in_offsets;   ///< size num_nodes()+1
+  std::vector<uint32_t> in_edges;     ///< packed (source, boost)
+  /// Critical nodes at B = ∅ (local ids): boosting any one of them alone
+  /// activates the root. This is C_R, the µ lower bound's coverage set.
+  std::vector<uint32_t> critical_locals;
+
+  uint32_t num_nodes() const {
+    return static_cast<uint32_t>(global_ids.size());
+  }
+  size_t num_edges() const { return out_edges.size(); }
+  size_t MemoryBytes() const;
+};
+
+/// Result of sampling one PRR-graph.
+struct PrrGenResult {
+  PrrStatus status = PrrStatus::kHopeless;
+  size_t edges_examined = 0;     ///< phase-I work (EPT accounting)
+  size_t uncompressed_edges = 0; ///< edges collected by phase I (boostable)
+  PrrGraph graph;                ///< filled when boostable and !lb_only
+  /// Critical nodes as global ids (boostable; both modes).
+  std::vector<NodeId> critical_globals;
+};
+
+/// Generates PRR-graphs for one (graph, seed set). Holds O(n) scratch, so
+/// create one instance per thread and reuse it across samples.
+///
+/// `lb_only` mode implements the PRR-Boost-LB shortcut (Sec. V-C): the
+/// backward exploration prunes at distance 1 and only the critical-node set
+/// is produced — no compressed graph is stored.
+class PrrGenerator {
+ public:
+  PrrGenerator(const DirectedGraph& graph, const std::vector<NodeId>& seeds);
+
+  PrrGenerator(const PrrGenerator&) = delete;
+  PrrGenerator& operator=(const PrrGenerator&) = delete;
+
+  /// Samples the PRR-graph rooted at `root` with budget k. Deterministic
+  /// given the Rng state.
+  PrrGenResult Generate(NodeId root, size_t k, bool lb_only, Rng& rng);
+
+  /// Samples with a uniformly random root.
+  PrrGenResult GenerateRandomRoot(size_t k, bool lb_only, Rng& rng);
+
+ private:
+  static constexpr uint32_t kInf = static_cast<uint32_t>(-1);
+
+  struct LocalEdge {
+    uint32_t from;
+    uint32_t to;
+    uint8_t boost;
+  };
+
+  /// Maps a global node to its local id, creating it on first touch.
+  uint32_t LocalOf(NodeId global);
+
+  /// Phase II: compress the collected subgraph into result->graph and
+  /// extract critical nodes. Sets result->status.
+  void Compress(uint32_t root_local, size_t k, PrrGenResult* result);
+
+  /// Critical-node extraction for lb_only mode (no compression).
+  void ExtractCriticalLbOnly(uint32_t root_local, PrrGenResult* result);
+
+  const DirectedGraph& graph_;
+  std::vector<uint8_t> is_seed_;
+
+  // Global->local mapping with stamps so Generate() is O(|R|), not O(n).
+  std::vector<uint32_t> visit_stamp_;
+  std::vector<uint32_t> local_index_;
+  uint32_t stamp_ = 0;
+
+  // Phase-I state, local-indexed.
+  std::vector<NodeId> locals_;     // local -> global
+  std::vector<uint32_t> dist_;     // distance to root
+  std::vector<LocalEdge> edges_;   // collected non-blocked edges
+  std::deque<std::pair<uint32_t, uint32_t>> queue_;
+
+  // Phase-II scratch, local-indexed; reused across samples.
+  std::vector<uint32_t> csr_offsets_, csr_edges_;
+  std::vector<uint32_t> csr_in_offsets_, csr_in_edges_;
+  std::vector<uint32_t> ds_, dpr_;
+  std::vector<uint32_t> new_id_;
+  std::vector<uint8_t> flag_;
+};
+
+/// Evaluates f_R(B) and per-node criticality on compressed PRR-graphs.
+/// Holds scratch; one instance per thread.
+class PrrEvaluator {
+ public:
+  /// f_R(B): is the root activated under boost set B (given as an n-sized
+  /// global bitmap)? Implemented as 0-weight reachability from the
+  /// super-seed, where live edges and boost edges into B have weight 0.
+  bool IsActivated(const PrrGraph& g, const uint8_t* boosted_global);
+
+  /// Computes the critical set given B into `out` (local ids): nodes v ∉ B
+  /// such that f_R(B ∪ {v}) = 1 while f_R(B) = 0. Returns f_R(B); when it
+  /// returns true `out` is left empty.
+  bool CriticalNodes(const PrrGraph& g, const uint8_t* boosted_global,
+                     std::vector<uint32_t>* out);
+
+ private:
+  void ComputeReach(const PrrGraph& g, const uint8_t* boosted_global);
+
+  std::vector<uint8_t> fwd0_, bwd0_;
+  std::vector<uint32_t> queue_;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_CORE_PRR_GRAPH_H_

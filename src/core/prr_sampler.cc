@@ -1,0 +1,70 @@
+#include "src/core/prr_sampler.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace kboost {
+
+namespace {
+/// Upper bound on per-batch result buffering; keeps memory flat even when
+/// the schedule asks for millions of samples at once.
+constexpr size_t kBatchSize = 1 << 16;
+}  // namespace
+
+PrrSampler::PrrSampler(const DirectedGraph& graph,
+                       const std::vector<NodeId>& seeds, size_t k,
+                       bool lb_only, uint64_t seed, int num_threads)
+    : graph_(graph),
+      seeds_(seeds),
+      k_(k),
+      lb_only_(lb_only),
+      seed_(seed),
+      num_threads_(std::max(1, num_threads)) {
+  generators_.reserve(num_threads_);
+  for (int t = 0; t < num_threads_; ++t) {
+    generators_.push_back(std::make_unique<PrrGenerator>(graph_, seeds_));
+  }
+}
+
+size_t PrrSampler::EnsureSamples(PrrCollection& collection, size_t target) {
+  while (collection.num_samples() < target) {
+    const size_t have = collection.num_samples();
+    const size_t need = std::min(kBatchSize, target - have);
+
+    std::vector<PrrGenResult> batch(need);
+    std::atomic<size_t> edges{0};
+    ParallelFor(
+        need, num_threads_,
+        [&](size_t j, int t) {
+          uint64_t s = seed_;
+          s ^= (have + j + 1) * 0x9E3779B97F4A7C15ULL;
+          Rng rng(s);
+          batch[j] = generators_[t]->GenerateRandomRoot(k_, lb_only_, rng);
+          edges.fetch_add(batch[j].edges_examined,
+                          std::memory_order_relaxed);
+        },
+        /*chunk=*/16);
+    stats_.edges_examined += edges.load();
+
+    for (PrrGenResult& r : batch) {
+      if (r.status != PrrStatus::kBoostable) {
+        collection.AddNonBoostable(r.status);
+        continue;
+      }
+      stats_.uncompressed_edges += r.uncompressed_edges;
+      if (lb_only_) {
+        collection.AddBoostableCriticalOnly(r.critical_globals);
+      } else {
+        stats_.compressed_edges += r.graph.num_edges();
+        collection.AddBoostable(std::move(r.graph));
+      }
+    }
+  }
+  return collection.num_samples();
+}
+
+}  // namespace kboost

@@ -1,0 +1,48 @@
+#ifndef KBOOST_CORE_PRR_SAMPLER_H_
+#define KBOOST_CORE_PRR_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/prr_collection.h"
+#include "src/core/prr_graph.h"
+#include "src/graph/graph.h"
+
+namespace kboost {
+
+/// Aggregate sampling statistics (drives the paper's Table 2/3 columns).
+struct PrrSamplerStats {
+  size_t edges_examined = 0;          ///< phase-I work over all samples
+  size_t uncompressed_edges = 0;      ///< Σ phase-I edges of boostable samples
+  size_t compressed_edges = 0;        ///< Σ compressed edges (full mode)
+};
+
+/// Parallel, deterministic PRR-graph sampler. Sample i is generated from an
+/// Rng seeded by (seed, i), so pools are identical for any thread count.
+class PrrSampler {
+ public:
+  PrrSampler(const DirectedGraph& graph, const std::vector<NodeId>& seeds,
+             size_t k, bool lb_only, uint64_t seed, int num_threads);
+
+  PrrSampler(const PrrSampler&) = delete;
+  PrrSampler& operator=(const PrrSampler&) = delete;
+
+  /// Grows `collection` to at least `target` samples; returns the new size.
+  size_t EnsureSamples(PrrCollection& collection, size_t target);
+
+  const PrrSamplerStats& stats() const { return stats_; }
+
+ private:
+  const DirectedGraph& graph_;
+  std::vector<NodeId> seeds_;
+  size_t k_;
+  bool lb_only_;
+  uint64_t seed_;
+  int num_threads_;
+  PrrSamplerStats stats_;
+  std::vector<std::unique_ptr<PrrGenerator>> generators_;  // one per thread
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_CORE_PRR_SAMPLER_H_

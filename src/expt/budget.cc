@@ -1,0 +1,44 @@
+#include "src/expt/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/expt/seed_selection.h"
+#include "src/sim/boost_model.h"
+#include "src/util/logging.h"
+
+namespace kboost {
+
+std::vector<BudgetAllocationPoint> RunBudgetAllocation(
+    const DirectedGraph& graph, const BudgetAllocationOptions& options) {
+  std::vector<BudgetAllocationPoint> points;
+  for (double fraction : options.seed_fractions) {
+    KB_CHECK(fraction > 0.0 && fraction <= 1.0);
+    BudgetAllocationPoint point;
+    point.seed_fraction = fraction;
+    point.num_seeds = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(fraction * options.max_seeds)));
+    const double leftover =
+        static_cast<double>(options.max_seeds - point.num_seeds);
+    point.num_boosted =
+        static_cast<size_t>(std::lround(leftover * options.cost_ratio));
+
+    std::vector<NodeId> seeds = SelectInfluentialSeeds(
+        graph, point.num_seeds, options.boost_options.seed,
+        options.boost_options.num_threads);
+
+    std::vector<NodeId> boosted;
+    if (point.num_boosted > 0) {
+      BoostOptions bopts = options.boost_options;
+      bopts.k = point.num_boosted;
+      boosted = PrrBoost(graph, seeds, bopts).best_set;
+    }
+    point.boosted_spread =
+        EstimateBoostedSpread(graph, seeds, boosted, options.sim_options)
+            .mean;
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace kboost

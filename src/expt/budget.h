@@ -1,0 +1,39 @@
+#ifndef KBOOST_EXPT_BUDGET_H_
+#define KBOOST_EXPT_BUDGET_H_
+
+#include <vector>
+
+#include "src/core/prr_boost.h"
+#include "src/graph/graph.h"
+#include "src/sim/ic_model.h"
+
+namespace kboost {
+
+/// One point of the budget-allocation curve (Fig. 13): spend
+/// `seed_fraction` of the budget on initial adopters, the rest on boosting.
+struct BudgetAllocationPoint {
+  double seed_fraction = 0.0;
+  size_t num_seeds = 0;
+  size_t num_boosted = 0;
+  double boosted_spread = 0.0;  ///< Monte-Carlo σ_S(B)
+};
+
+/// Parameters of the experiment: all-budget-on-seeds buys `max_seeds`
+/// seeds; one seed costs `cost_ratio` boosts.
+struct BudgetAllocationOptions {
+  size_t max_seeds = 100;
+  double cost_ratio = 100.0;
+  std::vector<double> seed_fractions = {0.2, 0.4, 0.6, 0.8, 1.0};
+  BoostOptions boost_options;
+  SimulationOptions sim_options;
+};
+
+/// For each split: IMM picks the seeds, PRR-Boost picks the boosted users,
+/// Monte Carlo evaluates the boosted spread (the paper's heuristic of
+/// Sec. V-D).
+std::vector<BudgetAllocationPoint> RunBudgetAllocation(
+    const DirectedGraph& graph, const BudgetAllocationOptions& options);
+
+}  // namespace kboost
+
+#endif  // KBOOST_EXPT_BUDGET_H_

@@ -1,0 +1,41 @@
+#include "src/expt/seed_selection.h"
+
+#include <algorithm>
+
+#include "src/im/imm.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+
+std::vector<NodeId> SelectInfluentialSeeds(const DirectedGraph& graph,
+                                           size_t count, uint64_t seed,
+                                           int num_threads) {
+  ImmOptions options;
+  options.k = count;
+  options.epsilon = 0.5;
+  options.ell = 1.0;
+  options.seed = seed;
+  options.num_threads = num_threads;
+  return SelectSeedsImm(graph, options).seeds;
+}
+
+std::vector<NodeId> SelectRandomSeeds(const DirectedGraph& graph,
+                                      size_t count, uint64_t seed) {
+  const size_t n = graph.num_nodes();
+  KB_CHECK(count <= n);
+  Rng rng(seed);
+  std::vector<NodeId> pool(n);
+  for (NodeId v = 0; v < n; ++v) pool[v] = v;
+  std::vector<NodeId> seeds;
+  seeds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = i + rng.NextBounded(n - i);
+    std::swap(pool[i], pool[j]);
+    seeds.push_back(pool[i]);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  return seeds;
+}
+
+}  // namespace kboost

@@ -1,0 +1,22 @@
+#ifndef KBOOST_EXPT_SEED_SELECTION_H_
+#define KBOOST_EXPT_SEED_SELECTION_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace kboost {
+
+/// The paper's two seed setups (Sec. VII): influential seeds chosen by IMM
+/// (carefully targeted initial adopters) and uniform random seeds
+/// (spontaneous adopters).
+std::vector<NodeId> SelectInfluentialSeeds(const DirectedGraph& graph,
+                                           size_t count, uint64_t seed,
+                                           int num_threads);
+
+std::vector<NodeId> SelectRandomSeeds(const DirectedGraph& graph,
+                                      size_t count, uint64_t seed);
+
+}  // namespace kboost
+
+#endif  // KBOOST_EXPT_SEED_SELECTION_H_

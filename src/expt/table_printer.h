@@ -1,0 +1,33 @@
+#ifndef KBOOST_EXPT_TABLE_PRINTER_H_
+#define KBOOST_EXPT_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kboost {
+
+/// Minimal fixed-width table printer for the benchmark harnesses, so every
+/// bench binary prints its figure/table in the same aligned format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string FormatDouble(double value, int precision = 2);
+/// Seconds with adaptive precision.
+std::string FormatSeconds(double seconds);
+/// Bytes as a human-readable quantity ("1.25 GB").
+std::string FormatBytes(size_t bytes);
+
+}  // namespace kboost
+
+#endif  // KBOOST_EXPT_TABLE_PRINTER_H_

@@ -1,0 +1,74 @@
+#include "src/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/graph/graph_builder.h"
+
+namespace kboost {
+
+Status SaveEdgeList(const DirectedGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << graph.num_nodes() << " " << graph.num_edges() << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const DirectedGraph::OutEdge& e : graph.OutEdges(u)) {
+      out << u << " " << e.to << " " << e.p << " " << e.p_boost << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<DirectedGraph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  std::string line;
+  // Header.
+  size_t n = 0, m = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream header(line);
+    if (!(header >> n >> m)) {
+      return Status::InvalidArgument("bad header line: " + line);
+    }
+    break;
+  }
+  if (n == 0) return Status::InvalidArgument("empty or headerless file");
+  if (n > static_cast<size_t>(kInvalidNode)) {
+    return Status::OutOfRange("too many nodes for 32-bit ids");
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(n));
+  size_t read = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t from, to;
+    double p = 0.0, pb = -1.0;
+    if (!(ls >> from >> to)) {
+      return Status::InvalidArgument("bad edge line: " + line);
+    }
+    ls >> p >> pb;
+    if (pb < 0.0) pb = p;
+    if (from >= n || to >= n) {
+      return Status::OutOfRange("edge endpoint out of range: " + line);
+    }
+    if (p < 0.0 || p > 1.0 || pb < p || pb > 1.0) {
+      return Status::InvalidArgument("bad probabilities: " + line);
+    }
+    builder.AddEdge(static_cast<NodeId>(from), static_cast<NodeId>(to), p, pb);
+    ++read;
+  }
+  if (m != 0 && read != m) {
+    return Status::InvalidArgument("header declares " + std::to_string(m) +
+                                   " edges but file has " +
+                                   std::to_string(read));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace kboost

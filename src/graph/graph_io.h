@@ -1,0 +1,23 @@
+#ifndef KBOOST_GRAPH_GRAPH_IO_H_
+#define KBOOST_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/util/status.h"
+
+namespace kboost {
+
+/// Writes `graph` as a text edge list:
+///   first line:  "<num_nodes> <num_edges>"
+///   then one line per edge: "<from> <to> <p> <p_boost>"
+/// Lines starting with '#' are comments on load.
+Status SaveEdgeList(const DirectedGraph& graph, const std::string& path);
+
+/// Loads a graph saved by SaveEdgeList (or any whitespace-separated edge
+/// list with 2–4 columns; missing p defaults to 0, missing p_boost to p).
+StatusOr<DirectedGraph> LoadEdgeList(const std::string& path);
+
+}  // namespace kboost
+
+#endif  // KBOOST_GRAPH_GRAPH_IO_H_

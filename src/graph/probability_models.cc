@@ -1,0 +1,26 @@
+#include "src/graph/probability_models.h"
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+void ApplyProbabilityModel(GraphBuilder& builder, ProbabilityModel model,
+                           const ProbabilityModelParams& params, Rng& rng) {
+  switch (model) {
+    case ProbabilityModel::kConstant:
+      builder.AssignConstantProbability(params.constant_p);
+      break;
+    case ProbabilityModel::kTrivalency:
+      builder.AssignTrivalencyProbabilities(rng);
+      break;
+    case ProbabilityModel::kWeightedCascade:
+      builder.AssignWeightedCascadeProbabilities();
+      break;
+    case ProbabilityModel::kExponential:
+      builder.AssignExponentialProbabilities(params.mean_p, rng);
+      break;
+  }
+  builder.SetBoostWithBeta(params.beta);
+}
+
+}  // namespace kboost

@@ -1,0 +1,32 @@
+#ifndef KBOOST_GRAPH_PROBABILITY_MODELS_H_
+#define KBOOST_GRAPH_PROBABILITY_MODELS_H_
+
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+
+/// Edge-probability models used in the influence-maximization literature and
+/// in the paper's experiments. See GraphBuilder for the per-model semantics.
+enum class ProbabilityModel {
+  kConstant,         ///< p = params.constant_p everywhere
+  kTrivalency,       ///< p uniform over {0.1, 0.01, 0.001}
+  kWeightedCascade,  ///< p_uv = 1 / in_degree(v)
+  kExponential,      ///< p ~ Exp(params.mean_p) capped to (0, 1]
+};
+
+/// Parameters for ApplyProbabilityModel.
+struct ProbabilityModelParams {
+  double constant_p = 0.1;  ///< used by kConstant
+  double mean_p = 0.1;      ///< used by kExponential
+  double beta = 2.0;        ///< boosting parameter: p' = 1 - (1-p)^beta
+};
+
+/// Assigns base probabilities per `model` and then boosted probabilities via
+/// the beta rule. Dispatches to the GraphBuilder setters.
+void ApplyProbabilityModel(GraphBuilder& builder, ProbabilityModel model,
+                           const ProbabilityModelParams& params, Rng& rng);
+
+}  // namespace kboost
+
+#endif  // KBOOST_GRAPH_PROBABILITY_MODELS_H_

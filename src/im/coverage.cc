@@ -1,0 +1,80 @@
+#include "src/im/coverage.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+CoverageSelector::CoverageSelector(size_t num_nodes)
+    : node_to_sets_(num_nodes) {}
+
+void CoverageSelector::AddSet(std::span<const NodeId> nodes) {
+  const uint32_t set_id = static_cast<uint32_t>(set_offsets_.size() - 1);
+  for (NodeId v : nodes) {
+    KB_DCHECK(v < node_to_sets_.size());
+    set_nodes_.push_back(v);
+    node_to_sets_[v].push_back(set_id);
+  }
+  set_offsets_.push_back(set_nodes_.size());
+  ++num_sets_;
+}
+
+CoverageSelector::Result CoverageSelector::SelectGreedy(
+    size_t k, const std::vector<uint8_t>* excluded) const {
+  Result result;
+  if (k == 0 || num_sets_ == 0) return result;
+
+  const size_t n = node_to_sets_.size();
+  std::vector<uint8_t> covered(num_nonempty_sets(), 0);
+
+  // CELF lazy greedy: stale gains are re-evaluated only when popped.
+  struct Entry {
+    size_t gain;
+    NodeId node;
+    uint32_t round;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) { return a.gain < b.gain; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (NodeId v = 0; v < n; ++v) {
+    if (excluded != nullptr && (*excluded)[v]) continue;
+    if (!node_to_sets_[v].empty()) {
+      heap.push(Entry{node_to_sets_[v].size(), v, 0});
+    }
+  }
+
+  uint32_t round = 0;
+  std::vector<uint8_t> picked(n, 0);
+  while (result.selected.size() < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (picked[top.node]) continue;
+    if (top.round != round) {
+      // Re-evaluate against current coverage.
+      size_t gain = 0;
+      for (uint32_t set_id : node_to_sets_[top.node]) {
+        if (!covered[set_id]) ++gain;
+      }
+      if (gain == 0) continue;
+      heap.push(Entry{gain, top.node, round});
+      continue;
+    }
+    // Fresh maximum: commit.
+    picked[top.node] = 1;
+    result.selected.push_back(top.node);
+    for (uint32_t set_id : node_to_sets_[top.node]) {
+      if (!covered[set_id]) {
+        covered[set_id] = 1;
+        ++result.covered_sets;
+      }
+    }
+    ++round;
+  }
+
+  result.coverage_fraction =
+      static_cast<double>(result.covered_sets) / static_cast<double>(num_sets_);
+  return result;
+}
+
+}  // namespace kboost

@@ -1,0 +1,67 @@
+#ifndef KBOOST_IM_COVERAGE_H_
+#define KBOOST_IM_COVERAGE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace kboost {
+
+/// Greedy maximum-coverage engine shared by IMM (over RR-sets), PRR-Boost-LB
+/// (over critical-node sets), and MoreSeeds (over marginal RR-sets).
+///
+/// Each sample is a set of node ids that "cover" it; selecting node v covers
+/// every sample containing v. Samples may be empty — they still count in the
+/// denominator of coverage fractions, which is how non-boostable PRR-graphs
+/// and RR-sets already reached by existing seeds enter the estimates.
+class CoverageSelector {
+ public:
+  explicit CoverageSelector(size_t num_nodes);
+
+  /// Appends one sample set. Node ids must be < num_nodes and distinct.
+  void AddSet(std::span<const NodeId> nodes);
+  /// Appends an empty sample (counts toward totals only).
+  void AddEmptySet() { ++num_sets_; }
+
+  size_t num_sets() const { return num_sets_; }
+  size_t num_nonempty_sets() const { return set_offsets_.size() - 1; }
+  size_t num_nodes() const { return node_to_sets_.size(); }
+
+  struct Result {
+    std::vector<NodeId> selected;
+    size_t covered_sets = 0;
+    /// covered_sets / num_sets (0 when no samples).
+    double coverage_fraction = 0.0;
+  };
+
+  /// Greedily selects up to k nodes maximizing the number of covered samples
+  /// (CELF-style lazy evaluation). `excluded`, if non-null, is an n-sized
+  /// bitmap of forbidden candidates (e.g. the seed set). Stops early when no
+  /// remaining candidate covers anything new. Const: can be re-run with
+  /// different k on the same samples.
+  Result SelectGreedy(size_t k, const std::vector<uint8_t>* excluded = nullptr)
+      const;
+
+  /// Number of samples that contain node v (i.e. singleton coverage).
+  size_t SetCount(NodeId v) const { return node_to_sets_[v].size(); }
+
+  /// Ids (into the non-empty sample numbering) of samples containing v.
+  std::span<const uint32_t> SetsContaining(NodeId v) const {
+    return node_to_sets_[v];
+  }
+
+ private:
+  size_t num_sets_ = 0;
+  // Flattened sample storage: nodes of sample i are
+  // set_nodes_[set_offsets_[i] .. set_offsets_[i+1]).
+  std::vector<size_t> set_offsets_{0};
+  std::vector<NodeId> set_nodes_;
+  // Inverted index: sample ids (into set_offsets_) containing each node.
+  std::vector<std::vector<uint32_t>> node_to_sets_;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_IM_COVERAGE_H_

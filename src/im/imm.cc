@@ -1,0 +1,100 @@
+#include "src/im/imm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "src/im/coverage.h"
+#include "src/im/rr_set.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+
+ImmScheduleResult RunImmSchedule(const ImmBounds& bounds,
+                                 const ImmScheduleCallbacks& callbacks) {
+  KB_CHECK(bounds.epsilon > 0.0 && bounds.epsilon < 1.0);
+  KB_CHECK(bounds.ell > 0.0);
+  KB_CHECK(bounds.n >= 2);
+
+  ImmScheduleResult result;
+  const double n = static_cast<double>(bounds.n);
+  const double eps_prime = bounds.EpsilonPrime();
+  const double lambda_prime = bounds.LambdaPrime();
+
+  double lb = 1.0;
+  const int levels = bounds.NumSearchLevels();
+  for (int i = 1; i <= levels; ++i) {
+    ++result.levels_used;
+    const double x = n / std::pow(2.0, i);
+    const size_t theta_i = static_cast<size_t>(std::ceil(lambda_prime / x));
+    result.num_samples = callbacks.ensure_samples(theta_i);
+    const double frac = callbacks.select_coverage();
+    if (n * frac >= (1.0 + eps_prime) * x) {
+      lb = n * frac / (1.0 + eps_prime);
+      break;
+    }
+  }
+  result.opt_lower_bound = lb;
+
+  const size_t theta =
+      static_cast<size_t>(std::ceil(bounds.LambdaStar() / lb));
+  result.num_samples = callbacks.ensure_samples(theta);
+  return result;
+}
+
+ImmResult SelectSeedsImm(const DirectedGraph& graph,
+                         const ImmOptions& options) {
+  const size_t n = graph.num_nodes();
+  KB_CHECK(n >= 2);
+  KB_CHECK(options.k >= 1 && options.k <= n);
+
+  CoverageSelector selector(n);
+  std::atomic<size_t> edges_examined{0};
+  const int threads = std::max(1, options.num_threads);
+
+  // Samples are seeded by global index so results are thread-count
+  // independent.
+  auto ensure_samples = [&](size_t target) -> size_t {
+    const size_t have = selector.num_sets();
+    if (target <= have) return have;
+    const size_t need = target - have;
+
+    std::vector<std::vector<NodeId>> batch(need);
+    std::vector<RrScratch> scratch(threads);
+    std::atomic<size_t> work{0};
+    ParallelFor(need, threads, [&](size_t j, int t) {
+      uint64_t s = options.seed;
+      s ^= (have + j + 1) * 0x9E3779B97F4A7C15ULL;
+      Rng rng(s);
+      work += GenerateRandomRrSet(graph, rng, scratch[t], batch[j]);
+    });
+    edges_examined += work.load();
+    for (const std::vector<NodeId>& rr : batch) selector.AddSet(rr);
+    return selector.num_sets();
+  };
+
+  auto select_coverage = [&]() -> double {
+    return selector.SelectGreedy(options.k).coverage_fraction;
+  };
+
+  // IMM's union bound over the ⌈log2 n⌉ phases: ℓ ← ℓ·(1 + log2/log n).
+  ImmBounds bounds;
+  bounds.epsilon = options.epsilon;
+  bounds.ell = options.ell * (1.0 + std::log(2.0) / std::log(static_cast<double>(n)));
+  bounds.n = n;
+  bounds.k = options.k;
+
+  ImmScheduleResult schedule = RunImmSchedule(
+      bounds, ImmScheduleCallbacks{ensure_samples, select_coverage});
+
+  CoverageSelector::Result sel = selector.SelectGreedy(options.k);
+  ImmResult result;
+  result.seeds = std::move(sel.selected);
+  result.estimated_spread = static_cast<double>(n) * sel.coverage_fraction;
+  result.num_rr_sets = schedule.num_samples;
+  result.edges_examined = edges_examined.load();
+  return result;
+}
+
+}  // namespace kboost

@@ -1,0 +1,52 @@
+#include "src/im/rr_set.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+void RrScratch::Prepare(size_t num_nodes) {
+  if (visit_mark.size() < num_nodes) {
+    visit_mark.assign(num_nodes, 0);
+    stamp = 0;
+  }
+  ++stamp;
+  if (stamp == 0) {
+    std::fill(visit_mark.begin(), visit_mark.end(), 0);
+    stamp = 1;
+  }
+}
+
+size_t GenerateRrSet(const DirectedGraph& graph, NodeId root, Rng& rng,
+                     RrScratch& scratch, std::vector<NodeId>& out) {
+  KB_DCHECK(root < graph.num_nodes());
+  scratch.Prepare(graph.num_nodes());
+  auto& mark = scratch.visit_mark;
+  const uint32_t stamp = scratch.stamp;
+
+  size_t first = out.size();
+  out.push_back(root);
+  mark[root] = stamp;
+  size_t edges_examined = 0;
+  for (size_t head = first; head < out.size(); ++head) {
+    NodeId v = out[head];
+    for (const DirectedGraph::InEdge& e : graph.InEdges(v)) {
+      ++edges_examined;
+      if (mark[e.from] == stamp) continue;
+      if (rng.NextBernoulli(e.p)) {
+        mark[e.from] = stamp;
+        out.push_back(e.from);
+      }
+    }
+  }
+  return edges_examined;
+}
+
+size_t GenerateRandomRrSet(const DirectedGraph& graph, Rng& rng,
+                           RrScratch& scratch, std::vector<NodeId>& out) {
+  NodeId root = static_cast<NodeId>(rng.NextBounded(graph.num_nodes()));
+  return GenerateRrSet(graph, root, rng, scratch, out);
+}
+
+}  // namespace kboost

@@ -1,0 +1,34 @@
+#ifndef KBOOST_IM_RR_SET_H_
+#define KBOOST_IM_RR_SET_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+
+/// Reusable scratch for reverse-reachable-set generation (visited stamps).
+class RrScratch {
+ public:
+  void Prepare(size_t num_nodes);
+
+  std::vector<uint32_t> visit_mark;
+  uint32_t stamp = 0;
+};
+
+/// Generates one Reverse-Reachable set for `root` under the IC model:
+/// a backward BFS from root where each incoming edge (u -> v) is live
+/// independently with probability p_uv. Appends the reached nodes
+/// (including root) to `out`. Returns the number of edges examined (the
+/// EPT contribution used in IMM's cost analysis).
+size_t GenerateRrSet(const DirectedGraph& graph, NodeId root, Rng& rng,
+                     RrScratch& scratch, std::vector<NodeId>& out);
+
+/// Same with a uniformly random root.
+size_t GenerateRandomRrSet(const DirectedGraph& graph, Rng& rng,
+                           RrScratch& scratch, std::vector<NodeId>& out);
+
+}  // namespace kboost
+
+#endif  // KBOOST_IM_RR_SET_H_

@@ -1,0 +1,156 @@
+#include "src/sim/boost_model.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+#include "src/util/thread_pool.h"
+
+namespace kboost {
+
+std::vector<uint8_t> MakeNodeBitmap(size_t num_nodes,
+                                    const std::vector<NodeId>& nodes) {
+  std::vector<uint8_t> bitmap(num_nodes, 0);
+  for (NodeId v : nodes) {
+    KB_CHECK(v < num_nodes) << "node " << v << " out of range";
+    bitmap[v] = 1;
+  }
+  return bitmap;
+}
+
+SpreadEstimate EstimateBoostedSpread(const DirectedGraph& graph,
+                                     const std::vector<NodeId>& seeds,
+                                     const std::vector<NodeId>& boost_set,
+                                     const SimulationOptions& options,
+                                     BoostSemantics semantics) {
+  const size_t sims = options.num_simulations;
+  KB_CHECK(sims >= 1);
+  const int threads = std::max(1, options.num_threads);
+  const std::vector<uint8_t> boosted =
+      MakeNodeBitmap(graph.num_nodes(), boost_set);
+
+  std::vector<RunningStat> per_thread(threads);
+  std::vector<SimScratch> scratch(threads);
+  ParallelFor(sims, threads, [&](size_t i, int t) {
+    uint64_t world = options.seed * 0x100000001B3ULL + i;
+    size_t count = SimulateDiffusionOnce(graph, seeds, world, boosted.data(),
+                                         scratch[t], semantics);
+    per_thread[t].Add(static_cast<double>(count));
+  });
+
+  RunningStat total;
+  for (const RunningStat& s : per_thread) total.Merge(s);
+  return SpreadEstimate{total.mean(), total.stddev(), total.stderr_mean(),
+                        total.count()};
+}
+
+BoostEstimate EstimateBoost(const DirectedGraph& graph,
+                            const std::vector<NodeId>& seeds,
+                            const std::vector<NodeId>& boost_set,
+                            const SimulationOptions& options,
+                            BoostSemantics semantics) {
+  const size_t sims = options.num_simulations;
+  KB_CHECK(sims >= 1);
+  const int threads = std::max(1, options.num_threads);
+  const std::vector<uint8_t> boosted =
+      MakeNodeBitmap(graph.num_nodes(), boost_set);
+
+  struct ThreadAccum {
+    RunningStat diff;
+    RunningStat with_boost;
+    RunningStat without_boost;
+    SimScratch scratch;
+  };
+  std::vector<ThreadAccum> acc(threads);
+
+  ParallelFor(sims, threads, [&](size_t i, int t) {
+    uint64_t world = options.seed * 0x100000001B3ULL + i;
+    // Same world evaluated twice: base edges are a subset of boosted edges,
+    // so the difference is a nonnegative, low-variance sample of the boost.
+    size_t base = SimulateDiffusionOnce(graph, seeds, world, nullptr,
+                                        acc[t].scratch, semantics);
+    size_t with = SimulateDiffusionOnce(graph, seeds, world, boosted.data(),
+                                        acc[t].scratch, semantics);
+    acc[t].diff.Add(static_cast<double>(with) - static_cast<double>(base));
+    acc[t].with_boost.Add(static_cast<double>(with));
+    acc[t].without_boost.Add(static_cast<double>(base));
+  });
+
+  RunningStat diff, with_boost, without_boost;
+  for (const ThreadAccum& a : acc) {
+    diff.Merge(a.diff);
+    with_boost.Merge(a.with_boost);
+    without_boost.Merge(a.without_boost);
+  }
+  BoostEstimate out;
+  out.boost = diff.mean();
+  out.boost_stderr = diff.stderr_mean();
+  out.boosted_spread = with_boost.mean();
+  out.base_spread = without_boost.mean();
+  out.num_simulations = diff.count();
+  return out;
+}
+
+double ExactBoostedSpread(const DirectedGraph& graph,
+                          const std::vector<NodeId>& seeds,
+                          const std::vector<NodeId>& boost_set,
+                          BoostSemantics semantics) {
+  const size_t m = graph.num_edges();
+  KB_CHECK(m <= 24) << "ExactBoostedSpread is exponential in m; m=" << m;
+  const size_t n = graph.num_nodes();
+  const std::vector<uint8_t> boosted = MakeNodeBitmap(n, boost_set);
+
+  double expected = 0.0;
+  std::vector<uint8_t> reached(n);
+  std::vector<NodeId> queue;
+  for (uint64_t world = 0; world < (1ULL << m); ++world) {
+    double prob = 1.0;
+    for (NodeId u = 0; u < n && prob > 0.0; ++u) {
+      size_t idx = graph.OutOffset(u);
+      const bool boost_head =
+          semantics == BoostSemantics::kBoostedAreEasierToInfluence;
+      for (const DirectedGraph::OutEdge& e : graph.OutEdges(u)) {
+        const bool live = (world >> idx) & 1;
+        const bool use_boost = boost_head ? boosted[e.to] != 0
+                                          : boosted[u] != 0;
+        const double p = use_boost ? e.p_boost : e.p;
+        prob *= live ? p : (1.0 - p);
+        ++idx;
+      }
+    }
+    if (prob == 0.0) continue;
+    std::fill(reached.begin(), reached.end(), 0);
+    queue.clear();
+    for (NodeId s : seeds) {
+      if (!reached[s]) {
+        reached[s] = 1;
+        queue.push_back(s);
+      }
+    }
+    size_t count = queue.size();
+    for (size_t head = 0; head < queue.size(); ++head) {
+      NodeId u = queue[head];
+      size_t idx = graph.OutOffset(u);
+      for (const DirectedGraph::OutEdge& e : graph.OutEdges(u)) {
+        const bool live = (world >> idx) & 1;
+        ++idx;
+        if (live && !reached[e.to]) {
+          reached[e.to] = 1;
+          queue.push_back(e.to);
+          ++count;
+        }
+      }
+    }
+    expected += prob * static_cast<double>(count);
+  }
+  return expected;
+}
+
+double ExactBoost(const DirectedGraph& graph, const std::vector<NodeId>& seeds,
+                  const std::vector<NodeId>& boost_set,
+                  BoostSemantics semantics) {
+  return ExactBoostedSpread(graph, seeds, boost_set, semantics) -
+         ExactBoostedSpread(graph, seeds, {}, semantics);
+}
+
+}  // namespace kboost

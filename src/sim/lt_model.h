@@ -1,0 +1,54 @@
+#ifndef KBOOST_SIM_LT_MODEL_H_
+#define KBOOST_SIM_LT_MODEL_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/sim/boost_model.h"
+#include "src/sim/ic_model.h"
+
+namespace kboost {
+
+/// Linear Threshold diffusion substrate — the paper's stated future
+/// direction ("investigate similar problems under other influence diffusion
+/// models, for example the well-known Linear Threshold model", Sec. IX).
+///
+/// Under LT, edge probabilities are interpreted as influence *weights*; a
+/// node activates once the total weight of its active in-neighbours exceeds
+/// a uniform random threshold. Boosted nodes scale the incoming weights to
+/// p_boost (capped so the weight sum stays ≤ 1), which mirrors the
+/// influence-boosting idea of Def. 1 in the LT world.
+///
+/// Requires Σ_u p_uv ≤ 1 for every v (checked; use
+/// GraphBuilder::AssignWeightedCascadeProbabilities or normalize first).
+
+/// Returns true if the in-weights of every node sum to ≤ 1 (+ slack).
+bool IsValidLtGraph(const DirectedGraph& graph);
+
+/// One LT diffusion in the world identified by `world_seed` (thresholds are
+/// hashed per node, so worlds are deterministic and coupled). `boosted` may
+/// be null. Returns the number of activated nodes.
+size_t SimulateLtOnce(const DirectedGraph& graph,
+                      const std::vector<NodeId>& seeds, uint64_t world_seed,
+                      const uint8_t* boosted, SimScratch& scratch);
+
+/// Monte-Carlo estimate of the LT spread of `seeds` (no boosting).
+SpreadEstimate EstimateLtSpread(const DirectedGraph& graph,
+                                const std::vector<NodeId>& seeds,
+                                const SimulationOptions& options = {});
+
+/// Monte-Carlo estimate of the LT boost Δ_S(B) with coupled worlds.
+BoostEstimate EstimateLtBoost(const DirectedGraph& graph,
+                              const std::vector<NodeId>& seeds,
+                              const std::vector<NodeId>& boost_set,
+                              const SimulationOptions& options = {});
+
+/// Exact LT spread by exhausting the live-edge interpretation: each node
+/// independently picks in-edge e with probability w_e (or none). Requires
+/// Π_v (InDegree(v)+1) manageable; intended for tests (n ≤ ~8).
+double ExactLtSpread(const DirectedGraph& graph,
+                     const std::vector<NodeId>& seeds);
+
+}  // namespace kboost
+
+#endif  // KBOOST_SIM_LT_MODEL_H_

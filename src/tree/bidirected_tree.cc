@@ -1,0 +1,90 @@
+#include "src/tree/bidirected_tree.h"
+
+#include <algorithm>
+
+#include "src/graph/graph_builder.h"
+#include "src/util/logging.h"
+
+namespace kboost {
+
+DirectedGraph BidirectedTree::ToDirectedGraph() const {
+  GraphBuilder builder(static_cast<NodeId>(num_nodes()));
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const HalfEdge& e : adjacency_[u]) {
+      // Emit each directed edge once (from the smaller endpoint's entry we
+      // would emit both directions twice, so emit only u -> neighbor here).
+      builder.AddEdge(u, e.neighbor, e.p_out, e.pb_out);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+TreeBuilder::TreeBuilder(NodeId num_nodes)
+    : num_nodes_(num_nodes), is_seed_(num_nodes, 0) {
+  KB_CHECK(num_nodes >= 1);
+}
+
+TreeBuilder& TreeBuilder::AddEdge(NodeId u, NodeId v, double p_uv,
+                                  double pb_uv, double p_vu, double pb_vu) {
+  KB_CHECK(u < num_nodes_ && v < num_nodes_ && u != v)
+      << "edge {" << u << "," << v << "}";
+  KB_CHECK(p_uv >= 0 && p_uv <= pb_uv && pb_uv <= 1.0);
+  KB_CHECK(p_vu >= 0 && p_vu <= pb_vu && pb_vu <= 1.0);
+  edges_.push_back(PendingEdge{u, v, static_cast<float>(p_uv),
+                               static_cast<float>(pb_uv),
+                               static_cast<float>(p_vu),
+                               static_cast<float>(pb_vu)});
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::SetSeed(NodeId v) {
+  KB_CHECK(v < num_nodes_);
+  is_seed_[v] = 1;
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::SetSeeds(const std::vector<NodeId>& seeds) {
+  for (NodeId s : seeds) SetSeed(s);
+  return *this;
+}
+
+BidirectedTree TreeBuilder::Build() && {
+  KB_CHECK(edges_.size() + 1 == num_nodes_)
+      << "a tree on " << num_nodes_ << " nodes needs " << num_nodes_ - 1
+      << " edges, got " << edges_.size();
+
+  BidirectedTree tree;
+  tree.adjacency_.resize(num_nodes_);
+  for (const PendingEdge& e : edges_) {
+    tree.adjacency_[e.u].push_back(
+        BidirectedTree::HalfEdge{e.v, e.p_uv, e.pb_uv, e.p_vu, e.pb_vu});
+    tree.adjacency_[e.v].push_back(
+        BidirectedTree::HalfEdge{e.u, e.p_vu, e.pb_vu, e.p_uv, e.pb_uv});
+  }
+
+  // Connectivity check (n-1 edges + connected ⇒ tree).
+  std::vector<uint8_t> seen(num_nodes_, 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    for (const BidirectedTree::HalfEdge& e : tree.adjacency_[u]) {
+      if (!seen[e.neighbor]) {
+        seen[e.neighbor] = 1;
+        ++visited;
+        stack.push_back(e.neighbor);
+      }
+    }
+  }
+  KB_CHECK(visited == num_nodes_) << "edge set is not connected";
+
+  tree.is_seed_ = std::move(is_seed_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (tree.is_seed_[v]) tree.seeds_.push_back(v);
+  }
+  return tree;
+}
+
+}  // namespace kboost

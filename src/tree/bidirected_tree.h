@@ -1,0 +1,86 @@
+#ifndef KBOOST_TREE_BIDIRECTED_TREE_H_
+#define KBOOST_TREE_BIDIRECTED_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace kboost {
+
+/// An immutable bidirected tree (Sec. VI): an undirected tree where every
+/// adjacent pair is connected by two directed edges, each with its own
+/// (p, p') probabilities, plus a fixed seed set. Node ids are [0, n).
+class BidirectedTree {
+ public:
+  /// One adjacency entry of node u: the neighbour v with the probabilities
+  /// of both directed edges between them.
+  struct HalfEdge {
+    NodeId neighbor;
+    float p_out;   ///< p(u -> neighbor)
+    float pb_out;  ///< p'(u -> neighbor)
+    float p_in;    ///< p(neighbor -> u)
+    float pb_in;   ///< p'(neighbor -> u)
+  };
+
+  BidirectedTree() = default;
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  std::span<const HalfEdge> Neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+  size_t Degree(NodeId u) const { return adjacency_[u].size(); }
+
+  bool IsSeed(NodeId v) const { return is_seed_[v] != 0; }
+  const std::vector<NodeId>& seeds() const { return seeds_; }
+  const std::vector<uint8_t>& seed_bitmap() const { return is_seed_; }
+
+  /// Converts to a general DirectedGraph (2(n-1) directed edges) so the
+  /// Monte-Carlo simulators can cross-check the exact tree computations.
+  DirectedGraph ToDirectedGraph() const;
+
+ private:
+  friend class TreeBuilder;
+
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::vector<uint8_t> is_seed_;
+  std::vector<NodeId> seeds_;
+};
+
+/// Accumulates undirected edges + seeds, validates tree-ness, and freezes
+/// into a BidirectedTree.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(NodeId num_nodes);
+
+  /// Adds the undirected edge {u, v} with per-direction probabilities.
+  /// Requires 0 <= p <= p' <= 1 for both directions.
+  TreeBuilder& AddEdge(NodeId u, NodeId v, double p_uv, double pb_uv,
+                       double p_vu, double pb_vu);
+  /// Symmetric probabilities on both directions.
+  TreeBuilder& AddEdge(NodeId u, NodeId v, double p, double pb) {
+    return AddEdge(u, v, p, pb, p, pb);
+  }
+
+  TreeBuilder& SetSeed(NodeId v);
+  TreeBuilder& SetSeeds(const std::vector<NodeId>& seeds);
+
+  /// Validates (n-1 edges, connected, no duplicates) and builds.
+  /// Aborts on structural violations — trees are constructed by code, not
+  /// parsed from untrusted input.
+  BidirectedTree Build() &&;
+
+ private:
+  NodeId num_nodes_;
+  struct PendingEdge {
+    NodeId u, v;
+    float p_uv, pb_uv, p_vu, pb_vu;
+  };
+  std::vector<PendingEdge> edges_;
+  std::vector<uint8_t> is_seed_;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_TREE_BIDIRECTED_TREE_H_

@@ -1,0 +1,850 @@
+#include "src/tree/dp_boost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/tree/path_products.h"
+#include "src/tree/tree_evaluator.h"
+#include "src/util/logging.h"
+
+namespace kboost {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// A δ-grid over [0, 1] whose top index represents exactly 1 (the paper
+/// treats 1 as a rounded value — seeds have c ≡ 1, seed children f ≡ 1).
+struct Grid {
+  double delta = 1.0;
+  int ione = 1;  // index whose value is exactly 1.0
+
+  explicit Grid(double d) : delta(d) {
+    KB_CHECK(d > 0.0);
+    ione = static_cast<int>(std::ceil(1.0 / d - 1e-9));
+    if (ione < 1) ione = 1;
+  }
+
+  double Value(int i) const { return i >= ione ? 1.0 : i * delta; }
+  /// ⌊x⌋ onto the grid (x in [0,1]; 1 maps to the exact-one index).
+  int RoundDown(double x) const {
+    if (x >= 1.0 - 1e-12) return ione;
+    int i = static_cast<int>(std::floor(x / delta + 1e-9));
+    return std::min(std::max(i, 0), ione);
+  }
+};
+
+/// g'(v, κ, c, f) over the node's reachable index ranges. Values are "at
+/// most κ" (monotone in κ); lookups clamp κ to the stored cap and return
+/// -inf outside the (c, f) ranges.
+struct NodeTable {
+  int kcap = 0;
+  int c_lo = 0, c_cnt = 1;
+  int f_lo = 0, f_cnt = 1;
+  bool f_any = false;  // seed tables ignore f
+  std::vector<double> val;
+  std::vector<uint8_t> choice_b;  // winning boost flag per cell
+  std::vector<int> choice_c;      // winning child-c index (d == 1 only)
+
+  void Allocate(bool with_choice_c) {
+    const size_t cells =
+        static_cast<size_t>(kcap + 1) * c_cnt * f_cnt;
+    val.assign(cells, kNegInf);
+    choice_b.assign(cells, 0);
+    if (with_choice_c) choice_c.assign(cells, -1);
+  }
+
+  size_t CellIndex(int kappa, int ci, int fi) const {
+    return (static_cast<size_t>(kappa) * c_cnt + (ci - c_lo)) * f_cnt +
+           (fi - f_lo);
+  }
+
+  bool InRange(int ci, int fi) const {
+    if (ci < c_lo || ci >= c_lo + c_cnt) return false;
+    if (f_any) return true;
+    return fi >= f_lo && fi < f_lo + f_cnt;
+  }
+
+  double Get(int kappa, int ci, int fi) const {
+    if (kappa < 0) return kNegInf;
+    if (!InRange(ci, fi)) return kNegInf;
+    if (f_any) fi = f_lo;
+    kappa = std::min(kappa, kcap);
+    return val[CellIndex(kappa, ci, fi)];
+  }
+
+  void Update(int kappa, int ci, int fi, double value, uint8_t b,
+              int c_child = -1) {
+    if (value == kNegInf) return;
+    KB_DCHECK(kappa >= 0 && kappa <= kcap);
+    KB_DCHECK(InRange(ci, fi));
+    const size_t cell = CellIndex(kappa, ci, f_any ? f_lo : fi);
+    if (value > val[cell]) {
+      val[cell] = value;
+      choice_b[cell] = b;
+      if (!choice_c.empty()) choice_c[cell] = c_child;
+    }
+  }
+
+  /// Makes values monotone nondecreasing in κ, copying choices along.
+  void MonotonizeKappa() {
+    for (int kappa = 1; kappa <= kcap; ++kappa) {
+      for (int ci = c_lo; ci < c_lo + c_cnt; ++ci) {
+        for (int fi = f_lo; fi < f_lo + f_cnt; ++fi) {
+          const size_t cur = CellIndex(kappa, ci, fi);
+          const size_t prev = CellIndex(kappa - 1, ci, fi);
+          if (val[prev] > val[cur]) {
+            val[cur] = val[prev];
+            choice_b[cur] = choice_b[prev];
+            if (!choice_c.empty()) choice_c[cur] = choice_c[prev];
+          }
+        }
+      }
+    }
+  }
+};
+
+/// Helper table h(b, i, κ, x_i, z_i) for one (node, b) pair and one child
+/// position i. Also records per-cell choices for reconstruction.
+struct HelperStage {
+  int kcap = 0;
+  int x_lo = 0, x_cnt = 1;
+  int z_lo = 0, z_cnt = 1;
+  std::vector<double> val;
+  // Choice per cell: child's (κ_vi, c index) and previous stage's (x, z).
+  struct Choice {
+    int kappa_child = -1;
+    int c_child = -1;
+    int x_prev = -1;
+    int z_prev = -1;
+  };
+  std::vector<Choice> choice;
+
+  void Allocate() {
+    const size_t cells = static_cast<size_t>(kcap + 1) * x_cnt * z_cnt;
+    val.assign(cells, kNegInf);
+    choice.assign(cells, Choice{});
+  }
+
+  size_t CellIndex(int kappa, int xi, int zi) const {
+    return (static_cast<size_t>(kappa) * x_cnt + (xi - x_lo)) * z_cnt +
+           (zi - z_lo);
+  }
+  bool InRange(int xi, int zi) const {
+    return xi >= x_lo && xi < x_lo + x_cnt && zi >= z_lo && zi < z_lo + z_cnt;
+  }
+  double Get(int kappa, int xi, int zi) const {
+    if (kappa < 0 || kappa > kcap || !InRange(xi, zi)) return kNegInf;
+    return val[CellIndex(kappa, xi, zi)];
+  }
+  void Update(int kappa, int xi, int zi, double value, const Choice& ch) {
+    if (value == kNegInf) return;
+    if (kappa < 0 || kappa > kcap) return;
+    KB_DCHECK(InRange(xi, zi));
+    const size_t cell = CellIndex(kappa, xi, zi);
+    if (value > val[cell]) {
+      val[cell] = value;
+      choice[cell] = ch;
+    }
+  }
+  void MonotonizeKappa() {
+    for (int kappa = 1; kappa <= kcap; ++kappa) {
+      for (int xi = x_lo; xi < x_lo + x_cnt; ++xi) {
+        for (int zi = z_lo; zi < z_lo + z_cnt; ++zi) {
+          const size_t cur = CellIndex(kappa, xi, zi);
+          const size_t prev = CellIndex(kappa - 1, xi, zi);
+          if (val[prev] > val[cur]) {
+            val[cur] = val[prev];
+            choice[cur] = choice[prev];
+          }
+        }
+      }
+    }
+  }
+};
+
+/// Seed-node helper h(i, κ) (Algorithm 5) with reconstruction choices.
+struct SeedStage {
+  int kcap = 0;
+  std::vector<double> val;
+  struct Choice {
+    int kappa_child = -1;
+    int c_child = -1;
+  };
+  std::vector<Choice> choice;
+  void Allocate() {
+    val.assign(kcap + 1, kNegInf);
+    choice.assign(kcap + 1, Choice{});
+  }
+};
+
+class DpBoostSolver {
+ public:
+  DpBoostSolver(const BidirectedTree& tree, const DpBoostOptions& options)
+      : tree_(tree), options_(options), base_(1.0) {}
+
+  DpBoostResult Solve();
+
+ private:
+  // ---- structure ----
+  void RootTree();
+  void ComputeRanges();
+
+  // ---- probabilities ----
+  /// p(child -> parent(child)) with boost flag b on the parent.
+  double UpP(NodeId child, bool b) const {
+    return b ? up_pb_[child] : up_p_[child];
+  }
+  /// p(parent(v) -> v) with boost flag b on v. Root: virtual parent, 0.
+  double DownP(NodeId v, bool b) const {
+    return b ? down_pb_[v] : down_p_[v];
+  }
+
+  /// The per-node boost term max(1−(1−c)(1−f·p^b_{u,v}) − ap_∅(v), 0).
+  double BoostTerm(NodeId v, double c_val, double f_val, bool b) const {
+    const double act = 1.0 - (1.0 - c_val) * (1.0 - f_val * DownP(v, b));
+    return std::max(act - ap0_[v], 0.0);
+  }
+
+  // ---- table filling ----
+  void FillNode(NodeId v);
+  void FillLeaf(NodeId v);
+  void FillSeed(NodeId v, SeedStage* stages_out);  // stages_out may be null
+  void FillChain(NodeId v);  // d == 1 non-seed
+  /// d >= 2 non-seed. When `record` is non-null the helper stages for both
+  /// b values are emitted there (reconstruction); otherwise they are
+  /// transient.
+  void FillWide(NodeId v, std::vector<HelperStage>* record_b0,
+                std::vector<HelperStage>* record_b1);
+
+  // ---- reconstruction ----
+  void Reconstruct(NodeId v, int kappa, int ci, int fi,
+                   std::vector<NodeId>* boost_set);
+
+  const BidirectedTree& tree_;
+  DpBoostOptions options_;
+  Grid base_;
+
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> order_;  // pre-order
+  std::vector<int> subtree_;
+  std::vector<double> up_p_, up_pb_;      // v -> parent(v)
+  std::vector<double> down_p_, down_pb_;  // parent(v) -> v
+  std::vector<double> ap0_;
+
+  std::vector<int> c_lo_, c_hi_, f_lo_, f_hi_;  // reachable index ranges
+  std::vector<NodeTable> tables_;
+  size_t total_cells_ = 0;
+
+  double greedy_lb_ = 0.0;
+};
+
+void DpBoostSolver::RootTree() {
+  const size_t n = tree_.num_nodes();
+  parent_.assign(n, kInvalidNode);
+  children_.assign(n, {});
+  order_.clear();
+  order_.reserve(n);
+  order_.push_back(options_.root);
+  for (size_t head = 0; head < order_.size(); ++head) {
+    const NodeId u = order_[head];
+    for (const BidirectedTree::HalfEdge& e : tree_.Neighbors(u)) {
+      if (e.neighbor == parent_[u]) continue;
+      parent_[e.neighbor] = u;
+      children_[u].push_back(e.neighbor);
+      order_.push_back(e.neighbor);
+    }
+  }
+  KB_CHECK(order_.size() == n);
+
+  subtree_.assign(n, 1);
+  for (size_t i = n; i-- > 0;) {
+    const NodeId u = order_[i];
+    for (NodeId c : children_[u]) subtree_[u] += subtree_[c];
+  }
+
+  up_p_.assign(n, 0.0);
+  up_pb_.assign(n, 0.0);
+  down_p_.assign(n, 0.0);
+  down_pb_.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_[v] == kInvalidNode) continue;  // root: virtual 0-prob parent
+    for (const BidirectedTree::HalfEdge& e : tree_.Neighbors(v)) {
+      if (e.neighbor != parent_[v]) continue;
+      up_p_[v] = e.p_out;    // v -> parent
+      up_pb_[v] = e.pb_out;
+      down_p_[v] = e.p_in;   // parent -> v
+      down_pb_[v] = e.pb_in;
+      break;
+    }
+  }
+}
+
+void DpBoostSolver::ComputeRanges() {
+  const size_t n = tree_.num_nodes();
+  c_lo_.assign(n, 0);
+  c_hi_.assign(n, 0);
+  f_lo_.assign(n, 0);
+  f_hi_.assign(n, 0);
+
+  // c ranges, leaves -> root, mirroring the x-chain of Definition 5.
+  for (size_t i = n; i-- > 0;) {
+    const NodeId v = order_[i];
+    if (tree_.IsSeed(v)) {
+      c_lo_[v] = c_hi_[v] = base_.ione;
+      continue;
+    }
+    if (children_[v].empty()) {
+      c_lo_[v] = c_hi_[v] = 0;
+      continue;
+    }
+    const int d = static_cast<int>(children_[v].size());
+    const Grid mid(d > 2 ? base_.delta / (d - 2) : base_.delta);
+    double lo = 0.0, hi = 0.0;
+    for (int i2 = 0; i2 < d; ++i2) {
+      const NodeId c = children_[v][i2];
+      lo = 1.0 - (1.0 - lo) * (1.0 - base_.Value(c_lo_[c]) * UpP(c, false));
+      hi = 1.0 - (1.0 - hi) * (1.0 - base_.Value(c_hi_[c]) * UpP(c, true));
+      if (i2 + 1 > 1 && i2 + 1 < d) {  // intermediate rounding δ_v(i)
+        lo = mid.Value(mid.RoundDown(lo));
+        hi = mid.Value(mid.RoundDown(hi));
+      }
+    }
+    c_lo_[v] = base_.RoundDown(lo);
+    c_hi_[v] = base_.RoundDown(hi);
+    // Safety margin against FP drift between bounds and transitions.
+    c_lo_[v] = std::max(0, c_lo_[v] - 1);
+    c_hi_[v] = std::min(base_.ione, c_hi_[v] + 1);
+  }
+
+  // f ranges, root -> leaves, mirroring the y-chain.
+  for (const NodeId v : order_) {
+    if (parent_[v] == kInvalidNode) {
+      f_lo_[v] = f_hi_[v] = 0;  // virtual parent influences with prob 0
+      continue;
+    }
+    const NodeId u = parent_[v];
+    if (tree_.IsSeed(u)) {
+      f_lo_[v] = f_hi_[v] = base_.ione;
+      continue;
+    }
+    const int d = static_cast<int>(children_[u].size());
+    const Grid mid(d > 2 ? base_.delta / (d - 2) : base_.delta);
+    // position of v among u's children
+    int pos = 0;
+    while (children_[u][pos] != v) ++pos;
+    // y-chain from the parent side down to position pos+1.
+    double ylo = base_.Value(f_lo_[u]) * DownP(u, false);
+    double yhi = base_.Value(f_hi_[u]) * DownP(u, true);
+    for (int j = d - 1; j > pos; --j) {
+      const NodeId w = children_[u][j];
+      ylo = 1.0 - (1.0 - ylo) * (1.0 - base_.Value(c_lo_[w]) * UpP(w, false));
+      yhi = 1.0 - (1.0 - yhi) * (1.0 - base_.Value(c_hi_[w]) * UpP(w, true));
+      if (j > 1 && j < d) {  // z_{j} intermediate rounding when stored
+        ylo = mid.Value(mid.RoundDown(ylo));
+        yhi = mid.Value(mid.RoundDown(yhi));
+      }
+    }
+    // x-chain over children before pos.
+    double xlo = 0.0, xhi = 0.0;
+    for (int j = 0; j < pos; ++j) {
+      const NodeId w = children_[u][j];
+      xlo = 1.0 - (1.0 - xlo) * (1.0 - base_.Value(c_lo_[w]) * UpP(w, false));
+      xhi = 1.0 - (1.0 - xhi) * (1.0 - base_.Value(c_hi_[w]) * UpP(w, true));
+      if (j + 1 > 1 && j + 1 < d) {
+        xlo = mid.Value(mid.RoundDown(xlo));
+        xhi = mid.Value(mid.RoundDown(xhi));
+      }
+    }
+    f_lo_[v] = base_.RoundDown(1.0 - (1.0 - xlo) * (1.0 - ylo));
+    f_hi_[v] = base_.RoundDown(1.0 - (1.0 - xhi) * (1.0 - yhi));
+    f_lo_[v] = std::max(0, f_lo_[v] - 1);
+    f_hi_[v] = std::min(base_.ione, f_hi_[v] + 1);
+  }
+}
+
+void DpBoostSolver::FillLeaf(NodeId v) {
+  NodeTable& t = tables_[v];
+  const bool seed = tree_.IsSeed(v);
+  for (int fi = t.f_lo; fi < t.f_lo + t.f_cnt; ++fi) {
+    const double f_val = base_.Value(fi);
+    const int ci = seed ? base_.ione : 0;
+    const double c_val = seed ? 1.0 : 0.0;
+    const double v0 = BoostTerm(v, c_val, f_val, false);
+    t.Update(0, ci, fi, v0, 0);
+    if (t.kcap >= 1) {
+      const double v1 = BoostTerm(v, c_val, f_val, true);
+      // Prefer not boosting when it buys nothing (keeps B̃ minimal).
+      if (v1 > v0) {
+        t.Update(1, ci, fi, v1, 1);
+      } else {
+        t.Update(1, ci, fi, v0, 0);
+      }
+    }
+  }
+  t.MonotonizeKappa();
+}
+
+void DpBoostSolver::FillSeed(NodeId v, SeedStage* stages_out) {
+  NodeTable& t = tables_[v];
+  const auto& kids = children_[v];
+  const int d = static_cast<int>(kids.size());
+
+  // h(i, κ): best total over the first i subtrees with ≤ κ boosts there.
+  std::vector<SeedStage> stages(d + 1);
+  stages[0].kcap = 0;
+  stages[0].Allocate();
+  stages[0].val[0] = 0.0;
+  int cap_prefix = 0;
+  for (int i = 1; i <= d; ++i) {
+    const NodeId c = kids[i - 1];
+    const NodeTable& ct = tables_[c];
+    cap_prefix = std::min<int>(options_.k, cap_prefix + ct.kcap);
+    stages[i].kcap = cap_prefix;
+    stages[i].Allocate();
+    for (int kappa = 0; kappa <= stages[i].kcap; ++kappa) {
+      for (int kc = 0; kc <= std::min(kappa, ct.kcap); ++kc) {
+        const double prev = (kappa - kc <= stages[i - 1].kcap)
+                                ? stages[i - 1].val[kappa - kc]
+                                : stages[i - 1].val[stages[i - 1].kcap];
+        if (prev == kNegInf) continue;
+        // Children of a seed see f = 1.
+        for (int ci = ct.c_lo; ci < ct.c_lo + ct.c_cnt; ++ci) {
+          const double g = ct.Get(kc, ci, base_.ione);
+          if (g == kNegInf) continue;
+          const double cand = prev + g;
+          if (cand > stages[i].val[kappa]) {
+            stages[i].val[kappa] = cand;
+            stages[i].choice[kappa] = SeedStage::Choice{kc, ci};
+          }
+        }
+      }
+    }
+  }
+  for (int kappa = 0; kappa <= t.kcap; ++kappa) {
+    const int kk = std::min(kappa, stages[d].kcap);
+    const double value = stages[d].val[kk];
+    if (value == kNegInf) continue;
+    for (int fi = t.f_lo; fi < t.f_lo + t.f_cnt; ++fi) {
+      t.Update(kappa, base_.ione, fi, value, 0);
+    }
+  }
+  t.MonotonizeKappa();
+  if (stages_out != nullptr) {
+    for (int i = 0; i <= d; ++i) stages_out[i] = std::move(stages[i]);
+  }
+}
+
+void DpBoostSolver::FillChain(NodeId v) {
+  NodeTable& t = tables_[v];
+  const NodeId child = children_[v][0];
+  const NodeTable& ct = tables_[child];
+
+  for (int b = 0; b <= 1; ++b) {
+    for (int fi = t.f_lo; fi < t.f_lo + t.f_cnt; ++fi) {
+      const double f_val = base_.Value(fi);
+      const int f_child = base_.RoundDown(f_val * DownP(v, b));
+      for (int ci_child = ct.c_lo; ci_child < ct.c_lo + ct.c_cnt;
+           ++ci_child) {
+        const double c_child_val = base_.Value(ci_child);
+        const int ci = base_.RoundDown(c_child_val * UpP(child, b));
+        if (!t.InRange(ci, fi)) continue;
+        const double c_val = base_.Value(ci);
+        const double boost = BoostTerm(v, c_val, f_val, b);
+        for (int kc = 0; kc <= std::min<int>(ct.kcap, t.kcap - b); ++kc) {
+          const double g = ct.Get(kc, ci_child, f_child);
+          if (g == kNegInf) continue;
+          t.Update(kc + b, ci, fi, g + boost, static_cast<uint8_t>(b),
+                   ci_child);
+        }
+      }
+    }
+  }
+  t.MonotonizeKappa();
+}
+
+void DpBoostSolver::FillWide(NodeId v, std::vector<HelperStage>* record_b0,
+                             std::vector<HelperStage>* record_b1) {
+  NodeTable& t = tables_[v];
+  const auto& kids = children_[v];
+  const int d = static_cast<int>(kids.size());
+  const Grid mid(d > 2 ? base_.delta / (d - 2) : base_.delta);
+
+  for (int b = 0; b <= 1; ++b) {
+    // ---- per-position grids and reachable ranges ----
+    // x_i lives on grid_i (mid for 1<i<d, base for i==d);
+    // z_i likewise (z_d is f on the base grid).
+    std::vector<HelperStage> stages(d + 1);  // stages[2..d]
+    std::vector<double> xlo(d + 1, 0.0), xhi(d + 1, 0.0);
+    std::vector<double> zlo(d + 1, 0.0), zhi(d + 1, 0.0);
+    auto grid_at = [&](int i) -> const Grid& {
+      return (i == d) ? base_ : mid;
+    };
+    // x chains (values).
+    {
+      double lo = 0.0, hi = 0.0;
+      for (int i = 1; i <= d; ++i) {
+        const NodeId c = kids[i - 1];
+        lo = 1.0 -
+             (1.0 - lo) * (1.0 - base_.Value(c_lo_[c]) * UpP(c, false));
+        hi = 1.0 - (1.0 - hi) * (1.0 - base_.Value(c_hi_[c]) * UpP(c, true));
+        if (i > 1) {
+          lo = grid_at(i).Value(grid_at(i).RoundDown(lo));
+          hi = grid_at(i).Value(grid_at(i).RoundDown(hi));
+        }
+        xlo[i] = lo;
+        xhi[i] = hi;
+      }
+    }
+    // z chains (values), from i=d down to 2.
+    {
+      zlo[d] = base_.Value(f_lo_[v]);
+      zhi[d] = base_.Value(f_hi_[v]);
+      double ylo = zlo[d] * DownP(v, false);
+      double yhi = zhi[d] * DownP(v, true);
+      for (int i = d; i >= 3; --i) {
+        const NodeId c = kids[i - 1];
+        ylo = 1.0 -
+              (1.0 - ylo) * (1.0 - base_.Value(c_lo_[c]) * UpP(c, false));
+        yhi = 1.0 -
+              (1.0 - yhi) * (1.0 - base_.Value(c_hi_[c]) * UpP(c, true));
+        ylo = grid_at(i - 1).Value(grid_at(i - 1).RoundDown(ylo));
+        yhi = grid_at(i - 1).Value(grid_at(i - 1).RoundDown(yhi));
+        zlo[i - 1] = ylo;
+        zhi[i - 1] = yhi;
+      }
+    }
+
+    // Stage capacities and layouts.
+    int cap_prefix = std::min<int>(
+        options_.k, b + tables_[kids[0]].kcap + tables_[kids[1]].kcap);
+    for (int i = 2; i <= d; ++i) {
+      if (i > 2) {
+        cap_prefix = std::min<int>(options_.k,
+                                   cap_prefix + tables_[kids[i - 1]].kcap);
+      }
+      HelperStage& st = stages[i];
+      st.kcap = std::min(cap_prefix, t.kcap);
+      const Grid& g = grid_at(i);
+      st.x_lo = std::max(0, g.RoundDown(xlo[i]) - 1);
+      st.x_cnt = std::min(g.ione, g.RoundDown(xhi[i]) + 1) - st.x_lo + 1;
+      st.z_lo = std::max(0, g.RoundDown(zlo[i]) - 1);
+      st.z_cnt = std::min(g.ione, g.RoundDown(zhi[i]) + 1) - st.z_lo + 1;
+      st.Allocate();
+      total_cells_ += st.val.size();
+    }
+
+    const NodeId v1 = kids[0];
+    const NodeId v2 = kids[1];
+    const NodeTable& t1 = tables_[v1];
+    const NodeTable& t2 = tables_[v2];
+
+    // ---- boundary: i = 2 (Algorithm 7 lines 4-10) ----
+    {
+      HelperStage& st = stages[2];
+      const Grid& g2 = grid_at(2);
+      for (int zi = st.z_lo; zi < st.z_lo + st.z_cnt; ++zi) {
+        const double z_val = g2.Value(zi);
+        const double y2 = (d == 2) ? z_val * DownP(v, b != 0) : z_val;
+        for (int c1 = t1.c_lo; c1 < t1.c_lo + t1.c_cnt; ++c1) {
+          const double c1v = base_.Value(c1) * UpP(v1, b != 0);
+          const int f2 = base_.RoundDown(1.0 - (1.0 - c1v) * (1.0 - y2));
+          for (int c2 = t2.c_lo; c2 < t2.c_lo + t2.c_cnt; ++c2) {
+            const double c2v = base_.Value(c2) * UpP(v2, b != 0);
+            const int f1 = base_.RoundDown(1.0 - (1.0 - c2v) * (1.0 - y2));
+            const int xi =
+                g2.RoundDown(1.0 - (1.0 - c1v) * (1.0 - c2v));
+            if (!st.InRange(xi, zi)) continue;
+            for (int k1 = 0; k1 <= t1.kcap; ++k1) {
+              const double g1v = t1.Get(k1, c1, f1);
+              if (g1v == kNegInf) continue;
+              const int k2max = std::min(t2.kcap, st.kcap - b - k1);
+              for (int k2 = 0; k2 <= k2max; ++k2) {
+                const double g2v = t2.Get(k2, c2, f2);
+                if (g2v == kNegInf) continue;
+                st.Update(k1 + k2 + b, xi, zi, g1v + g2v,
+                          HelperStage::Choice{k2, c2, k1, c1});
+              }
+            }
+          }
+        }
+      }
+      st.MonotonizeKappa();
+    }
+
+    // ---- steps: i = 3..d (Algorithm 7 lines 11-18) ----
+    for (int i = 3; i <= d; ++i) {
+      HelperStage& prev = stages[i - 1];
+      HelperStage& st = stages[i];
+      const Grid& gi = grid_at(i);
+      const Grid& gp = grid_at(i - 1);
+      const NodeId vi = kids[i - 1];
+      const NodeTable& ti = tables_[vi];
+      for (int zi = st.z_lo; zi < st.z_lo + st.z_cnt; ++zi) {
+        const double z_val = gi.Value(zi);
+        const double yi = (i == d) ? z_val * DownP(v, b != 0) : z_val;
+        for (int ci = ti.c_lo; ci < ti.c_lo + ti.c_cnt; ++ci) {
+          const double civ = base_.Value(ci) * UpP(vi, b != 0);
+          const int z_prev =
+              gp.RoundDown(1.0 - (1.0 - civ) * (1.0 - yi));
+          if (z_prev < prev.z_lo || z_prev >= prev.z_lo + prev.z_cnt) {
+            continue;
+          }
+          for (int xp = prev.x_lo; xp < prev.x_lo + prev.x_cnt; ++xp) {
+            const double xp_val = gp.Value(xp);
+            const int xi_new =
+                gi.RoundDown(1.0 - (1.0 - xp_val) * (1.0 - civ));
+            if (!st.InRange(xi_new, zi)) continue;
+            const int fi_child =
+                base_.RoundDown(1.0 - (1.0 - xp_val) * (1.0 - yi));
+            for (int kp = 0; kp <= prev.kcap; ++kp) {
+              const double pv = prev.Get(kp, xp, z_prev);
+              if (pv == kNegInf) continue;
+              const int kcmax = std::min(ti.kcap, st.kcap - kp);
+              for (int kc = 0; kc <= kcmax; ++kc) {
+                const double gv = ti.Get(kc, ci, fi_child);
+                if (gv == kNegInf) continue;
+                st.Update(kp + kc, xi_new, zi, pv + gv,
+                          HelperStage::Choice{kc, ci, xp, z_prev});
+              }
+            }
+          }
+        }
+      }
+      st.MonotonizeKappa();
+    }
+
+    // ---- final assembly (Algorithm 7 lines 19-21) ----
+    {
+      const HelperStage& st = stages[d];
+      for (int kappa = b; kappa <= t.kcap; ++kappa) {
+        const int kk = std::min(kappa, st.kcap);
+        for (int ci = t.c_lo; ci < t.c_lo + t.c_cnt; ++ci) {
+          for (int fi = t.f_lo; fi < t.f_lo + t.f_cnt; ++fi) {
+            const double hv = st.Get(kk, ci, fi);
+            if (hv == kNegInf) continue;
+            const double boost =
+                BoostTerm(v, base_.Value(ci), base_.Value(fi), b != 0);
+            t.Update(kappa, ci, fi, hv + boost, static_cast<uint8_t>(b));
+          }
+        }
+      }
+    }
+
+    if (b == 0 && record_b0 != nullptr) *record_b0 = std::move(stages);
+    if (b == 1 && record_b1 != nullptr) *record_b1 = std::move(stages);
+  }
+  t.MonotonizeKappa();
+}
+
+void DpBoostSolver::FillNode(NodeId v) {
+  NodeTable& t = tables_[v];
+  t.kcap = static_cast<int>(std::min<size_t>(options_.k, subtree_[v]));
+  t.c_lo = c_lo_[v];
+  t.c_cnt = c_hi_[v] - c_lo_[v] + 1;
+  t.f_lo = f_lo_[v];
+  t.f_cnt = f_hi_[v] - f_lo_[v] + 1;
+  if (tree_.IsSeed(v)) {
+    t.c_lo = base_.ione;
+    t.c_cnt = 1;
+    t.f_any = true;
+    t.f_lo = 0;
+    t.f_cnt = 1;
+  }
+  const bool chain = !tree_.IsSeed(v) && children_[v].size() == 1;
+  t.Allocate(/*with_choice_c=*/chain);
+  total_cells_ += t.val.size();
+
+  if (children_[v].empty()) {
+    FillLeaf(v);
+  } else if (tree_.IsSeed(v)) {
+    FillSeed(v, nullptr);
+  } else if (chain) {
+    FillChain(v);
+  } else {
+    FillWide(v, nullptr, nullptr);
+  }
+}
+
+void DpBoostSolver::Reconstruct(NodeId v, int kappa, int ci, int fi,
+                                std::vector<NodeId>* boost_set) {
+  const NodeTable& t = tables_[v];
+  kappa = std::min(kappa, t.kcap);
+  if (t.f_any) fi = t.f_lo;
+  if (!t.InRange(ci, fi)) return;
+  const size_t cell = t.CellIndex(kappa, ci, fi);
+  if (t.val[cell] == kNegInf) return;
+
+  if (children_[v].empty()) {
+    if (t.choice_b[cell]) boost_set->push_back(v);
+    return;
+  }
+
+  if (tree_.IsSeed(v)) {
+    const int d = static_cast<int>(children_[v].size());
+    std::vector<SeedStage> stages(d + 1);
+    FillSeed(v, stages.data());  // recompute with recorded choices
+    int kk = std::min(kappa, stages[d].kcap);
+    for (int i = d; i >= 1; --i) {
+      if (stages[i].val[kk] == kNegInf) break;
+      const SeedStage::Choice& ch = stages[i].choice[kk];
+      if (ch.kappa_child < 0) break;
+      Reconstruct(children_[v][i - 1], ch.kappa_child, ch.c_child,
+                  base_.ione, boost_set);
+      kk = std::min(kk - ch.kappa_child, stages[i - 1].kcap);
+      if (kk < 0) break;
+    }
+    return;
+  }
+
+  const int b = t.choice_b[cell];
+  if (b) boost_set->push_back(v);
+
+  if (children_[v].size() == 1) {
+    const int ci_child = t.choice_c[cell];
+    if (ci_child < 0) return;
+    const double f_val = base_.Value(fi);
+    const int f_child = base_.RoundDown(f_val * DownP(v, b != 0));
+    Reconstruct(children_[v][0], kappa - b, ci_child, f_child, boost_set);
+    return;
+  }
+
+  // Wide node: recompute the helper stages for the recorded b.
+  const int d = static_cast<int>(children_[v].size());
+  std::vector<HelperStage> stages_b0, stages_b1;
+  FillWide(v, &stages_b0, &stages_b1);
+  std::vector<HelperStage>& stages = b ? stages_b1 : stages_b0;
+  const Grid mid(d > 2 ? base_.delta / (d - 2) : base_.delta);
+  auto grid_at = [&](int i) -> const Grid& { return (i == d) ? base_ : mid; };
+
+  int kk = std::min(kappa, stages[d].kcap);
+  int xi = ci;
+  int zi = fi;
+  for (int i = d; i >= 3; --i) {
+    const HelperStage& st = stages[i];
+    if (!st.InRange(xi, zi)) return;
+    const HelperStage::Choice ch = st.choice[st.CellIndex(kk, xi, zi)];
+    if (ch.kappa_child < 0) return;
+    // Child i's f was derived from (x_prev, y_i).
+    const Grid& gi = grid_at(i);
+    const double z_val = gi.Value(zi);
+    const double yi = (i == d) ? z_val * DownP(v, b != 0) : z_val;
+    const double xp_val = grid_at(i - 1).Value(ch.x_prev);
+    const int fi_child =
+        base_.RoundDown(1.0 - (1.0 - xp_val) * (1.0 - yi));
+    Reconstruct(children_[v][i - 1], ch.kappa_child, ch.c_child, fi_child,
+                boost_set);
+    kk = std::min(kk - ch.kappa_child, stages[i - 1].kcap);
+    xi = ch.x_prev;
+    zi = ch.z_prev;
+    if (kk < 0) return;
+  }
+  // Boundary.
+  {
+    const HelperStage& st = stages[2];
+    if (!st.InRange(xi, zi)) return;
+    const HelperStage::Choice ch = st.choice[st.CellIndex(kk, xi, zi)];
+    if (ch.kappa_child < 0) return;
+    const Grid& g2 = grid_at(2);
+    const double z_val = g2.Value(zi);
+    const double y2 = (d == 2) ? z_val * DownP(v, b != 0) : z_val;
+    const NodeId v1 = children_[v][0];
+    const NodeId v2 = children_[v][1];
+    // In the boundary Choice: (kappa_child, c_child) is child 2's pick and
+    // (x_prev, z_prev) holds child 1's (κ, c index).
+    const double c1v = base_.Value(ch.z_prev) * UpP(v1, b != 0);
+    const double c2v = base_.Value(ch.c_child) * UpP(v2, b != 0);
+    const int f1 = base_.RoundDown(1.0 - (1.0 - c2v) * (1.0 - y2));
+    const int f2 = base_.RoundDown(1.0 - (1.0 - c1v) * (1.0 - y2));
+    Reconstruct(v1, ch.x_prev, ch.z_prev, f1, boost_set);
+    Reconstruct(v2, ch.kappa_child, ch.c_child, f2, boost_set);
+  }
+}
+
+DpBoostResult DpBoostSolver::Solve() {
+  DpBoostResult result;
+  const size_t n = tree_.num_nodes();
+  KB_CHECK(options_.root < n);
+  KB_CHECK(options_.k >= 1);
+  KB_CHECK(options_.epsilon > 0.0);
+
+  // δ from the Greedy-Boost lower bound (Algorithm 4 lines 1-2).
+  GreedyBoostResult greedy = GreedyBoost(tree_, options_.k);
+  greedy_lb_ = greedy.boost;
+  const double denom =
+      2.0 * SumTopKBoostedPathProducts(tree_, options_.k);
+  double delta = options_.epsilon * std::max(greedy_lb_, 1.0) /
+                 std::max(denom, 1e-12);
+  delta = std::min(delta, 1.0);
+  base_ = Grid(delta);
+  result.delta = delta;
+  result.greedy_lb = greedy_lb_;
+
+  RootTree();
+  {
+    TreeBoostEvaluator evaluator(tree_);
+    ap0_ = evaluator.base_activation();
+  }
+  ComputeRanges();
+
+  tables_.assign(n, NodeTable{});
+  for (size_t i = n; i-- > 0;) FillNode(order_[i]);
+
+  // Answer: max_c g'(root, k, c, 0).
+  const NodeId root = options_.root;
+  const NodeTable& rt = tables_[root];
+  int best_c = -1;
+  double best_val = kNegInf;
+  const int fzero = rt.f_any ? rt.f_lo : 0;
+  for (int ci = rt.c_lo; ci < rt.c_lo + rt.c_cnt; ++ci) {
+    const double val = rt.Get(rt.kcap, ci, fzero);
+    if (val > best_val) {
+      best_val = val;
+      best_c = ci;
+    }
+  }
+  result.table_cells = total_cells_;
+  if (best_c < 0 || best_val == kNegInf) {
+    // Degenerate instance (e.g. every node a seed); fall back to greedy.
+    result.boost_set = greedy.boost_set;
+    result.boost = greedy.boost;
+    result.dp_value = 0.0;
+    return result;
+  }
+  result.dp_value = best_val;
+
+  Reconstruct(root, rt.kcap, best_c, fzero, &result.boost_set);
+  std::sort(result.boost_set.begin(), result.boost_set.end());
+  result.boost_set.erase(
+      std::unique(result.boost_set.begin(), result.boost_set.end()),
+      result.boost_set.end());
+  KB_CHECK(result.boost_set.size() <= options_.k)
+      << "reconstruction overflowed the budget";
+
+  // Exact Δ of the reconstructed set; fall back to greedy's set if the
+  // rounding made the DP pick a weaker concrete set.
+  {
+    TreeBoostEvaluator evaluator(tree_);
+    std::vector<uint8_t> bitmap(n, 0);
+    for (NodeId v : result.boost_set) bitmap[v] = 1;
+    evaluator.Compute(bitmap);
+    result.boost = evaluator.boost();
+  }
+  if (greedy.boost > result.boost) {
+    result.boost_set = greedy.boost_set;
+    result.boost = greedy.boost;
+  }
+  return result;
+}
+
+}  // namespace
+
+DpBoostResult DpBoost(const BidirectedTree& tree,
+                      const DpBoostOptions& options) {
+  DpBoostSolver solver(tree, options);
+  return solver.Solve();
+}
+
+}  // namespace kboost

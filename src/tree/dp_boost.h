@@ -1,0 +1,41 @@
+#ifndef KBOOST_TREE_DP_BOOST_H_
+#define KBOOST_TREE_DP_BOOST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tree/bidirected_tree.h"
+
+namespace kboost {
+
+/// Tunables for DP-Boost (Sec. VI-B / Appendix B).
+struct DpBoostOptions {
+  size_t k = 50;
+  /// Approximation slack: the returned set satisfies
+  /// Δ_S(B̃) ≥ (1−ε)·Δ_S(B*) whenever Δ_S(B*) ≥ 1.
+  double epsilon = 0.5;
+  /// Root used for the bottom-up sweep; any node works.
+  NodeId root = 0;
+};
+
+/// Outcome of the rounded dynamic programming.
+struct DpBoostResult {
+  std::vector<NodeId> boost_set;  ///< B̃, |B̃| ≤ k
+  double dp_value = 0.0;   ///< g'(root): certified lower bound on Δ_S(B̃)
+  double boost = 0.0;      ///< exact Δ_S(B̃) (via the tree evaluator)
+  double delta = 0.0;      ///< rounding parameter δ actually used
+  double greedy_lb = 0.0;  ///< Greedy-Boost lower bound that sized δ
+  size_t table_cells = 0;  ///< total DP cells (cost diagnostics)
+};
+
+/// DP-Boost: the FPTAS for k-boosting on bidirected trees. Runs
+/// Greedy-Boost for the δ lower bound, computes per-node reachable
+/// probability ranges (the paper's refinement — without it the tables are
+/// infeasible), fills the rounded tables bottom-up with the Appendix-B
+/// helper recurrences, and reconstructs the boost set top-down.
+DpBoostResult DpBoost(const BidirectedTree& tree,
+                      const DpBoostOptions& options);
+
+}  // namespace kboost
+
+#endif  // KBOOST_TREE_DP_BOOST_H_

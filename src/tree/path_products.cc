@@ -1,0 +1,121 @@
+#include "src/tree/path_products.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+namespace {
+
+/// Maintains the sum of the k largest log-ratios on the current DFS path.
+class TopKLogSum {
+ public:
+  explicit TopKLogSum(size_t k) : k_(k) {}
+
+  void Push(double lr) {
+    if (k_ == 0) return;
+    if (top_.size() < k_) {
+      top_.insert(lr);
+      sum_ += lr;
+    } else if (lr > *top_.begin()) {
+      double evicted = *top_.begin();
+      top_.erase(top_.begin());
+      sum_ -= evicted;
+      rest_.insert(evicted);
+      top_.insert(lr);
+      sum_ += lr;
+    } else {
+      rest_.insert(lr);
+    }
+  }
+
+  void Pop(double lr) {
+    if (k_ == 0) return;
+    auto it = top_.find(lr);
+    if (it != top_.end()) {
+      top_.erase(it);
+      sum_ -= lr;
+      if (!rest_.empty()) {
+        auto best = std::prev(rest_.end());
+        top_.insert(*best);
+        sum_ += *best;
+        rest_.erase(best);
+      }
+    } else {
+      auto rit = rest_.find(lr);
+      KB_DCHECK(rit != rest_.end());
+      rest_.erase(rit);
+    }
+  }
+
+  double sum() const { return sum_; }
+
+ private:
+  size_t k_;
+  std::multiset<double> top_;   // the k largest
+  std::multiset<double> rest_;  // everything else
+  double sum_ = 0.0;
+};
+
+}  // namespace
+
+double SumTopKBoostedPathProducts(const BidirectedTree& tree, size_t k) {
+  const size_t n = tree.num_nodes();
+  double total = 0.0;
+
+  // Iterative DFS from every source; the stack holds (node, parent, phase)
+  // where phase enumerates the neighbour index to expand next.
+  struct Frame {
+    NodeId node;
+    NodeId parent;
+    size_t next;
+  };
+  std::vector<Frame> stack;
+
+  for (NodeId src = 0; src < n; ++src) {
+    TopKLogSum topk(k);
+    double log_base = 0.0;
+    stack.clear();
+    stack.push_back(Frame{src, kInvalidNode, 0});
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto neighbors = tree.Neighbors(f.node);
+      if (f.next >= neighbors.size()) {
+        // Retreat: undo the edge into f.node (if any).
+        if (f.parent != kInvalidNode) {
+          // Find the edge parent -> node to undo its contribution.
+          for (const BidirectedTree::HalfEdge& e : tree.Neighbors(f.parent)) {
+            if (e.neighbor == f.node) {
+              const double p = std::max<double>(e.p_out, 1e-300);
+              const double lr =
+                  std::log(std::max<double>(e.pb_out, 1e-300)) - std::log(p);
+              log_base -= std::log(p);
+              topk.Pop(std::max(lr, 0.0));
+              break;
+            }
+          }
+        }
+        stack.pop_back();
+        continue;
+      }
+      const BidirectedTree::HalfEdge& e = neighbors[f.next++];
+      if (e.neighbor == f.parent) continue;
+      // Advance along f.node -> e.neighbor.
+      const double p = std::max<double>(e.p_out, 1e-300);
+      const double lr =
+          std::log(std::max<double>(e.pb_out, 1e-300)) - std::log(p);
+      log_base += std::log(p);
+      topk.Push(std::max(lr, 0.0));
+      total += std::exp(log_base + topk.sum());
+      stack.push_back(Frame{e.neighbor, f.node, 0});
+    }
+  }
+  return total;
+}
+
+}  // namespace kboost

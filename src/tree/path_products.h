@@ -1,0 +1,21 @@
+#ifndef KBOOST_TREE_PATH_PRODUCTS_H_
+#define KBOOST_TREE_PATH_PRODUCTS_H_
+
+#include <cstddef>
+
+#include "src/tree/bidirected_tree.h"
+
+namespace kboost {
+
+/// Σ_{u≠v} p^(k)(u→v), where p^(k)(u→v) is the probability that u
+/// influences v along the unique tree path when the k path edges with the
+/// largest boost ratio p'/p are boosted. This is the denominator of
+/// DP-Boost's rounding parameter δ (Sec. VI-B, Eq. 13).
+///
+/// Implemented as one DFS per source with an incremental top-k-ratio
+/// multiset, O(n² log n) overall.
+double SumTopKBoostedPathProducts(const BidirectedTree& tree, size_t k);
+
+}  // namespace kboost
+
+#endif  // KBOOST_TREE_PATH_PRODUCTS_H_

@@ -1,0 +1,212 @@
+#include "src/tree/tree_evaluator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+namespace {
+/// Conditional-probability denominators (1 - ap·p) are provably positive
+/// under the paper's assumption that non-seeds activate with probability
+/// < 1; the clamp keeps the evaluator finite if a caller violates it.
+constexpr double kMinDenominator = 1e-15;
+
+double SafeDiv(double num, double den) {
+  return num / std::max(den, kMinDenominator);
+}
+}  // namespace
+
+TreeBoostEvaluator::TreeBoostEvaluator(const BidirectedTree& tree)
+    : tree_(tree) {
+  const size_t n = tree_.num_nodes();
+  parent_.assign(n, kInvalidNode);
+  order_.reserve(n);
+  order_.push_back(0);
+  // Iterative BFS gives a pre-order (parents before children) without the
+  // stack-depth risk of recursion on path-shaped trees.
+  for (size_t head = 0; head < order_.size(); ++head) {
+    NodeId u = order_[head];
+    for (const BidirectedTree::HalfEdge& e : tree_.Neighbors(u)) {
+      if (e.neighbor == parent_[u]) continue;
+      if (parent_[e.neighbor] == kInvalidNode && e.neighbor != 0) {
+        parent_[e.neighbor] = u;
+        order_.push_back(e.neighbor);
+      }
+    }
+  }
+  KB_CHECK(order_.size() == n) << "tree is not connected";
+
+  down_.resize(n);
+  up_.resize(n);
+  ap_.resize(n);
+  gdown_.resize(n);
+  gup_.resize(n);
+  sigma_plus_.resize(n);
+
+  // Cache the no-boost baseline.
+  std::vector<uint8_t> empty(n, 0);
+  Compute(empty);
+  base_sigma_ = sigma_;
+  base_ap_ = ap_;
+}
+
+void TreeBoostEvaluator::RunPasses(const std::vector<uint8_t>& boosted) {
+  const size_t n = tree_.num_nodes();
+
+  // ---- Pass A (leaves → root): down = ap_B(u\parent), gdown = g_B(u\parent)
+  for (size_t i = n; i-- > 0;) {
+    const NodeId u = order_[i];
+    const bool u_boosted = boosted[u] != 0;
+    if (tree_.IsSeed(u)) {
+      down_[u] = 1.0;
+      gdown_[u] = 0.0;
+      continue;
+    }
+    double prod = 1.0;
+    double gsum = 0.0;
+    for (const BidirectedTree::HalfEdge& e : tree_.Neighbors(u)) {
+      const NodeId w = e.neighbor;
+      if (w == parent_[u]) continue;
+      const double a = down_[w];                // ap_B(w\u), w is a child
+      const double f = 1.0 - a * PIn(e, u_boosted);
+      prod *= f;
+      gsum += SafeDiv(POut(e, boosted[w] != 0) * gdown_[w], f);
+    }
+    down_[u] = 1.0 - prod;
+    gdown_[u] = (1.0 - down_[u]) * (1.0 + gsum);  // Eq. (10) with v = parent
+  }
+
+  // ---- Pass B (root → leaves): ap, up, gup --------------------------------
+  for (const NodeId u : order_) {
+    const bool u_boosted = boosted[u] != 0;
+    const size_t deg = tree_.Degree(u);
+    factor_.resize(deg);
+    terms_.resize(deg);
+    prefix_.resize(deg + 1);
+    suffix_.resize(deg + 1);
+
+    const auto neighbors = tree_.Neighbors(u);
+    for (size_t j = 0; j < deg; ++j) {
+      const BidirectedTree::HalfEdge& e = neighbors[j];
+      const NodeId w = e.neighbor;
+      // ap_B(w\u): the parent contributes up_[u], children contribute down_.
+      const double a = (w == parent_[u]) ? up_[u] : down_[w];
+      const double g = (w == parent_[u]) ? gup_[u] : gdown_[w];
+      factor_[j] = 1.0 - a * PIn(e, u_boosted);
+      terms_[j] = SafeDiv(POut(e, boosted[w] != 0) * g, factor_[j]);
+    }
+    prefix_[0] = 1.0;
+    for (size_t j = 0; j < deg; ++j) prefix_[j + 1] = prefix_[j] * factor_[j];
+    suffix_[deg] = 1.0;
+    for (size_t j = deg; j-- > 0;) suffix_[j] = suffix_[j + 1] * factor_[j];
+    double tsum = 0.0;
+    for (size_t j = 0; j < deg; ++j) tsum += terms_[j];
+
+    ap_[u] = tree_.IsSeed(u) ? 1.0 : 1.0 - prefix_[deg];
+
+    // Fill up_/gup_ for each child (they read it later in this pass).
+    for (size_t j = 0; j < deg; ++j) {
+      const NodeId c = neighbors[j].neighbor;
+      if (c == parent_[u]) continue;
+      if (tree_.IsSeed(u)) {
+        up_[c] = 1.0;
+        gup_[c] = 0.0;
+      } else {
+        const double ap_u_minus_c = 1.0 - prefix_[j] * suffix_[j + 1];
+        up_[c] = ap_u_minus_c;
+        gup_[c] = (1.0 - ap_u_minus_c) * (1.0 + tsum - terms_[j]);
+      }
+    }
+  }
+
+  sigma_ = 0.0;
+  for (size_t v = 0; v < n; ++v) sigma_ += ap_[v];
+}
+
+void TreeBoostEvaluator::Compute(const std::vector<uint8_t>& boost_bitmap) {
+  const size_t n = tree_.num_nodes();
+  KB_CHECK(boost_bitmap.size() == n);
+  RunPasses(boost_bitmap);
+
+  // ---- Pass C: σ_S(B ∪ {u}) for every u (Lemma 7) -------------------------
+  for (NodeId u = 0; u < n; ++u) {
+    if (tree_.IsSeed(u) || boost_bitmap[u]) {
+      sigma_plus_[u] = sigma_;
+      continue;
+    }
+    const size_t deg = tree_.Degree(u);
+    const auto neighbors = tree_.Neighbors(u);
+    factor_.resize(deg);
+    bfactor_.resize(deg);
+    prefix_.resize(deg + 1);
+    suffix_.resize(deg + 1);
+    bprefix_.resize(deg + 1);
+    bsuffix_.resize(deg + 1);
+
+    for (size_t j = 0; j < deg; ++j) {
+      const BidirectedTree::HalfEdge& e = neighbors[j];
+      const NodeId w = e.neighbor;
+      const double a = (w == parent_[u]) ? up_[u] : down_[w];
+      factor_[j] = 1.0 - a * PIn(e, boost_bitmap[u] != 0);
+      bfactor_[j] = 1.0 - a * e.pb_in;  // u boosted: incoming edges use p'
+    }
+    prefix_[0] = bprefix_[0] = 1.0;
+    for (size_t j = 0; j < deg; ++j) {
+      prefix_[j + 1] = prefix_[j] * factor_[j];
+      bprefix_[j + 1] = bprefix_[j] * bfactor_[j];
+    }
+    suffix_[deg] = bsuffix_[deg] = 1.0;
+    for (size_t j = deg; j-- > 0;) {
+      suffix_[j] = suffix_[j + 1] * factor_[j];
+      bsuffix_[j] = bsuffix_[j + 1] * bfactor_[j];
+    }
+
+    // Δap_B(u) = ap_{B∪{u}}(u) − ap_B(u).
+    const double delta_ap = (1.0 - bprefix_[deg]) - (1.0 - prefix_[deg]);
+    double spread = sigma_ + delta_ap;
+    for (size_t j = 0; j < deg; ++j) {
+      const BidirectedTree::HalfEdge& e = neighbors[j];
+      const NodeId w = e.neighbor;
+      // Δap_B(u\w): same exclusion products with boosted incoming edges.
+      const double ap_excl = 1.0 - prefix_[j] * suffix_[j + 1];
+      const double ap_excl_boosted = 1.0 - bprefix_[j] * bsuffix_[j + 1];
+      const double delta_excl = ap_excl_boosted - ap_excl;
+      const double g = (w == parent_[u]) ? gup_[u] : gdown_[w];
+      spread += POut(e, boost_bitmap[w] != 0) * delta_excl * g;
+    }
+    sigma_plus_[u] = spread;
+  }
+}
+
+GreedyBoostResult GreedyBoost(const BidirectedTree& tree, size_t k) {
+  const size_t n = tree.num_nodes();
+  TreeBoostEvaluator evaluator(tree);
+  std::vector<uint8_t> boosted(n, 0);
+
+  GreedyBoostResult result;
+  double current = evaluator.base_spread();
+  for (size_t round = 0; round < k; ++round) {
+    evaluator.Compute(boosted);
+    NodeId best = kInvalidNode;
+    double best_spread = current;
+    for (NodeId u = 0; u < n; ++u) {
+      if (boosted[u] || tree.IsSeed(u)) continue;
+      const double s = evaluator.SpreadWithExtraBoost(u);
+      if (s > best_spread + 1e-15) {
+        best_spread = s;
+        best = u;
+      }
+    }
+    if (best == kInvalidNode) break;  // no strict improvement left
+    boosted[best] = 1;
+    result.boost_set.push_back(best);
+    result.marginal_boosts.push_back(best_spread - current);
+    current = best_spread;
+  }
+  result.boosted_spread = current;
+  result.boost = current - evaluator.base_spread();
+  return result;
+}
+
+}  // namespace kboost

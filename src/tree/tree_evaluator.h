@@ -1,0 +1,90 @@
+#ifndef KBOOST_TREE_TREE_EVALUATOR_H_
+#define KBOOST_TREE_TREE_EVALUATOR_H_
+
+#include <vector>
+
+#include "src/tree/bidirected_tree.h"
+
+namespace kboost {
+
+/// Exact boosted-influence computation on bidirected trees (Sec. VI-A):
+/// activation probabilities ap_B(u), ap_B(u\v), seed gains g_B(u\v), the
+/// boosted spread σ_S(B), and σ_S(B ∪ {u}) for every u — all in O(n) per
+/// Compute() call.
+///
+/// The implementation reroots the paper's recurrences (Lemmas 5–7) at node
+/// 0 and evaluates them with prefix/suffix neighbour aggregates instead of
+/// the division identities (9)/(11); this is algebraically identical but
+/// stays finite when ap·p approaches 1.
+class TreeBoostEvaluator {
+ public:
+  explicit TreeBoostEvaluator(const BidirectedTree& tree);
+
+  /// Recomputes all quantities for the boost set B (n-sized bitmap).
+  void Compute(const std::vector<uint8_t>& boost_bitmap);
+
+  /// σ_S(B) after Compute().
+  double boosted_spread() const { return sigma_; }
+  /// Δ_S(B) = σ_S(B) − σ_S(∅) after Compute().
+  double boost() const { return sigma_ - base_sigma_; }
+  /// ap_B(u) after Compute().
+  double ActivationProbability(NodeId u) const { return ap_[u]; }
+  /// σ_S(B ∪ {u}) after Compute(); equals σ_S(B) for u ∈ S ∪ B.
+  double SpreadWithExtraBoost(NodeId u) const { return sigma_plus_[u]; }
+
+  /// σ_S(∅), computed once at construction.
+  double base_spread() const { return base_sigma_; }
+  /// ap_∅(u) for all u (used by DP-Boost), computed at construction.
+  const std::vector<double>& base_activation() const { return base_ap_; }
+
+ private:
+  /// One rerooting evaluation; fills down_/up_/ap_/gdown_/gup_/sigma_.
+  void RunPasses(const std::vector<uint8_t>& boosted);
+
+  /// p(w -> u) under B, where `he` is u's adjacency entry for w.
+  double PIn(const BidirectedTree::HalfEdge& he, bool u_boosted) const {
+    return u_boosted ? he.pb_in : he.p_in;
+  }
+  /// p(u -> w) under B, where `he` is u's adjacency entry for w.
+  double POut(const BidirectedTree::HalfEdge& he, bool w_boosted) const {
+    return w_boosted ? he.pb_out : he.p_out;
+  }
+
+  const BidirectedTree& tree_;
+  // Rooted orientation (root = 0).
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> order_;  // pre-order: parents before children
+
+  // Per-Compute state.
+  std::vector<double> down_;   // ap_B(u\parent)
+  std::vector<double> up_;     // ap_B(parent\u)
+  std::vector<double> ap_;     // ap_B(u)
+  std::vector<double> gdown_;  // g_B(u\parent)
+  std::vector<double> gup_;    // g_B(parent\u)
+  std::vector<double> sigma_plus_;  // σ_S(B ∪ {u})
+  double sigma_ = 0.0;
+
+  double base_sigma_ = 0.0;
+  std::vector<double> base_ap_;
+
+  // Reusable neighbour-sized scratch.
+  std::vector<double> factor_, prefix_, suffix_, terms_;
+  std::vector<double> bfactor_, bprefix_, bsuffix_;
+};
+
+/// Result of the greedy tree algorithm.
+struct GreedyBoostResult {
+  std::vector<NodeId> boost_set;
+  double boosted_spread = 0.0;          ///< σ_S(B)
+  double boost = 0.0;                   ///< Δ_S(B)
+  std::vector<double> marginal_boosts;  ///< per-pick Δ increments
+};
+
+/// Greedy-Boost (Sec. VI-A): k rounds, each picking the node maximizing
+/// σ_S(B ∪ {u}) via the exact evaluator. O(kn). Stops early when no pick
+/// strictly improves the spread.
+GreedyBoostResult GreedyBoost(const BidirectedTree& tree, size_t k);
+
+}  // namespace kboost
+
+#endif  // KBOOST_TREE_TREE_EVALUATOR_H_

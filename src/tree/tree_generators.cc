@@ -1,0 +1,94 @@
+#include "src/tree/tree_generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/im/imm.h"
+#include "src/util/logging.h"
+
+namespace kboost {
+
+namespace {
+
+double DrawP(const TreeProbModel& model, Rng& rng) {
+  if (!model.trivalency) return model.constant_p;
+  static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+  return kLevels[rng.NextBounded(3)];
+}
+
+double Boosted(double p, double beta) {
+  return 1.0 - std::pow(1.0 - p, beta);
+}
+
+void AddModeledEdge(TreeBuilder& builder, NodeId u, NodeId v,
+                    const TreeProbModel& model, Rng& rng) {
+  const double p_uv = DrawP(model, rng);
+  const double p_vu = DrawP(model, rng);
+  builder.AddEdge(u, v, p_uv, Boosted(p_uv, model.beta), p_vu,
+                  Boosted(p_vu, model.beta));
+}
+
+}  // namespace
+
+BidirectedTree BuildCompleteBinaryTree(NodeId num_nodes,
+                                       const TreeProbModel& model, Rng& rng) {
+  KB_CHECK(num_nodes >= 1);
+  TreeBuilder builder(num_nodes);
+  for (NodeId child = 1; child < num_nodes; ++child) {
+    AddModeledEdge(builder, (child - 1) / 2, child, model, rng);
+  }
+  return std::move(builder).Build();
+}
+
+BidirectedTree BuildRandomTree(NodeId num_nodes, int max_children,
+                               const TreeProbModel& model, Rng& rng) {
+  KB_CHECK(num_nodes >= 1);
+  TreeBuilder builder(num_nodes);
+  std::vector<int> child_count(num_nodes, 0);
+  for (NodeId child = 1; child < num_nodes; ++child) {
+    NodeId parent;
+    do {
+      parent = static_cast<NodeId>(rng.NextBounded(child));
+    } while (max_children > 0 && child_count[parent] >= max_children);
+    ++child_count[parent];
+    AddModeledEdge(builder, parent, child, model, rng);
+  }
+  return std::move(builder).Build();
+}
+
+BidirectedTree WithTreeSeeds(const BidirectedTree& tree, size_t count,
+                             bool influential, Rng& rng) {
+  const NodeId n = static_cast<NodeId>(tree.num_nodes());
+  KB_CHECK(count <= tree.num_nodes());
+
+  std::vector<NodeId> seeds;
+  if (influential) {
+    ImmOptions options;
+    options.k = count;
+    options.epsilon = 0.5;
+    options.seed = rng.NextU64();
+    seeds = SelectSeedsImm(tree.ToDirectedGraph(), options).seeds;
+  } else {
+    std::vector<NodeId> pool(n);
+    for (NodeId v = 0; v < n; ++v) pool[v] = v;
+    for (size_t i = 0; i < count; ++i) {
+      size_t j = i + rng.NextBounded(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+      seeds.push_back(pool[i]);
+    }
+  }
+
+  // Rebuild the tree with the same edges plus the chosen seeds.
+  TreeBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const BidirectedTree::HalfEdge& e : tree.Neighbors(u)) {
+      if (u < e.neighbor) {
+        builder.AddEdge(u, e.neighbor, e.p_out, e.pb_out, e.p_in, e.pb_in);
+      }
+    }
+  }
+  builder.SetSeeds(seeds);
+  return std::move(builder).Build();
+}
+
+}  // namespace kboost

@@ -1,0 +1,39 @@
+#ifndef KBOOST_TREE_TREE_GENERATORS_H_
+#define KBOOST_TREE_TREE_GENERATORS_H_
+
+#include "src/tree/bidirected_tree.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+
+/// Probability assignment for generated trees (Sec. VIII uses the
+/// Trivalency model with p' = 1 - (1-p)^2).
+struct TreeProbModel {
+  /// Draws p uniformly from {0.1, 0.01, 0.001} per directed edge when true;
+  /// otherwise uses constant_p.
+  bool trivalency = true;
+  double constant_p = 0.1;
+  double beta = 2.0;  ///< p' = 1 - (1-p)^beta
+};
+
+/// Complete binary bidirected tree on n nodes (node 0 the natural root,
+/// children of i at 2i+1, 2i+2), probabilities drawn per TreeProbModel.
+/// No seeds are set — use SelectTreeSeeds or TreeBuilder-level control.
+BidirectedTree BuildCompleteBinaryTree(NodeId num_nodes,
+                                       const TreeProbModel& model, Rng& rng);
+
+/// Uniform random recursive tree: node i attaches to a uniform random
+/// earlier node. `max_children` (0 = unbounded) caps fanout, matching the
+/// bounded-degree case of the DP complexity analysis.
+BidirectedTree BuildRandomTree(NodeId num_nodes, int max_children,
+                               const TreeProbModel& model, Rng& rng);
+
+/// Marks `count` seeds on a copy of `tree`. Seeds are chosen by expected
+/// IC influence via IMM on the directed-graph view when `influential` is
+/// true (the paper's setup), else uniformly at random.
+BidirectedTree WithTreeSeeds(const BidirectedTree& tree, size_t count,
+                             bool influential, Rng& rng);
+
+}  // namespace kboost
+
+#endif  // KBOOST_TREE_TREE_GENERATORS_H_

@@ -1,0 +1,50 @@
+#include "src/util/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+double LogChoose(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double ImmBounds::EpsilonPrime() const { return epsilon * std::sqrt(2.0); }
+
+double ImmBounds::LambdaPrime() const {
+  KB_CHECK(n >= 2);
+  const double eps_p = EpsilonPrime();
+  const double logcnk = LogChoose(n, std::min(k, n));
+  const double log_n = std::log(static_cast<double>(n));
+  const double log2n = std::log2(static_cast<double>(n));
+  return (2.0 + 2.0 / 3.0 * eps_p) *
+         (logcnk + ell * log_n + std::log(std::max(1.0, log2n))) *
+         static_cast<double>(n) / (eps_p * eps_p);
+}
+
+double ImmBounds::LambdaStar() const {
+  KB_CHECK(n >= 2);
+  const double logcnk = LogChoose(n, std::min(k, n));
+  const double log_n = std::log(static_cast<double>(n));
+  const double e = std::exp(1.0);
+  const double alpha = std::sqrt(ell * log_n + std::log(2.0));
+  const double beta =
+      std::sqrt((1.0 - 1.0 / e) * (logcnk + ell * log_n + std::log(2.0)));
+  const double factor = (1.0 - 1.0 / e) * alpha + beta;
+  return 2.0 * static_cast<double>(n) * factor * factor /
+         (epsilon * epsilon);
+}
+
+int ImmBounds::NumSearchLevels() const {
+  int levels = static_cast<int>(std::floor(std::log2(
+                   std::max<uint64_t>(2, n)))) - 1;
+  return std::max(1, levels);
+}
+
+}  // namespace kboost

@@ -1,0 +1,33 @@
+#ifndef KBOOST_UTIL_BOUNDS_H_
+#define KBOOST_UTIL_BOUNDS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kboost {
+
+/// log(n choose k) computed via lgamma; exact enough for sample-size bounds.
+double LogChoose(uint64_t n, uint64_t k);
+
+/// Parameters shared by the IMM-style sampling phases (Tang et al., SIGMOD'15)
+/// used both for classic influence maximization (over RR-sets) and for the
+/// lower-bound maximization inside PRR-Boost (over critical-node sets).
+struct ImmBounds {
+  double epsilon;     ///< final approximation slack ε
+  double ell;         ///< failure probability exponent: success w.p. 1 - n^-ℓ
+  uint64_t n;         ///< number of nodes
+  uint64_t k;         ///< cardinality constraint
+
+  /// ε' = √2·ε used during the geometric LB search.
+  double EpsilonPrime() const;
+  /// λ'(ε') from IMM Eq. (9): samples needed at LB-search level x.
+  double LambdaPrime() const;
+  /// λ* from IMM Th. 2: samples needed once OPT lower bound is known.
+  double LambdaStar() const;
+  /// Number of geometric search levels: floor(log2 n) - 1, at least 1.
+  int NumSearchLevels() const;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_UTIL_BOUNDS_H_

@@ -1,0 +1,54 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kboost {
+
+namespace {
+std::atomic<internal::LogSeverity> g_min_severity{
+    internal::LogSeverity::kWarning};
+
+const char* SeverityName(internal::LogSeverity s) {
+  switch (s) {
+    case internal::LogSeverity::kInfo:
+      return "I";
+    case internal::LogSeverity::kWarning:
+      return "W";
+    case internal::LogSeverity::kError:
+      return "E";
+    case internal::LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogSeverity(internal::LogSeverity severity) {
+  g_min_severity.store(severity, std::memory_order_relaxed);
+}
+
+internal::LogSeverity MinLogSeverity() {
+  return g_min_severity.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::string msg = stream_.str();
+    std::fprintf(stderr, "%s\n", msg.c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace kboost

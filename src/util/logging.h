@@ -1,0 +1,69 @@
+#ifndef KBOOST_UTIL_LOGGING_H_
+#define KBOOST_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kboost {
+namespace internal {
+
+/// Severity levels for KB_LOG.
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log sink. Collects the message and emits it (to stderr) on
+/// destruction; aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Global verbosity: messages below this severity are suppressed.
+/// Defaults to kWarning so library internals stay quiet in tests/benches.
+void SetMinLogSeverity(internal::LogSeverity severity);
+internal::LogSeverity MinLogSeverity();
+
+}  // namespace kboost
+
+#define KB_LOG(severity)                                                  \
+  ::kboost::internal::LogMessage(                                         \
+      ::kboost::internal::LogSeverity::k##severity, __FILE__, __LINE__)   \
+      .stream()
+
+/// Contract check: aborts with a message when `cond` is false. Used for
+/// programming errors (invalid indices, broken invariants), never for
+/// recoverable conditions — those return Status.
+#define KB_CHECK(cond)                                                \
+  if (!(cond))                                                        \
+  ::kboost::internal::LogMessage(                                     \
+      ::kboost::internal::LogSeverity::kFatal, __FILE__, __LINE__)    \
+      .stream()                                                       \
+      << "Check failed: " #cond " "
+
+#define KB_CHECK_OK(status_expr)                                     \
+  if (const ::kboost::Status& kb_check_ok_s = (status_expr);         \
+      !kb_check_ok_s.ok())                                           \
+  ::kboost::internal::LogMessage(                                    \
+      ::kboost::internal::LogSeverity::kFatal, __FILE__, __LINE__)   \
+      .stream()                                                      \
+      << "Non-OK status: " << kb_check_ok_s.ToString() << " "
+
+#ifndef NDEBUG
+#define KB_DCHECK(cond) KB_CHECK(cond)
+#else
+#define KB_DCHECK(cond) \
+  if (false) KB_CHECK(cond)
+#endif
+
+#endif  // KBOOST_UTIL_LOGGING_H_

@@ -1,0 +1,46 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+int DefaultThreadCount() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void RunOnThreads(int num_threads, const std::function<void(int)>& body) {
+  KB_CHECK(num_threads >= 1) << "num_threads=" << num_threads;
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) {
+    workers.emplace_back([&body, t] { body(t); });
+  }
+  body(0);
+  for (auto& w : workers) w.join();
+}
+
+void ParallelFor(size_t count, int num_threads,
+                 const std::function<void(size_t, int)>& body, size_t chunk) {
+  if (count == 0) return;
+  KB_CHECK(chunk >= 1);
+  num_threads = std::max(1, std::min<int>(num_threads,
+                                          static_cast<int>((count + chunk - 1) / chunk)));
+  if (num_threads == 1) {
+    for (size_t i = 0; i < count; ++i) body(i, 0);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  RunOnThreads(num_threads, [&](int thread_index) {
+    for (;;) {
+      size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      size_t end = std::min(count, begin + chunk);
+      for (size_t i = begin; i < end; ++i) body(i, thread_index);
+    }
+  });
+}
+
+}  // namespace kboost

@@ -1,0 +1,28 @@
+#ifndef KBOOST_UTIL_THREAD_POOL_H_
+#define KBOOST_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace kboost {
+
+/// Returns a sensible default worker count (hardware concurrency, at least 1).
+int DefaultThreadCount();
+
+/// Runs `body(thread_index)` on `num_threads` threads and joins them all.
+/// Thread 0 is the calling thread, so `num_threads == 1` runs inline.
+void RunOnThreads(int num_threads, const std::function<void(int)>& body);
+
+/// Parallel for over [0, count): dynamic chunked scheduling via a shared
+/// atomic cursor. `body(index, thread_index)` must be thread-safe across
+/// distinct indices. Blocks until all work is done.
+void ParallelFor(size_t count, int num_threads,
+                 const std::function<void(size_t, int)>& body,
+                 size_t chunk = 64);
+
+}  // namespace kboost
+
+#endif  // KBOOST_UTIL_THREAD_POOL_H_

@@ -1,0 +1,9 @@
+#include "src/util/timer.h"
+
+namespace kboost {
+
+double WallTimer::Seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace kboost

@@ -1,0 +1,26 @@
+#ifndef KBOOST_UTIL_TIMER_H_
+#define KBOOST_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace kboost {
+
+/// Monotonic wall-clock timer for reporting experiment running times.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double Seconds() const;
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_UTIL_TIMER_H_

@@ -1,0 +1,205 @@
+// Edge cases and degenerate-input behaviour: the situations a downstream
+// user hits first when wiring the library into their own pipeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/prr_boost.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/sim/boost_model.h"
+#include "src/tree/bidirected_tree.h"
+#include "src/tree/dp_boost.h"
+#include "src/tree/tree_evaluator.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+TEST(EdgeCasesTest, NoBoostHeadroomMeansZeroBoost) {
+  // p' == p everywhere: boosting can never help; Δ̂ must be 0 and the
+  // Monte-Carlo check agrees exactly (coupled worlds are identical).
+  Rng rng(1);
+  GraphBuilder b = BuildErdosRenyi(50, 250, rng);
+  b.AssignConstantProbability(0.2);  // p_boost defaults to p
+  DirectedGraph g = std::move(b).Build();
+  BoostOptions opts;
+  opts.k = 5;
+  BoostResult r = PrrBoost(g, {0, 1}, opts);
+  EXPECT_DOUBLE_EQ(r.best_estimate, 0.0);
+  EXPECT_EQ(r.num_boostable, 0u);  // every PRR-graph is activated/hopeless
+  BoostEstimate mc = EstimateBoost(g, {0, 1}, r.best_set, {});
+  EXPECT_DOUBLE_EQ(mc.boost, 0.0);
+}
+
+TEST(EdgeCasesTest, IsolatedSeedHasUnitSpread) {
+  GraphBuilder b(5);
+  b.AddEdge(1, 2, 0.5, 0.9);  // a component not touching the seed
+  b.AddEdge(2, 3, 0.5, 0.9);
+  b.AddEdge(3, 1, 0.5, 0.9);
+  DirectedGraph g = std::move(b).Build();
+  EXPECT_DOUBLE_EQ(ExactBoostedSpread(g, {0}, {2}), 1.0);
+  BoostOptions opts;
+  opts.k = 2;
+  BoostResult r = PrrBoost(g, {0}, opts);
+  EXPECT_DOUBLE_EQ(r.best_estimate, 0.0);
+}
+
+TEST(EdgeCasesTest, BoostingTheWholeGraphEqualsAllBoostedWorld) {
+  Rng rng(2);
+  GraphBuilder b = BuildErdosRenyi(8, 14, rng);
+  b.AssignConstantProbability(0.2);
+  b.SetBoostWithBeta(4.0);
+  DirectedGraph g = std::move(b).Build();
+  std::vector<NodeId> everyone;
+  for (NodeId v = 1; v < 8; ++v) everyone.push_back(v);
+  // Exact value with B = V\S equals the spread of the graph with p := p'
+  // on every edge whose head is a non-seed.
+  GraphBuilder b2(8);
+  for (NodeId u = 0; u < 8; ++u) {
+    for (const auto& e : g.OutEdges(u)) {
+      const double p = (e.to == 0) ? e.p : e.p_boost;
+      b2.AddEdge(u, e.to, p, p);
+    }
+  }
+  DirectedGraph g_all = std::move(b2).Build();
+  EXPECT_NEAR(ExactBoostedSpread(g, {0}, everyone), ExactSpread(g_all, {0}),
+              1e-9);
+}
+
+TEST(EdgeCasesTest, KLargerThanGraphIsHandled) {
+  Rng rng(3);
+  GraphBuilder b = BuildErdosRenyi(12, 40, rng);
+  b.AssignConstantProbability(0.3);
+  b.SetBoostWithBeta(2.0);
+  DirectedGraph g = std::move(b).Build();
+  BoostOptions opts;
+  opts.k = 50;  // more than the number of non-seeds
+  BoostResult r = PrrBoost(g, {0}, opts);
+  EXPECT_LE(r.best_set.size(), 11u);
+  // All returned nodes distinct.
+  std::vector<NodeId> sorted = r.best_set;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(EdgeCasesTest, DeterministicEdgesAreNeverBlocked) {
+  // p = 1 edges stay live in every PRR world; the whole component of the
+  // seed is always activated, so nothing is boostable.
+  GraphBuilder b = BuildDirectedPath(6);
+  b.AssignConstantProbability(1.0);
+  DirectedGraph g = std::move(b).Build();
+  BoostOptions opts;
+  opts.k = 2;
+  BoostResult r = PrrBoost(g, {0}, opts);
+  EXPECT_EQ(r.num_boostable, 0u);
+  EXPECT_EQ(r.num_hopeless, 0u);  // every sample is "activated"
+}
+
+TEST(EdgeCasesTest, TwoNodeTreeEvaluator) {
+  TreeBuilder b(2);
+  b.AddEdge(0, 1, 0.4, 0.8, 0.3, 0.6);
+  b.SetSeed(0);
+  BidirectedTree tree = std::move(b).Build();
+  TreeBoostEvaluator eval(tree);
+  EXPECT_NEAR(eval.base_spread(), 1.4, 1e-6);
+  std::vector<uint8_t> boost = {0, 1};
+  eval.Compute(boost);
+  EXPECT_NEAR(eval.boosted_spread(), 1.8, 1e-6);
+}
+
+TEST(EdgeCasesTest, TreeWithAllSeedsHasNothingToBoost) {
+  TreeBuilder b(3);
+  b.AddEdge(0, 1, 0.5, 0.9);
+  b.AddEdge(1, 2, 0.5, 0.9);
+  b.SetSeeds({0, 1, 2});
+  BidirectedTree tree = std::move(b).Build();
+  GreedyBoostResult greedy = GreedyBoost(tree, 2);
+  EXPECT_TRUE(greedy.boost_set.empty());
+  EXPECT_DOUBLE_EQ(greedy.boost, 0.0);
+  DpBoostOptions opts;
+  opts.k = 2;
+  DpBoostResult dp = DpBoost(tree, opts);
+  EXPECT_NEAR(dp.boost, 0.0, 1e-9);
+}
+
+TEST(EdgeCasesTest, PathTreeExercisesChainNodesInDp) {
+  // A path tree makes every internal node a d==1 "chain" node in DP-Boost.
+  TreeBuilder b(6);
+  for (NodeId v = 0; v + 1 < 6; ++v) b.AddEdge(v, v + 1, 0.3, 0.6);
+  b.SetSeed(0);
+  BidirectedTree tree = std::move(b).Build();
+
+  TreeBoostEvaluator eval(tree);
+  double opt = 0.0;
+  for (uint32_t mask = 0; mask < (1u << 6); ++mask) {
+    if (__builtin_popcount(mask) > 2 || (mask & 1)) continue;
+    std::vector<uint8_t> bitmap(6, 0);
+    for (NodeId v = 1; v < 6; ++v) bitmap[v] = (mask >> v) & 1;
+    eval.Compute(bitmap);
+    opt = std::max(opt, eval.boost());
+  }
+
+  DpBoostOptions opts;
+  opts.k = 2;
+  opts.epsilon = 0.25;
+  DpBoostResult dp = DpBoost(tree, opts);
+  EXPECT_GE(dp.boost, (1 - 0.25) * opt - 1e-9);
+  EXPECT_LE(dp.boost, opt + 1e-9);
+}
+
+TEST(EdgeCasesTest, StarTreeExercisesWideNodesInDp) {
+  // A star makes the hub a d==7 wide node (intermediate grids in the
+  // helper tables).
+  TreeBuilder b(8);
+  for (NodeId leaf = 1; leaf < 8; ++leaf) b.AddEdge(0, leaf, 0.3, 0.6);
+  b.SetSeed(1);
+  BidirectedTree tree = std::move(b).Build();
+
+  TreeBoostEvaluator eval(tree);
+  double opt = 0.0;
+  for (uint32_t mask = 0; mask < (1u << 8); ++mask) {
+    if (__builtin_popcount(mask) > 2 || (mask & 2)) continue;
+    std::vector<uint8_t> bitmap(8, 0);
+    for (NodeId v = 0; v < 8; ++v) {
+      if (v != 1) bitmap[v] = (mask >> v) & 1;
+    }
+    eval.Compute(bitmap);
+    opt = std::max(opt, eval.boost());
+  }
+
+  DpBoostOptions opts;
+  opts.k = 2;
+  opts.epsilon = 0.25;
+  DpBoostResult dp = DpBoost(tree, opts);
+  EXPECT_GE(dp.boost, (1 - 0.25) * opt - 1e-9);
+  EXPECT_LE(dp.boost, opt + 1e-9);
+}
+
+TEST(EdgeCasesTest, SelfLoopsAreHarmless) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5, 0.9);
+  b.AddEdge(1, 1, 0.5, 0.9);  // self loop
+  b.AddEdge(1, 2, 0.5, 0.9);
+  DirectedGraph g = std::move(b).Build();
+  BoostOptions opts;
+  opts.k = 2;
+  BoostResult r = PrrBoost(g, {0}, opts);
+  BoostEstimate mc = EstimateBoost(g, {0}, r.best_set, {});
+  EXPECT_GE(mc.boost, 0.0);
+}
+
+TEST(EdgeCasesTest, ParallelEdgesCompose) {
+  // Two parallel edges act as two independent influence chances.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.5, 0.5);
+  b.AddEdge(0, 1, 0.5, 0.5);
+  DirectedGraph g = std::move(b).Build();
+  EXPECT_NEAR(ExactSpread(g, {0}), 1.0 + (1.0 - 0.25), 1e-9);
+}
+
+}  // namespace
+}  // namespace kboost

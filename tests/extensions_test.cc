@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/baselines/mc_greedy.h"
+#include "src/core/prr_boost.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/sim/boost_model.h"
+#include "src/sim/lt_model.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Outgoing-boost semantics (Sec. III-A variant).
+// ---------------------------------------------------------------------------
+
+TEST(BoostSemanticsTest, OutgoingVariantBoostsTailNotHead) {
+  // s(0) -> v0(1) -> v1(2), Fig. 1 probabilities. Under the outgoing
+  // variant, boosting v0 only strengthens edge v0 -> v1:
+  //   σ = 1 + 0.2 + 0.2*0.2 = 1.24.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.2, 0.4);
+  b.AddEdge(1, 2, 0.1, 0.2);
+  DirectedGraph g = std::move(b).Build();
+  const std::vector<NodeId> s = {0};
+  EXPECT_NEAR(ExactBoostedSpread(g, s, {1},
+                                 BoostSemantics::kBoostedAreMoreInfluential),
+              1.24, 1e-6);
+  // Boosting the seed itself strengthens s -> v0:
+  //   σ = 1 + 0.4 + 0.4*0.1 = 1.44.
+  EXPECT_NEAR(ExactBoostedSpread(g, s, {0},
+                                 BoostSemantics::kBoostedAreMoreInfluential),
+              1.44, 1e-6);
+}
+
+TEST(BoostSemanticsTest, MonteCarloMatchesExactForOutgoingVariant) {
+  Rng rng(5);
+  GraphBuilder b = BuildErdosRenyi(8, 14, rng);
+  b.AssignConstantProbability(0.25);
+  b.SetBoostWithBeta(3.0);
+  DirectedGraph g = std::move(b).Build();
+  const std::vector<NodeId> seeds = {0};
+  const std::vector<NodeId> boost = {1, 2};
+  const double exact = ExactBoost(
+      g, seeds, boost, BoostSemantics::kBoostedAreMoreInfluential);
+  SimulationOptions opts;
+  opts.num_simulations = 150000;
+  opts.num_threads = 4;
+  BoostEstimate mc = EstimateBoost(
+      g, seeds, boost, opts, BoostSemantics::kBoostedAreMoreInfluential);
+  EXPECT_NEAR(mc.boost, exact, 6 * mc.boost_stderr + 1e-3);
+}
+
+TEST(BoostSemanticsTest, VariantsDifferOnAsymmetricInstances) {
+  // Boosting a node with strong out-gap but no in-gap only matters under
+  // the outgoing variant.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5, 0.5);  // no incoming gap at node 1
+  b.AddEdge(1, 2, 0.1, 0.9);  // huge outgoing gap from node 1
+  DirectedGraph g = std::move(b).Build();
+  const double incoming = ExactBoost(g, {0}, {1});
+  const double outgoing = ExactBoost(
+      g, {0}, {1}, BoostSemantics::kBoostedAreMoreInfluential);
+  EXPECT_NEAR(incoming, 0.0, 1e-9);
+  EXPECT_GT(outgoing, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Linear Threshold substrate (the paper's future-work direction).
+// ---------------------------------------------------------------------------
+
+TEST(LtModelTest, ValidityCheckRejectsOverweightedNodes) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 0.8, 0.9).AddEdge(1, 2, 0.8, 0.9);
+  DirectedGraph g = std::move(b).Build();
+  EXPECT_FALSE(IsValidLtGraph(g));
+  GraphBuilder ok(3);
+  ok.AddEdge(0, 2, 0.4, 0.5).AddEdge(1, 2, 0.4, 0.5);
+  EXPECT_TRUE(IsValidLtGraph(std::move(ok).Build()));
+}
+
+TEST(LtModelTest, ExactMatchesHandComputationOnPath) {
+  // 0 -> 1 -> 2, weights 0.6 and 0.5, seed {0}:
+  // σ = 1 + 0.6 + 0.6*0.5 = 1.9 (LT on a path = products, like IC).
+  GraphBuilder b = BuildDirectedPath(3);
+  b.AssignConstantProbability(0.6);
+  DirectedGraph g = std::move(b).Build();
+  EXPECT_NEAR(ExactLtSpread(g, {0}), 1 + 0.6 + 0.36, 1e-6);
+}
+
+TEST(LtModelTest, MonteCarloMatchesExact) {
+  Rng rng(9);
+  GraphBuilder b = BuildErdosRenyi(7, 12, rng);
+  b.AssignWeightedCascadeProbabilities();  // guarantees Σ in-weights = 1
+  DirectedGraph g = std::move(b).Build();
+  ASSERT_TRUE(IsValidLtGraph(g));
+  const double exact = ExactLtSpread(g, {0, 1});
+  SimulationOptions opts;
+  opts.num_simulations = 200000;
+  opts.num_threads = 4;
+  SpreadEstimate mc = EstimateLtSpread(g, {0, 1}, opts);
+  EXPECT_NEAR(mc.mean, exact, 6 * mc.stderr_mean + 1e-3);
+}
+
+TEST(LtModelTest, BoostingIncreasesLtSpread) {
+  Rng rng(11);
+  GraphBuilder b = BuildErdosRenyi(40, 160, rng);
+  b.AssignWeightedCascadeProbabilities();
+  b.SetBoostWithBeta(2.0);
+  DirectedGraph g = std::move(b).Build();
+  SimulationOptions opts;
+  opts.num_simulations = 20000;
+  BoostEstimate e = EstimateLtBoost(g, {0, 1}, {5, 6, 7, 8}, opts);
+  EXPECT_GE(e.boost, 0.0);
+  EXPECT_GE(e.boosted_spread, e.base_spread - 1e-9);
+}
+
+TEST(LtModelTest, CoupledWorldsAreDeterministic) {
+  Rng rng(13);
+  GraphBuilder b = BuildErdosRenyi(30, 100, rng);
+  b.AssignWeightedCascadeProbabilities();
+  DirectedGraph g = std::move(b).Build();
+  SimScratch scratch;
+  const size_t a = SimulateLtOnce(g, {0}, 777, nullptr, scratch);
+  const size_t c = SimulateLtOnce(g, {0}, 777, nullptr, scratch);
+  EXPECT_EQ(a, c);
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo greedy comparator.
+// ---------------------------------------------------------------------------
+
+TEST(McGreedyTest, FindsTheObviousBoost) {
+  // Fig. 1: the only sensible single boost is v0.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.2, 0.4);
+  b.AddEdge(1, 2, 0.1, 0.2);
+  DirectedGraph g = std::move(b).Build();
+  McGreedyOptions opts;
+  opts.k = 1;
+  opts.num_simulations = 20000;
+  McGreedyResult r = McGreedyBoost(g, {0}, opts);
+  ASSERT_EQ(r.boost_set.size(), 1u);
+  EXPECT_EQ(r.boost_set[0], 1u);
+}
+
+TEST(McGreedyTest, AgreesWithPrrBoostOnSmallGraphs) {
+  Rng rng(21);
+  GraphBuilder b = BuildErdosRenyi(25, 120, rng);
+  b.AssignConstantProbability(0.2);
+  b.SetBoostWithBeta(3.0);
+  DirectedGraph g = std::move(b).Build();
+  const std::vector<NodeId> seeds = {0, 1};
+
+  McGreedyOptions mopts;
+  mopts.k = 4;
+  mopts.num_simulations = 30000;
+  McGreedyResult mc = McGreedyBoost(g, seeds, mopts);
+
+  BoostOptions bopts;
+  bopts.k = 4;
+  bopts.epsilon = 0.3;
+  BoostResult prr = PrrBoost(g, seeds, bopts);
+
+  SimulationOptions sim;
+  sim.num_simulations = 60000;
+  const double v_mc = EstimateBoost(g, seeds, mc.boost_set, sim).boost;
+  const double v_prr = EstimateBoost(g, seeds, prr.best_set, sim).boost;
+  // Both are greedy maximizers of the same objective; they should land
+  // within a few percent of each other.
+  EXPECT_NEAR(v_mc, v_prr, 0.15 * std::max(v_mc, v_prr) + 0.05);
+}
+
+TEST(McGreedyTest, RespectsBudgetAndSeeds) {
+  Rng rng(22);
+  GraphBuilder b = BuildErdosRenyi(20, 80, rng);
+  b.AssignConstantProbability(0.2);
+  b.SetBoostWithBeta(2.0);
+  DirectedGraph g = std::move(b).Build();
+  McGreedyOptions opts;
+  opts.k = 5;
+  opts.num_simulations = 5000;
+  McGreedyResult r = McGreedyBoost(g, {0, 1, 2}, opts);
+  EXPECT_LE(r.boost_set.size(), 5u);
+  for (NodeId v : r.boost_set) EXPECT_GT(v, 2u);
+}
+
+}  // namespace
+}  // namespace kboost

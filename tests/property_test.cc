@@ -1,0 +1,318 @@
+// Cross-cutting property tests: independent re-implementations and
+// statistical invariants that tie the modules together. These are the
+// "does the whole pipeline tell one consistent story" checks, complementing
+// the per-module unit tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "src/core/prr_boost.h"
+#include "src/core/prr_collection.h"
+#include "src/core/prr_sampler.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/im/coverage.h"
+#include "src/sim/boost_model.h"
+#include "src/tree/bidirected_tree.h"
+#include "src/tree/path_products.h"
+#include "src/tree/tree_evaluator.h"
+#include "src/tree/tree_generators.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PRR estimator vs Monte-Carlo simulator on mid-size graphs: two completely
+// independent estimation pipelines (reverse sampling vs forward simulation)
+// must agree within joint noise, across probability models.
+// ---------------------------------------------------------------------------
+
+class PrrVsMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PrrVsMonteCarlo, TwoIndependentEstimatorsAgree) {
+  const int seed = std::get<0>(GetParam());
+  const double beta = std::get<1>(GetParam());
+  Rng rng(seed);
+  GraphBuilder b = BuildPreferentialAttachment(300, 3.0, 0.3, rng);
+  b.AssignExponentialProbabilities(0.12, rng);
+  b.SetBoostWithBeta(beta);
+  DirectedGraph g = std::move(b).Build();
+  const std::vector<NodeId> seeds = {0, 1, 2};
+
+  // An arbitrary boost set (not optimized — avoids winner's-curse bias).
+  std::vector<NodeId> boost;
+  for (NodeId v = 10; v < 40; v += 3) boost.push_back(v);
+
+  PrrCollection collection(g.num_nodes());
+  PrrSampler sampler(g, seeds, boost.size(), false, seed, 4);
+  sampler.EnsureSamples(collection, 120000);
+  const double prr_estimate = collection.EstimateDelta(boost, 4);
+
+  SimulationOptions sim;
+  sim.num_simulations = 60000;
+  sim.num_threads = 4;
+  sim.seed = seed + 1;
+  BoostEstimate mc = EstimateBoost(g, seeds, boost, sim);
+
+  EXPECT_NEAR(prr_estimate, mc.boost,
+              8 * mc.boost_stderr + 0.05 * std::max(1.0, mc.boost))
+      << "PRR and MC estimators disagree (seed " << seed << ", beta " << beta
+      << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrrVsMonteCarlo,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(2.0, 4.0)));
+
+// ---------------------------------------------------------------------------
+// Greedy max-coverage vs exhaustive optimum on random small instances:
+// the (1 - 1/e) bound must hold, and usually much better.
+// ---------------------------------------------------------------------------
+
+class CoverageGreedyQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverageGreedyQuality, WithinClassicBoundOfOptimum) {
+  Rng rng(GetParam() * 71 + 9);
+  const size_t num_nodes = 10;
+  const size_t num_sets = 30;
+  const size_t k = 3;
+
+  CoverageSelector selector(num_nodes);
+  std::vector<std::vector<NodeId>> sets;
+  for (size_t i = 0; i < num_sets; ++i) {
+    std::vector<NodeId> set;
+    const size_t size = 1 + rng.NextBounded(4);
+    for (size_t j = 0; j < size; ++j) {
+      NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      if (std::find(set.begin(), set.end(), v) == set.end()) {
+        set.push_back(v);
+      }
+    }
+    selector.AddSet(set);
+    sets.push_back(set);
+  }
+
+  // Exhaustive optimum over all C(10,3) picks.
+  size_t opt = 0;
+  for (NodeId a = 0; a < num_nodes; ++a) {
+    for (NodeId c = a + 1; c < num_nodes; ++c) {
+      for (NodeId d = c + 1; d < num_nodes; ++d) {
+        size_t covered = 0;
+        for (const auto& set : sets) {
+          for (NodeId v : set) {
+            if (v == a || v == c || v == d) {
+              ++covered;
+              break;
+            }
+          }
+        }
+        opt = std::max(opt, covered);
+      }
+    }
+  }
+
+  auto greedy = selector.SelectGreedy(k);
+  EXPECT_GE(static_cast<double>(greedy.covered_sets),
+            (1.0 - 1.0 / std::exp(1.0)) * static_cast<double>(opt) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CoverageGreedyQuality,
+                         ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Top-k boosted path products: the incremental multiset DFS must match a
+// naive per-pair recomputation (independent implementation).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Naive reference: for each ordered pair, walk the unique path, sort the
+/// boost ratios, boost the top k.
+double NaiveSumTopK(const BidirectedTree& tree, size_t k) {
+  const size_t n = tree.num_nodes();
+  double total = 0.0;
+  // BFS parent arrays per source.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<NodeId> parent(n, kInvalidNode);
+    std::vector<uint8_t> seen(n, 0);
+    std::vector<NodeId> order{src};
+    seen[src] = 1;
+    for (size_t head = 0; head < order.size(); ++head) {
+      NodeId u = order[head];
+      for (const auto& e : tree.Neighbors(u)) {
+        if (!seen[e.neighbor]) {
+          seen[e.neighbor] = 1;
+          parent[e.neighbor] = u;
+          order.push_back(e.neighbor);
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      // Collect directed edges along src -> dst.
+      std::vector<std::pair<double, double>> edges;  // (p, p')
+      NodeId cur = dst;
+      while (cur != src) {
+        NodeId par = parent[cur];
+        for (const auto& e : tree.Neighbors(par)) {
+          if (e.neighbor == cur) {
+            edges.push_back({e.p_out, e.pb_out});
+            break;
+          }
+        }
+        cur = par;
+      }
+      std::vector<double> ratios;
+      double product = 1.0;
+      for (auto [p, pb] : edges) {
+        product *= p;
+        ratios.push_back(pb / std::max(p, 1e-300));
+      }
+      std::sort(ratios.rbegin(), ratios.rend());
+      for (size_t i = 0; i < std::min(k, ratios.size()); ++i) {
+        product *= ratios[i];
+      }
+      total += product;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+class PathProductsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathProductsSweep, IncrementalMatchesNaive) {
+  Rng rng(GetParam() * 37 + 1);
+  TreeProbModel model;  // trivalency: diverse ratios
+  BidirectedTree tree = BuildRandomTree(24, 0, model, rng);
+  for (size_t k : {0u, 1u, 2u, 5u}) {
+    EXPECT_NEAR(SumTopKBoostedPathProducts(tree, k), NaiveSumTopK(tree, k),
+                1e-6 * std::max(1.0, NaiveSumTopK(tree, k)))
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PathProductsSweep, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Tree generators: structural invariants.
+// ---------------------------------------------------------------------------
+
+TEST(TreeGeneratorsTest, CompleteBinaryTreeShape) {
+  Rng rng(3);
+  TreeProbModel model;
+  BidirectedTree tree = BuildCompleteBinaryTree(15, model, rng);
+  EXPECT_EQ(tree.num_nodes(), 15u);
+  // Node 0 has degree 2; internal nodes 3; leaves 1.
+  EXPECT_EQ(tree.Degree(0), 2u);
+  EXPECT_EQ(tree.Degree(1), 3u);
+  EXPECT_EQ(tree.Degree(14), 1u);
+}
+
+TEST(TreeGeneratorsTest, RandomTreeRespectsMaxChildren) {
+  Rng rng(4);
+  TreeProbModel model;
+  BidirectedTree tree = BuildRandomTree(200, 2, model, rng);
+  // In a rooted-at-0 recursive tree with max 2 children, every node has at
+  // most 3 neighbours (parent + 2 children).
+  for (NodeId v = 0; v < 200; ++v) EXPECT_LE(tree.Degree(v), 3u);
+}
+
+TEST(TreeGeneratorsTest, WithTreeSeedsMarksExactlyCount) {
+  Rng rng(5);
+  TreeProbModel model;
+  BidirectedTree tree = BuildCompleteBinaryTree(63, model, rng);
+  tree = WithTreeSeeds(tree, 7, false, rng);
+  EXPECT_EQ(tree.seeds().size(), 7u);
+  size_t flagged = 0;
+  for (NodeId v = 0; v < 63; ++v) flagged += tree.IsSeed(v);
+  EXPECT_EQ(flagged, 7u);
+}
+
+TEST(TreeGeneratorsTest, ProbabilitiesFollowBetaRule) {
+  Rng rng(6);
+  TreeProbModel model;
+  model.trivalency = false;
+  model.constant_p = 0.2;
+  model.beta = 3.0;
+  BidirectedTree tree = BuildCompleteBinaryTree(7, model, rng);
+  for (NodeId v = 0; v < 7; ++v) {
+    for (const auto& e : tree.Neighbors(v)) {
+      EXPECT_NEAR(e.pb_out, 1.0 - std::pow(1.0 - e.p_out, 3.0), 1e-6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PRR pool invariants under the max_samples engineering control.
+// ---------------------------------------------------------------------------
+
+TEST(MaxSamplesTest, CapBoundsPoolAndFlagsResult) {
+  Rng rng(8);
+  GraphBuilder b = BuildErdosRenyi(200, 800, rng);
+  b.AssignConstantProbability(0.02);  // weak spread -> large θ demanded
+  b.SetBoostWithBeta(2.0);
+  DirectedGraph g = std::move(b).Build();
+  BoostOptions opts;
+  opts.k = 5;
+  opts.max_samples = 2000;
+  BoostResult r = PrrBoost(g, {0}, opts);
+  EXPECT_LE(r.num_samples, 2000u + (1u << 16));  // one batch of slack
+  EXPECT_TRUE(r.samples_capped);
+}
+
+TEST(MaxSamplesTest, UncappedRunIsNotFlagged) {
+  Rng rng(9);
+  GraphBuilder b = BuildErdosRenyi(60, 400, rng);
+  b.AssignConstantProbability(0.2);
+  b.SetBoostWithBeta(2.0);
+  DirectedGraph g = std::move(b).Build();
+  BoostOptions opts;
+  opts.k = 5;
+  BoostResult r = PrrBoost(g, {0, 1}, opts);
+  EXPECT_FALSE(r.samples_capped);
+}
+
+// ---------------------------------------------------------------------------
+// Tree evaluator vs PRR machinery: a bidirected tree is also a general
+// graph, so PRR-Boost and the exact tree evaluator must agree on Δ.
+// ---------------------------------------------------------------------------
+
+TEST(CrossValidationTest, PrrBoostMatchesTreeEvaluatorOnTrees) {
+  Rng rng(12);
+  TreeProbModel model;
+  model.trivalency = false;
+  model.constant_p = 0.15;
+  BidirectedTree tree = BuildCompleteBinaryTree(127, model, rng);
+  tree = WithTreeSeeds(tree, 6, false, rng);
+  DirectedGraph g = tree.ToDirectedGraph();
+
+  BoostOptions opts;
+  opts.k = 8;
+  opts.epsilon = 0.3;
+  BoostResult prr = PrrBoost(g, tree.seeds(), opts);
+
+  TreeBoostEvaluator eval(tree);
+  std::vector<uint8_t> bitmap(tree.num_nodes(), 0);
+  for (NodeId v : prr.best_set) bitmap[v] = 1;
+  eval.Compute(bitmap);
+  // PRR's Δ̂ of its own pick vs the exact value of that pick.
+  EXPECT_NEAR(prr.best_estimate, eval.boost(),
+              0.3 * std::max(0.5, eval.boost()));
+
+  // And greedy on the tree should be at least as good as PRR's pick
+  // (exact marginal gains beat sampled ones on the same instance).
+  GreedyBoostResult greedy = GreedyBoost(tree, 8);
+  EXPECT_GE(greedy.boost, 0.9 * eval.boost() - 1e-6);
+}
+
+}  // namespace
+}  // namespace kboost

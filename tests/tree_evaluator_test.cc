@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/boost_model.h"
+#include "src/tree/bidirected_tree.h"
+#include "src/tree/tree_evaluator.h"
+#include "src/tree/tree_generators.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+/// The paper's Figure-4 tree: v0 center; v1, v2, v3 leaves; seeds {v1, v3};
+/// p = 0.1, p' = 0.19 on all directed edges.
+BidirectedTree Fig4Tree() {
+  TreeBuilder b(4);
+  b.AddEdge(0, 1, 0.1, 0.19);
+  b.AddEdge(0, 2, 0.1, 0.19);
+  b.AddEdge(0, 3, 0.1, 0.19);
+  b.SetSeeds({1, 3});
+  return std::move(b).Build();
+}
+
+TEST(TreeEvaluatorTest, Fig4ActivationProbabilities) {
+  BidirectedTree tree = Fig4Tree();
+  TreeBoostEvaluator eval(tree);
+  // ap(v0) = 1 - (1 - 0.1)^2 = 0.19 (two seed neighbours).
+  EXPECT_NEAR(eval.base_activation()[0], 0.19, 1e-6);
+  EXPECT_NEAR(eval.base_activation()[1], 1.0, 1e-6);
+  EXPECT_NEAR(eval.base_activation()[2], 0.19 * 0.1, 1e-6);
+  EXPECT_NEAR(eval.base_activation()[3], 1.0, 1e-6);
+}
+
+TEST(TreeEvaluatorTest, Fig4BoostingCenter) {
+  BidirectedTree tree = Fig4Tree();
+  TreeBoostEvaluator eval(tree);
+  std::vector<uint8_t> boost(4, 0);
+  boost[0] = 1;
+  eval.Compute(boost);
+  // Boosted v0: ap(v0) = 1 - (1 - 0.19)^2.
+  const double ap0 = 1.0 - 0.81 * 0.81;
+  EXPECT_NEAR(eval.ActivationProbability(0), ap0, 1e-6);
+  EXPECT_NEAR(eval.ActivationProbability(2), ap0 * 0.1, 1e-6);
+  EXPECT_NEAR(eval.boosted_spread(), 2 + ap0 + ap0 * 0.1, 1e-6);
+}
+
+TEST(TreeEvaluatorTest, MatchesExactEnumerationOnPath) {
+  // Path seed(0) - 1 - 2 with asymmetric probabilities.
+  TreeBuilder b(3);
+  b.AddEdge(0, 1, 0.3, 0.5, 0.2, 0.4);
+  b.AddEdge(1, 2, 0.25, 0.45, 0.15, 0.3);
+  b.SetSeed(0);
+  BidirectedTree tree = std::move(b).Build();
+  DirectedGraph g = tree.ToDirectedGraph();
+
+  TreeBoostEvaluator eval(tree);
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    std::vector<uint8_t> bitmap(3, 0);
+    std::vector<NodeId> boost;
+    if (mask & 1) {
+      bitmap[1] = 1;
+      boost.push_back(1);
+    }
+    if (mask & 2) {
+      bitmap[2] = 1;
+      boost.push_back(2);
+    }
+    eval.Compute(bitmap);
+    EXPECT_NEAR(eval.boosted_spread(), ExactBoostedSpread(g, {0}, boost),
+                1e-10)
+        << "mask=" << mask;
+  }
+}
+
+TEST(TreeEvaluatorTest, SpreadWithExtraBoostMatchesRecompute) {
+  Rng rng(7);
+  TreeProbModel model;
+  model.trivalency = false;
+  model.constant_p = 0.2;
+  BidirectedTree tree = BuildCompleteBinaryTree(31, model, rng);
+  tree = WithTreeSeeds(tree, 3, /*influential=*/false, rng);
+
+  TreeBoostEvaluator eval(tree);
+  std::vector<uint8_t> base(31, 0);
+  base[10] = 1;  // existing boost
+  eval.Compute(base);
+  std::vector<double> predicted(31);
+  for (NodeId u = 0; u < 31; ++u) predicted[u] = eval.SpreadWithExtraBoost(u);
+
+  for (NodeId u = 0; u < 31; ++u) {
+    std::vector<uint8_t> with = base;
+    with[u] = 1;
+    eval.Compute(with);
+    EXPECT_NEAR(predicted[u], eval.boosted_spread(), 1e-9) << "u=" << u;
+  }
+}
+
+TEST(TreeEvaluatorTest, BoostNeverHurts) {
+  Rng rng(8);
+  TreeProbModel model;
+  BidirectedTree tree = BuildRandomTree(64, 0, model, rng);
+  tree = WithTreeSeeds(tree, 4, false, rng);
+  TreeBoostEvaluator eval(tree);
+  std::vector<uint8_t> boost(64, 0);
+  double prev = eval.base_spread();
+  Rng pick(3);
+  for (int i = 0; i < 10; ++i) {
+    NodeId v = static_cast<NodeId>(pick.NextBounded(64));
+    boost[v] = 1;
+    eval.Compute(boost);
+    EXPECT_GE(eval.boosted_spread(), prev - 1e-12);
+    prev = eval.boosted_spread();
+  }
+}
+
+TEST(TreeEvaluatorTest, SeedsAndBoostedNodesHaveNoMarginal) {
+  BidirectedTree tree = Fig4Tree();
+  TreeBoostEvaluator eval(tree);
+  std::vector<uint8_t> boost(4, 0);
+  boost[2] = 1;
+  eval.Compute(boost);
+  EXPECT_DOUBLE_EQ(eval.SpreadWithExtraBoost(1), eval.boosted_spread());
+  EXPECT_DOUBLE_EQ(eval.SpreadWithExtraBoost(2), eval.boosted_spread());
+}
+
+TEST(TreeEvaluatorTest, AgreesWithMonteCarloOnRandomTrees) {
+  Rng rng(11);
+  TreeProbModel model;
+  model.trivalency = false;
+  model.constant_p = 0.15;
+  BidirectedTree tree = BuildRandomTree(100, 3, model, rng);
+  tree = WithTreeSeeds(tree, 5, false, rng);
+  DirectedGraph g = tree.ToDirectedGraph();
+
+  std::vector<uint8_t> bitmap(100, 0);
+  std::vector<NodeId> boost;
+  for (NodeId v : {7, 20, 33, 48}) {
+    if (!tree.IsSeed(v)) {
+      bitmap[v] = 1;
+      boost.push_back(v);
+    }
+  }
+  TreeBoostEvaluator eval(tree);
+  eval.Compute(bitmap);
+
+  SimulationOptions opts;
+  opts.num_simulations = 200000;
+  opts.num_threads = 4;
+  SpreadEstimate mc = EstimateBoostedSpread(g, tree.seeds(), boost, opts);
+  EXPECT_NEAR(eval.boosted_spread(), mc.mean, 6 * mc.stderr_mean + 0.01);
+}
+
+TEST(GreedyBoostTest, BeatsRandomSelection) {
+  Rng rng(13);
+  TreeProbModel model;
+  BidirectedTree tree = BuildCompleteBinaryTree(255, model, rng);
+  tree = WithTreeSeeds(tree, 8, false, rng);
+
+  GreedyBoostResult greedy = GreedyBoost(tree, 10);
+  EXPECT_LE(greedy.boost_set.size(), 10u);
+  EXPECT_GE(greedy.boost, 0.0);
+
+  // Random sets of the same size must not beat greedy (statistically; we
+  // allow exact ties for degenerate draws).
+  TreeBoostEvaluator eval(tree);
+  Rng pick(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<uint8_t> bitmap(255, 0);
+    size_t placed = 0;
+    while (placed < greedy.boost_set.size()) {
+      NodeId v = static_cast<NodeId>(pick.NextBounded(255));
+      if (!tree.IsSeed(v) && !bitmap[v]) {
+        bitmap[v] = 1;
+        ++placed;
+      }
+    }
+    eval.Compute(bitmap);
+    EXPECT_LE(eval.boost(), greedy.boost + 1e-9);
+  }
+}
+
+TEST(GreedyBoostTest, MarginalGainsAreRecordedAndSumUp) {
+  Rng rng(14);
+  TreeProbModel model;
+  BidirectedTree tree = BuildCompleteBinaryTree(63, model, rng);
+  tree = WithTreeSeeds(tree, 4, false, rng);
+  GreedyBoostResult r = GreedyBoost(tree, 6);
+  ASSERT_EQ(r.marginal_boosts.size(), r.boost_set.size());
+  double sum = 0.0;
+  for (double m : r.marginal_boosts) {
+    EXPECT_GT(m, 0.0);
+    sum += m;
+  }
+  EXPECT_NEAR(sum, r.boost, 1e-9);
+}
+
+class TreeEvaluatorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeEvaluatorSweep, ExactAgainstEnumerationOnTinyTrees) {
+  Rng rng(GetParam() * 101 + 3);
+  TreeProbModel model;
+  model.trivalency = false;
+  model.constant_p = 0.25;
+  model.beta = 2.0;
+  BidirectedTree tree = BuildRandomTree(6, 0, model, rng);
+  tree = WithTreeSeeds(tree, 1 + GetParam() % 2, false, rng);
+  DirectedGraph g = tree.ToDirectedGraph();  // 10 directed edges
+  TreeBoostEvaluator eval(tree);
+
+  for (uint32_t mask = 0; mask < (1u << 6); ++mask) {
+    std::vector<uint8_t> bitmap(6, 0);
+    std::vector<NodeId> boost;
+    for (NodeId v = 0; v < 6; ++v) {
+      if ((mask >> v) & 1 && !tree.IsSeed(v)) {
+        bitmap[v] = 1;
+        boost.push_back(v);
+      }
+    }
+    eval.Compute(bitmap);
+    ASSERT_NEAR(eval.boosted_spread(),
+                ExactBoostedSpread(g, tree.seeds(), boost), 1e-9)
+        << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, TreeEvaluatorSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace kboost

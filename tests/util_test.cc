@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/util/bounds.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace kboost {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedIsInRangeAndRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    uint64_t x = rng.NextBounded(10);
+    ASSERT_LT(x, 10u);
+    ++counts[x];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, 600);  // ~6 sigma
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.NextExponential(0.25);
+  EXPECT_NEAR(sum / trials, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(42);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i) * 10;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStatTest, EmptyMergeIsNoop) {
+  RunningStat a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(BoundsTest, LogChooseSmallValues) {
+  EXPECT_NEAR(LogChoose(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogChoose(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogChoose(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogChoose(52, 5), std::log(2598960.0), 1e-6);
+}
+
+TEST(BoundsTest, LogChooseSymmetry) {
+  EXPECT_NEAR(LogChoose(100, 30), LogChoose(100, 70), 1e-8);
+}
+
+TEST(BoundsTest, ImmBoundsArePositiveAndScaleWithN) {
+  ImmBounds small{0.5, 1.0, 1000, 10};
+  ImmBounds large{0.5, 1.0, 100000, 10};
+  EXPECT_GT(small.LambdaPrime(), 0.0);
+  EXPECT_GT(small.LambdaStar(), 0.0);
+  EXPECT_GT(large.LambdaPrime(), small.LambdaPrime());
+  EXPECT_GT(large.LambdaStar(), small.LambdaStar());
+  EXPECT_GT(large.NumSearchLevels(), small.NumSearchLevels());
+}
+
+TEST(BoundsTest, SmallerEpsilonNeedsMoreSamples) {
+  ImmBounds loose{0.5, 1.0, 10000, 50};
+  ImmBounds tight{0.1, 1.0, 10000, 50};
+  EXPECT_GT(tight.LambdaStar(), loose.LambdaStar());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  const size_t count = 10000;
+  std::vector<std::atomic<int>> hits(count);
+  ParallelFor(count, 4, [&](size_t i, int) { hits[i]++; });
+  for (size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&](size_t i, int t) {
+    EXPECT_EQ(t, 0);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  ParallelFor(0, 8, [&](size_t, int) { FAIL(); });
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + 1;
+  EXPECT_GE(timer.Seconds(), 0.0);
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace kboost
