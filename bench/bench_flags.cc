@@ -59,6 +59,10 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      flags.json_path = arg + 7;
+      continue;
+    }
     if (std::strcmp(arg, "--full") == 0) {
       flags.full = true;
       flags.scale = 1.0;
@@ -69,9 +73,10 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s [--scale=F] [--sims=N] [--threads=N] [--epsilon=F]\n"
-        "          [--seed=N] [--k=a,b,c] [--full]\n"
+        "          [--seed=N] [--k=a,b,c] [--json=PATH] [--full]\n"
         "  --scale    dataset size relative to the paper's (default 0.02)\n"
         "  --sims     Monte-Carlo evaluations per point (default 2000)\n"
+        "  --json     write BENCH_*.json-style records to PATH (overwrites)\n"
         "  --full     paper-scale sizes and 20000 simulations\n",
         argv[0]);
     std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);

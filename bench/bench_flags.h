@@ -22,6 +22,11 @@ struct BenchFlags {
   /// keeps low-OPT instances (flickr stand-in) from exploding θ = λ*/OPT.
   size_t max_samples = 1'000'000;
   std::vector<size_t> ks;  ///< override for k sweeps (--k=10,50,100)
+  /// When non-empty, harnesses write machine-readable records to this path
+  /// (BENCH_micro_prr.json-style: {"benchmarks": [{name, value, unit}]}),
+  /// overwriting any previous contents — one file per harness run, giving
+  /// future PRs a perf trajectory to compare against.
+  std::string json_path;
 
   int ResolvedThreads() const;
 };

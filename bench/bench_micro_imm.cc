@@ -5,6 +5,7 @@
 
 #include "src/expt/datasets.h"
 #include "src/expt/seed_selection.h"
+#include "src/im/imm.h"
 #include "src/im/rr_set.h"
 #include "src/sim/ic_model.h"
 #include "src/util/rng.h"
@@ -43,6 +44,27 @@ void BM_DiffusionSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DiffusionSimulation);
+
+// Full IMM seed selection: RR-set sampling schedule plus CELF greedy
+// max-coverage — the sampling+selection hot path shared with PRR-Boost-LB.
+// Arg is the worker count.
+void BM_ImmSampleAndSelect(benchmark::State& state) {
+  static Dataset* dataset =
+      new Dataset(MakeDataset(SpecByName("digg", 0.02)));
+  ImmOptions options;
+  options.k = 20;
+  options.seed = 5;
+  options.num_threads = static_cast<int>(state.range(0));
+  size_t rr_sets = 0;
+  for (auto _ : state) {
+    ImmResult result = SelectSeedsImm(dataset->graph, options);
+    rr_sets += result.num_rr_sets;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rr_sets));
+}
+BENCHMARK(BM_ImmSampleAndSelect)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace kboost

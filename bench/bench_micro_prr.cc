@@ -6,8 +6,10 @@
 
 #include "src/core/prr_collection.h"
 #include "src/core/prr_graph.h"
+#include "src/core/prr_sampler.h"
 #include "src/expt/datasets.h"
 #include "src/expt/seed_selection.h"
+#include "src/sim/boost_model.h"
 #include "src/util/rng.h"
 
 namespace kboost {
@@ -95,6 +97,52 @@ void BM_PrrCriticalNodes(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PrrCriticalNodes);
+
+// The end-to-end hot path the PRR-Boost pipeline spends its time in:
+// sample a pool of PRR-graphs, then run greedy Δ̂ selection over it.
+// Throughput is reported in samples/s; Arg is the worker count.
+void BM_PrrSampleAndSelect(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int threads = static_cast<int>(state.range(0));
+  constexpr size_t kSamples = 4000;
+  constexpr size_t kBudget = 20;
+  const std::vector<uint8_t> excluded =
+      MakeNodeBitmap(f.dataset.graph.num_nodes(), f.seeds);
+  for (auto _ : state) {
+    PrrCollection collection(f.dataset.graph.num_nodes());
+    PrrSampler sampler(f.dataset.graph, f.seeds, kBudget, /*lb_only=*/false,
+                       /*seed=*/11, threads);
+    sampler.EnsureSamples(collection, kSamples);
+    auto result = collection.SelectGreedyDelta(kBudget, excluded);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSamples));
+}
+BENCHMARK(BM_PrrSampleAndSelect)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same shape for the LB-only pipeline (critical sets + max-coverage).
+void BM_PrrSampleAndSelectLb(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int threads = static_cast<int>(state.range(0));
+  constexpr size_t kSamples = 8000;
+  constexpr size_t kBudget = 20;
+  const std::vector<uint8_t> excluded =
+      MakeNodeBitmap(f.dataset.graph.num_nodes(), f.seeds);
+  for (auto _ : state) {
+    PrrCollection collection(f.dataset.graph.num_nodes());
+    PrrSampler sampler(f.dataset.graph, f.seeds, kBudget, /*lb_only=*/true,
+                       /*seed=*/11, threads);
+    sampler.EnsureSamples(collection, kSamples);
+    auto result = collection.SelectGreedyLowerBound(kBudget, excluded);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSamples));
+}
+BENCHMARK(BM_PrrSampleAndSelectLb)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace kboost

@@ -72,8 +72,8 @@ BoostResult PrrBoostEngine::Run() {
     result.best_estimate = result.lb_mu_hat;
   } else {
     // NodeSelection: greedy on Δ̂ directly, reusing the same pool.
-    PrrCollection::DeltaResult dr =
-        collection_->SelectGreedyDelta(options_.k, excluded_);
+    PrrCollection::DeltaResult dr = collection_->SelectGreedyDelta(
+        options_.k, excluded_, options_.num_threads);
     result.delta_set = std::move(dr.nodes);
     result.delta_delta_hat = dr.delta_hat;
     result.lb_delta_hat =

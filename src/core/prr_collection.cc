@@ -11,30 +11,37 @@
 namespace kboost {
 
 PrrCollection::PrrCollection(size_t num_graph_nodes)
-    : num_graph_nodes_(num_graph_nodes),
-      coverage_(num_graph_nodes),
-      node_to_graphs_(num_graph_nodes) {}
+    : num_graph_nodes_(num_graph_nodes), coverage_(num_graph_nodes) {}
 
-void PrrCollection::AddBoostable(PrrGraph graph) {
-  const uint32_t graph_id = static_cast<uint32_t>(graphs_.size());
-  std::vector<NodeId> critical_globals;
-  critical_globals.reserve(graph.critical_locals.size());
-  for (uint32_t c : graph.critical_locals) {
-    critical_globals.push_back(graph.global_ids[c]);
+void PrrCollection::AddBoostable(const PrrGraph& graph) {
+  const size_t id = store_.Add(graph);
+  const PrrGraphView view = store_.View(id);
+  critical_scratch_.clear();
+  for (uint32_t c : view.critical()) {
+    critical_scratch_.push_back(view.global_ids[c]);
   }
-  coverage_.AddSet(critical_globals);
-  for (uint32_t v = PrrGraph::kRootLocal; v < graph.num_nodes(); ++v) {
-    node_to_graphs_[graph.global_ids[v]].push_back(graph_id);
+  coverage_.AddSet(critical_scratch_);
+  graph_index_built_ = false;
+  ++num_boostable_;
+}
+
+void PrrCollection::AddBoostableFromStore(const PrrStore& shard,
+                                          size_t shard_id) {
+  const size_t id = store_.AppendFrom(shard, shard_id);
+  const PrrGraphView view = store_.View(id);
+  critical_scratch_.clear();
+  for (uint32_t c : view.critical()) {
+    critical_scratch_.push_back(view.global_ids[c]);
   }
-  stored_bytes_ += graph.MemoryBytes();
-  graphs_.push_back(std::move(graph));
+  coverage_.AddSet(critical_scratch_);
+  graph_index_built_ = false;
   ++num_boostable_;
 }
 
 void PrrCollection::AddBoostableCriticalOnly(
-    const std::vector<NodeId>& critical_globals) {
+    std::span<const NodeId> critical_globals) {
   coverage_.AddSet(critical_globals);
-  stored_bytes_ += critical_globals.size() * sizeof(NodeId);
+  lb_critical_bytes_ += critical_globals.size() * sizeof(NodeId);
   ++num_boostable_;
 }
 
@@ -48,6 +55,33 @@ void PrrCollection::AddNonBoostable(PrrStatus status) {
   }
 }
 
+void PrrCollection::EnsureGraphIndex() const {
+  if (graph_index_built_) return;
+  const size_t num_graphs = store_.num_graphs();
+  node_graph_offsets_.assign(num_graph_nodes_ + 1, 0);
+  // Counting-sort pass: local id 0 is the super-seed sentinel (no global
+  // identity) and is skipped consistently in both passes.
+  for (size_t g = 0; g < num_graphs; ++g) {
+    const PrrGraphView view = store_.View(g);
+    for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
+      ++node_graph_offsets_[view.global_ids[v] + 1];
+    }
+  }
+  for (size_t v = 0; v < num_graph_nodes_; ++v) {
+    node_graph_offsets_[v + 1] += node_graph_offsets_[v];
+  }
+  node_graphs_.resize(node_graph_offsets_[num_graph_nodes_]);
+  std::vector<size_t> cursor(node_graph_offsets_.begin(),
+                             node_graph_offsets_.end() - 1);
+  for (size_t g = 0; g < num_graphs; ++g) {
+    const PrrGraphView view = store_.View(g);
+    for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
+      node_graphs_[cursor[view.global_ids[v]]++] = static_cast<uint32_t>(g);
+    }
+  }
+  graph_index_built_ = true;
+}
+
 PrrCollection::LbResult PrrCollection::SelectGreedyLowerBound(
     size_t k, const std::vector<uint8_t>& excluded) const {
   CoverageSelector::Result cov = coverage_.SelectGreedy(k, &excluded);
@@ -59,48 +93,64 @@ PrrCollection::LbResult PrrCollection::SelectGreedyLowerBound(
 }
 
 PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
-    size_t k, const std::vector<uint8_t>& excluded) const {
+    size_t k, const std::vector<uint8_t>& excluded, int num_threads) const {
   DeltaResult result;
   if (k == 0 || num_samples() == 0) return result;
+  EnsureGraphIndex();
 
   const size_t n = num_graph_nodes_;
-  std::vector<uint8_t> boosted(n, 0);
-  std::vector<uint8_t> covered(graphs_.size(), 0);
-  // Current critical set per stored graph (global ids).
-  std::vector<std::vector<NodeId>> critical(graphs_.size());
-  std::vector<size_t> gains(n, 0);
+  const size_t num_graphs = store_.num_graphs();
+  const int threads = std::max(1, num_threads);
 
-  for (size_t g = 0; g < graphs_.size(); ++g) {
-    critical[g].reserve(graphs_[g].critical_locals.size());
-    for (uint32_t c : graphs_[g].critical_locals) {
-      NodeId global = graphs_[g].global_ids[c];
+  std::vector<uint8_t> boosted(n, 0);
+  std::vector<uint8_t> covered(num_graphs, 0);
+  // Current critical set per stored graph (global ids).
+  std::vector<std::vector<NodeId>> critical(num_graphs);
+  // Gains are updated concurrently during the per-pick re-evaluation scan;
+  // increments/decrements commute, so the final values are deterministic.
+  std::vector<std::atomic<uint32_t>> gains(n);
+  for (size_t v = 0; v < n; ++v) gains[v].store(0, std::memory_order_relaxed);
+
+  for (size_t g = 0; g < num_graphs; ++g) {
+    const PrrGraphView view = store_.View(g);
+    critical[g].reserve(view.num_critical_count);
+    for (uint32_t c : view.critical()) {
+      const NodeId global = view.global_ids[c];
       critical[g].push_back(global);
-      if (!excluded[global]) ++gains[global];
+      if (!excluded[global]) gains[global].fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   // Max-heap tolerant of stale entries: an entry is valid iff its recorded
-  // gain still matches gains[node]. Gains move both ways as B grows, so we
-  // push a fresh entry on every change.
+  // gain still matches gains[node]. Gains move both ways as B grows, so a
+  // fresh entry is pushed for every node whose gain changed. Ties break
+  // toward smaller node ids, which makes the pick — and therefore the whole
+  // selection — independent of heap insertion order and thread count.
   struct Entry {
-    size_t gain;
+    uint32_t gain;
     NodeId node;
   };
-  auto cmp = [](const Entry& a, const Entry& b) { return a.gain < b.gain; };
+  auto cmp = [](const Entry& a, const Entry& b) {
+    return a.gain < b.gain || (a.gain == b.gain && a.node > b.node);
+  };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
   for (NodeId v = 0; v < n; ++v) {
-    if (gains[v] > 0 && !excluded[v]) heap.push(Entry{gains[v], v});
+    const uint32_t gv = gains[v].load(std::memory_order_relaxed);
+    if (gv > 0 && !excluded[v]) heap.push(Entry{gv, v});
   }
 
-  PrrEvaluator evaluator;
-  std::vector<uint32_t> new_critical_locals;
+  // Per-worker scratch reused across picks.
+  std::vector<PrrEvaluator> evaluators(threads);
+  std::vector<std::vector<uint32_t>> new_critical(threads);
+  std::vector<std::vector<NodeId>> touched(threads);
+  std::atomic<size_t> activated{0};
 
   while (result.nodes.size() < k) {
     NodeId pick = kInvalidNode;
     while (!heap.empty()) {
-      Entry top = heap.top();
-      if (boosted[top.node] || top.gain != gains[top.node] ||
-          gains[top.node] == 0) {
+      const Entry top = heap.top();
+      const uint32_t current = gains[top.node].load(std::memory_order_relaxed);
+      if (boosted[top.node] || top.gain != current || current == 0) {
         heap.pop();
         continue;
       }
@@ -111,38 +161,56 @@ PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
 
     boosted[pick] = 1;
     result.nodes.push_back(pick);
-    gains[pick] = 0;
+    gains[pick].store(0, std::memory_order_relaxed);
 
     // Re-evaluate every graph containing the pick; update gains by diffing
-    // old and new critical sets ("linear in the size of R" update).
-    for (uint32_t g : node_to_graphs_[pick]) {
-      if (covered[g]) continue;
-      for (NodeId old : critical[g]) {
-        if (!boosted[old] && !excluded[old]) {
-          KB_DCHECK(gains[old] > 0);
-          --gains[old];
-          heap.push(Entry{gains[old], old});
-        }
-      }
-      const bool now_active = evaluator.CriticalNodes(
-          graphs_[g], boosted.data(), &new_critical_locals);
-      if (now_active) {
-        covered[g] = 1;
-        ++result.activated_samples;
-        critical[g].clear();
-        continue;
-      }
-      critical[g].clear();
-      for (uint32_t c : new_critical_locals) {
-        NodeId global = graphs_[g].global_ids[c];
-        critical[g].push_back(global);
-        if (!boosted[global] && !excluded[global]) {
-          ++gains[global];
-          heap.push(Entry{gains[global], global});
-        }
+    // old and new critical sets ("linear in the size of R" update). Graphs
+    // are disjoint work items: critical[g]/covered[g] are per-graph, gain
+    // updates are atomic, and touched nodes are collected per worker.
+    const std::span<const uint32_t> graphs_of_pick = GraphsContaining(pick);
+    for (auto& t : touched) t.clear();
+    ParallelFor(
+        graphs_of_pick.size(), threads,
+        [&](size_t gi, int t) {
+          const uint32_t g = graphs_of_pick[gi];
+          if (covered[g]) return;
+          std::vector<NodeId>& tl_touched = touched[t];
+          for (NodeId old : critical[g]) {
+            if (!boosted[old] && !excluded[old]) {
+              gains[old].fetch_sub(1, std::memory_order_relaxed);
+              tl_touched.push_back(old);
+            }
+          }
+          const PrrGraphView view = store_.View(g);
+          const bool now_active = evaluators[t].CriticalNodes(
+              view, boosted.data(), &new_critical[t]);
+          if (now_active) {
+            covered[g] = 1;
+            activated.fetch_add(1, std::memory_order_relaxed);
+            critical[g].clear();
+            return;
+          }
+          critical[g].clear();
+          for (uint32_t c : new_critical[t]) {
+            const NodeId global = view.global_ids[c];
+            critical[g].push_back(global);
+            if (!boosted[global] && !excluded[global]) {
+              gains[global].fetch_add(1, std::memory_order_relaxed);
+              tl_touched.push_back(global);
+            }
+          }
+        },
+        /*chunk=*/8);
+    // Serial epilogue: publish one heap entry per touched node with its
+    // settled gain. Stale or duplicate entries are filtered at pop time.
+    for (const std::vector<NodeId>& tl : touched) {
+      for (NodeId v : tl) {
+        const uint32_t gv = gains[v].load(std::memory_order_relaxed);
+        if (gv > 0) heap.push(Entry{gv, v});
       }
     }
   }
+  result.activated_samples = activated.load(std::memory_order_relaxed);
 
   // Budget left but no single-node gains: fall back to PRR-occurrence
   // counts (nodes present in many boostable PRR-graphs are the best
@@ -151,12 +219,14 @@ PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
     std::vector<NodeId> order;
     order.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
-      if (!boosted[v] && !excluded[v] && !node_to_graphs_[v].empty()) {
+      if (!boosted[v] && !excluded[v] && !GraphsContaining(v).empty()) {
         order.push_back(v);
       }
     }
     std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-      return node_to_graphs_[a].size() > node_to_graphs_[b].size();
+      const size_t ca = GraphsContaining(a).size();
+      const size_t cb = GraphsContaining(b).size();
+      return ca > cb || (ca == cb && a < b);
     });
     for (NodeId v : order) {
       if (result.nodes.size() >= k) break;
@@ -180,9 +250,9 @@ double PrrCollection::EstimateDelta(const std::vector<NodeId>& boost_set,
   const int threads = std::max(1, num_threads);
   std::vector<PrrEvaluator> evaluators(threads);
   ParallelFor(
-      graphs_.size(), threads,
+      store_.num_graphs(), threads,
       [&](size_t g, int t) {
-        if (evaluators[t].IsActivated(graphs_[g], boosted.data())) {
+        if (evaluators[t].IsActivated(store_.View(g), boosted.data())) {
           activated.fetch_add(1, std::memory_order_relaxed);
         }
       },
@@ -195,7 +265,9 @@ double PrrCollection::EstimateDelta(const std::vector<NodeId>& boost_set,
 double PrrCollection::EstimateMu(const std::vector<NodeId>& boost_set) const {
   if (num_samples() == 0) return 0.0;
   // Count samples whose critical set intersects B, via the coverage
-  // structure's per-node sample lists.
+  // structure's per-node sample lists. Set ids from SetsContaining() index
+  // the *non-empty* sample numbering even when empty samples interleave, so
+  // `hit` is sized by num_nonempty_sets() — never by num_sets().
   std::vector<uint8_t> hit(coverage_.num_nonempty_sets(), 0);
   size_t covered = 0;
   for (NodeId v : boost_set) {

@@ -2,9 +2,12 @@
 #define KBOOST_CORE_PRR_COLLECTION_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "src/core/prr_graph.h"
+#include "src/core/prr_store.h"
 #include "src/graph/graph.h"
 #include "src/im/coverage.h"
 
@@ -15,15 +18,30 @@ namespace kboost {
 ///   μ̂_R(B) = n/θ · Σ_R 1{B ∩ C_R ≠ ∅}
 /// θ counts *all* samples — activated and hopeless PRR-graphs contribute
 /// zero terms but stay in the denominator. Full mode stores compressed
-/// graphs; LB mode stores only critical sets (inside `coverage()`).
+/// graphs in a PrrStore arena; LB mode stores only critical sets (inside
+/// `coverage()`).
+///
+/// The node→graphs inverted index used by the greedy is a flat CSR built
+/// lazily in one counting-sort pass over the arena (the super-seed sentinel
+/// at local id 0 is skipped — it has no global identity). Appending samples
+/// therefore never grows per-node vectors.
 class PrrCollection {
  public:
   explicit PrrCollection(size_t num_graph_nodes);
 
-  /// Adds a boostable sample. In full mode pass the compressed graph;
-  /// critical ids are taken from it. In LB mode pass only critical ids.
-  void AddBoostable(PrrGraph graph);
-  void AddBoostableCriticalOnly(const std::vector<NodeId>& critical_globals);
+  /// Adds a boostable sample from a standalone compressed graph; critical
+  /// ids are taken from it. (Compat path for tests and tools — the sampler
+  /// uses AddBoostableFromStore.)
+  void AddBoostable(const PrrGraph& graph);
+  /// Adds a boostable sample by bulk-copying graph `shard_id` out of a
+  /// thread-local sampling shard arena.
+  void AddBoostableFromStore(const PrrStore& shard, size_t shard_id);
+  /// LB mode: adds a boostable sample given only its critical set.
+  void AddBoostableCriticalOnly(std::span<const NodeId> critical_globals);
+  void AddBoostableCriticalOnly(std::initializer_list<NodeId> critical) {
+    AddBoostableCriticalOnly(std::span<const NodeId>(critical.begin(),
+                                                     critical.size()));
+  }
   /// Adds an activated or hopeless sample (denominator only).
   void AddNonBoostable(PrrStatus status);
 
@@ -32,7 +50,8 @@ class PrrCollection {
   size_t num_activated() const { return num_activated_; }
   size_t num_hopeless() const { return num_hopeless_; }
   size_t num_graph_nodes() const { return num_graph_nodes_; }
-  const std::vector<PrrGraph>& graphs() const { return graphs_; }
+  /// The arena holding all compressed PRR-graphs (full mode).
+  const PrrStore& store() const { return store_; }
 
   /// Greedy max-coverage over critical sets (maximizes μ̂) — the
   /// NodeSelectionLB step. Returns the selected nodes and μ̂ of that set.
@@ -46,7 +65,10 @@ class PrrCollection {
   /// Greedy maximization of Δ̂ (the NodeSelection step; full mode only).
   /// Each round picks the node with the largest marginal Δ̂ gain — i.e. the
   /// node critical in the most not-yet-activated PRR-graphs — then
-  /// re-evaluates exactly the PRR-graphs containing it. If gains hit zero
+  /// re-evaluates exactly the PRR-graphs containing it. The re-evaluation
+  /// scan runs on `num_threads` workers with per-thread evaluator scratch
+  /// and atomic gain updates; ties break toward smaller node ids, so the
+  /// selected set is identical for every thread count. If gains hit zero
   /// before k picks (no single node helps), remaining slots are filled by
   /// PRR-occurrence counts so the budget is never silently wasted.
   struct DeltaResult {
@@ -54,8 +76,8 @@ class PrrCollection {
     size_t activated_samples = 0;
     double delta_hat = 0.0;
   };
-  DeltaResult SelectGreedyDelta(size_t k,
-                                const std::vector<uint8_t>& excluded) const;
+  DeltaResult SelectGreedyDelta(size_t k, const std::vector<uint8_t>& excluded,
+                                int num_threads = 1) const;
 
   /// Δ̂_R(B) for an arbitrary boost set (full mode only).
   double EstimateDelta(const std::vector<NodeId>& boost_set,
@@ -68,19 +90,31 @@ class PrrCollection {
 
   /// Bytes held by stored PRR-graphs (the paper's Table 2/3 "memory for
   /// boostable PRR-graphs").
-  size_t StoredGraphBytes() const { return stored_bytes_; }
+  size_t StoredGraphBytes() const {
+    return store_.MemoryBytes() + lb_critical_bytes_;
+  }
 
  private:
+  /// Builds the global-node → stored-graph-ids CSR (one counting-sort pass).
+  void EnsureGraphIndex() const;
+  std::span<const uint32_t> GraphsContaining(NodeId v) const {
+    return {node_graphs_.data() + node_graph_offsets_[v],
+            node_graph_offsets_[v + 1] - node_graph_offsets_[v]};
+  }
+
   size_t num_graph_nodes_;
-  std::vector<PrrGraph> graphs_;   // full mode storage
+  PrrStore store_;                 // full mode storage
   CoverageSelector coverage_;      // critical sets, denominator = θ
   size_t num_boostable_ = 0;
   size_t num_activated_ = 0;
   size_t num_hopeless_ = 0;
-  size_t stored_bytes_ = 0;
-  // Inverted index for the greedy: global node -> stored-graph ids whose
+  size_t lb_critical_bytes_ = 0;   // LB-mode critical-set accounting
+  std::vector<NodeId> critical_scratch_;
+  // Lazily-built inverted index: global node -> stored-graph ids whose
   // compressed form contains it.
-  std::vector<std::vector<uint32_t>> node_to_graphs_;
+  mutable std::vector<size_t> node_graph_offsets_;
+  mutable std::vector<uint32_t> node_graphs_;
+  mutable bool graph_index_built_ = false;
 };
 
 }  // namespace kboost

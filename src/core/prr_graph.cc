@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/prr_store.h"
 #include "src/util/logging.h"
 
 namespace kboost {
@@ -24,6 +25,11 @@ PrrGenerator::PrrGenerator(const DirectedGraph& graph,
     KB_CHECK(s < graph.num_nodes());
     is_seed_[s] = 1;
   }
+  size_t max_in_degree = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    max_in_degree = std::max(max_in_degree, graph.InDegree(v));
+  }
+  pass_buf_.resize(max_in_degree);
 }
 
 uint32_t PrrGenerator::LocalOf(NodeId global) {
@@ -32,18 +38,20 @@ uint32_t PrrGenerator::LocalOf(NodeId global) {
     local_index_[global] = static_cast<uint32_t>(locals_.size());
     locals_.push_back(global);
     dist_.push_back(kInf);
+    in_run_start_.push_back(0);
+    in_run_end_.push_back(0);
   }
   return local_index_[global];
 }
 
 PrrGenResult PrrGenerator::GenerateRandomRoot(size_t k, bool lb_only,
-                                              Rng& rng) {
+                                              Rng& rng, PrrStore* sink) {
   NodeId root = static_cast<NodeId>(rng.NextBounded(graph_.num_nodes()));
-  return Generate(root, k, lb_only, rng);
+  return Generate(root, k, lb_only, rng, sink);
 }
 
 PrrGenResult PrrGenerator::Generate(NodeId root, size_t k, bool lb_only,
-                                    Rng& rng) {
+                                    Rng& rng, PrrStore* sink) {
   KB_CHECK(root < graph_.num_nodes());
   PrrGenResult result;
   if (is_seed_[root]) {
@@ -60,6 +68,8 @@ PrrGenResult PrrGenerator::Generate(NodeId root, size_t k, bool lb_only,
   locals_.clear();
   dist_.clear();
   edges_.clear();
+  in_run_start_.clear();
+  in_run_end_.clear();
   queue_.clear();
 
   const uint32_t root_local = LocalOf(root);
@@ -71,29 +81,57 @@ PrrGenResult PrrGenerator::Generate(NodeId root, size_t k, bool lb_only,
       lb_only ? static_cast<uint32_t>(std::min<size_t>(k, 1))
               : static_cast<uint32_t>(k);
   bool seed_found = false;
+  // Local copy keeps the 4-word RNG state in registers across the scan;
+  // written back before every return.
+  Rng local_rng = rng;
 
+  // Hot loop: one RNG draw per examined in-edge, in BFS pop order — the
+  // realization is bit-identical to drawing inside a branchy loop. The scan
+  // is two-phase to keep the pipeline full: phase one draws every edge of
+  // the popped node branchlessly and collects survivors (GraphBuilder
+  // guarantees p <= p_boost, so one compare against p_boost classifies
+  // blocked edges and `x >= p` recovers the boost bit); phase two does the
+  // BFS bookkeeping only for the ~p_boost fraction that passed. Each sample
+  // has its own Rng, so drawing a popped node's edges eagerly — even when
+  // an activation early-return follows — cannot perturb any other sample.
+  size_t edges_examined = 0;
   while (!queue_.empty()) {
     auto [u_local, dur] = queue_.front();
     queue_.pop_front();
     if (dur > dist_[u_local]) continue;  // stale entry
     const NodeId u_global = locals_[u_local];
-    for (const DirectedGraph::InEdge& e : graph_.InEdges(u_global)) {
-      ++result.edges_examined;
-      // Sample this edge's status on first (and only) touch.
-      const double x = rng.NextDouble();
-      const bool live = x < e.p;
-      const bool boost = !live && x < e.p_boost;
-      if (!live && !boost) continue;  // blocked
+    const std::span<const DirectedGraph::InEdge> in_edges =
+        graph_.InEdges(u_global);
+    const std::span<const DirectedGraph::InThreshold> thresholds =
+        graph_.InThresholds(u_global);
+    const size_t degree = in_edges.size();
+    edges_examined += degree;
+    size_t passed = 0;
+    for (size_t i = 0; i < degree; ++i) {
+      const uint64_t x = local_rng.NextU64() >> 11;  // 53-bit draw
+      const DirectedGraph::InThreshold& t = thresholds[i];
+      // Survivors carry (source << 1) | boost; the process loop never
+      // touches the adjacency arrays again.
+      pass_buf_[passed] =
+          (in_edges[i].from << 1) | static_cast<uint32_t>(x >= t.p);
+      passed += x < t.p_boost;
+    }
+    const uint32_t run_start = static_cast<uint32_t>(edges_.size());
+    for (size_t s = 0; s < passed; ++s) {
+      const uint32_t rec = pass_buf_[s];
+      const NodeId from = rec >> 1;
+      const bool boost = (rec & 1u) != 0;
       const uint32_t dvr = dur + (boost ? 1u : 0u);
       if (dvr > prune) continue;  // pruning (Line 11)
-      const uint32_t v_local = LocalOf(e.from);
-      edges_.push_back(LocalEdge{v_local, u_local,
-                                 static_cast<uint8_t>(boost)});
+      const uint32_t v_local = LocalOf(from);
+      edges_.push_back(PackLocalEdge(v_local, u_local, boost));
       if (dvr < dist_[v_local]) {
         dist_[v_local] = dvr;
-        if (is_seed_[e.from]) {
+        if (is_seed_[from]) {
           if (dvr == 0) {
             result.status = PrrStatus::kActivated;
+            result.edges_examined = edges_examined;
+            rng = local_rng;
             return result;
           }
           seed_found = true;  // seeds are never expanded further
@@ -104,7 +142,11 @@ PrrGenResult PrrGenerator::Generate(NodeId root, size_t k, bool lb_only,
         }
       }
     }
+    in_run_start_[u_local] = run_start;
+    in_run_end_[u_local] = static_cast<uint32_t>(edges_.size());
   }
+  result.edges_examined = edges_examined;
+  rng = local_rng;
 
   if (!seed_found) {
     result.status = PrrStatus::kHopeless;
@@ -116,43 +158,31 @@ PrrGenResult PrrGenerator::Generate(NodeId root, size_t k, bool lb_only,
   if (lb_only) {
     ExtractCriticalLbOnly(root_local, &result);
   } else {
-    Compress(root_local, k, &result);
+    Compress(root_local, k, &result, sink);
   }
   return result;
 }
 
-namespace {
-
-/// Builds a CSR over `edges` keyed by `key` (from/to selector) into
-/// offsets/slots. `slots` receives edge indices so labels stay accessible.
-template <typename KeyFn>
-void BuildLocalCsr(size_t num_nodes, size_t num_edges, KeyFn key,
-                   std::vector<uint32_t>& offsets,
-                   std::vector<uint32_t>& slots) {
-  offsets.assign(num_nodes + 1, 0);
-  for (size_t i = 0; i < num_edges; ++i) ++offsets[key(i) + 1];
-  for (size_t i = 1; i <= num_nodes; ++i) offsets[i] += offsets[i - 1];
-  slots.resize(num_edges);
-  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (size_t i = 0; i < num_edges; ++i) {
-    slots[cursor[key(i)]++] = static_cast<uint32_t>(i);
+void PrrGenerator::BuildLocalOutCsr() {
+  const size_t num_locals = locals_.size();
+  csr_offsets_.assign(num_locals + 1, 0);
+  for (const uint64_t e : edges_) ++csr_offsets_[LocalEdgeFrom(e) + 1];
+  for (size_t v = 0; v < num_locals; ++v) {
+    csr_offsets_[v + 1] += csr_offsets_[v];
+  }
+  csr_edges_.resize(edges_.size());
+  cursor_.assign(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (const uint64_t e : edges_) {
+    csr_edges_[cursor_[LocalEdgeFrom(e)]++] =
+        (LocalEdgeTo(e) << 1) | static_cast<uint32_t>(e & 1u);
   }
 }
 
-}  // namespace
-
 void PrrGenerator::Compress(uint32_t root_local, size_t k,
-                            PrrGenResult* result) {
+                            PrrGenResult* result, PrrStore* sink) {
   const size_t num_locals = locals_.size();
-  const size_t num_edges = edges_.size();
 
-  // Local CSRs over the phase-I subgraph (edge-index slots keep labels).
-  BuildLocalCsr(
-      num_locals, num_edges, [&](size_t i) { return edges_[i].from; },
-      csr_offsets_, csr_edges_);
-  BuildLocalCsr(
-      num_locals, num_edges, [&](size_t i) { return edges_[i].to; },
-      csr_in_offsets_, csr_in_edges_);
+  BuildLocalOutCsr();
 
   // ---- Forward 0/1-BFS from seeds: ds_[v] = min #boosts to activate v ----
   ds_.assign(num_locals, kInf);
@@ -168,14 +198,16 @@ void PrrGenerator::Compress(uint32_t root_local, size_t k,
     queue_.pop_front();
     if (du > ds_[u]) continue;
     for (uint32_t s = csr_offsets_[u]; s < csr_offsets_[u + 1]; ++s) {
-      const LocalEdge& e = edges_[csr_edges_[s]];
-      const uint32_t dv = du + e.boost;
-      if (dv > k || dv >= ds_[e.to]) continue;
-      ds_[e.to] = dv;
-      if (e.boost) {
-        queue_.emplace_back(e.to, dv);
+      const uint32_t packed = csr_edges_[s];
+      const uint32_t to = packed >> 1;
+      const uint32_t boost = packed & 1u;
+      const uint32_t dv = du + boost;
+      if (dv > k || dv >= ds_[to]) continue;
+      ds_[to] = dv;
+      if (boost) {
+        queue_.emplace_back(to, dv);
       } else {
-        queue_.emplace_front(e.to, dv);
+        queue_.emplace_front(to, dv);
       }
     }
   }
@@ -192,14 +224,15 @@ void PrrGenerator::Compress(uint32_t root_local, size_t k,
     auto [u, du] = queue_.front();
     queue_.pop_front();
     if (du > dpr_[u]) continue;
-    for (uint32_t s = csr_in_offsets_[u]; s < csr_in_offsets_[u + 1]; ++s) {
-      const LocalEdge& e = edges_[csr_in_edges_[s]];
-      const uint32_t v = e.from;
+    for (uint32_t s = in_run_start_[u]; s < in_run_end_[u]; ++s) {
+      const uint64_t e = edges_[s];
+      const uint32_t v = LocalEdgeFrom(e);
       if (ds_[v] == 0) continue;  // v ∈ X: contracted into the super-seed
-      const uint32_t dv = du + e.boost;
+      const uint32_t boost = static_cast<uint32_t>(e & 1u);
+      const uint32_t dv = du + boost;
       if (dv > k || dv >= dpr_[v]) continue;
       dpr_[v] = dv;
-      if (e.boost) {
+      if (boost) {
         queue_.emplace_back(v, dv);
       } else {
         queue_.emplace_front(v, dv);
@@ -220,25 +253,26 @@ void PrrGenerator::Compress(uint32_t root_local, size_t k,
   }
   const uint32_t compact_n = next_id;
 
-  // ---- Emit compressed edges ----
-  // adj[u] holds packed (target, boost) out-edges of compact node u.
-  std::vector<std::vector<uint32_t>> adj(compact_n);
-  flag_.assign(compact_n, 0);  // dedupe super-seed fanout & live shortcuts
+  // ---- Emit compressed edges as flat (node, packed) pairs ----
+  emit_edges_.clear();
+  flag_.assign(compact_n, 0);  // dedupe super-seed fanout
 
   for (uint32_t v = 0; v < num_locals; ++v) {
     const uint32_t nv = new_id_[v];
     if (nv == kInf) continue;
     if (nv != PrrGraph::kRootLocal && dpr_[v] == 0) {
       // Live path v→root: replace all out-edges with one live shortcut.
-      adj[nv].push_back(PrrGraph::PackEdge(PrrGraph::kRootLocal, false));
+      emit_edges_.emplace_back(
+          nv, PrrGraph::PackEdge(PrrGraph::kRootLocal, false));
       continue;
     }
     if (nv == PrrGraph::kRootLocal) continue;  // root keeps no out-edges
     for (uint32_t s = csr_offsets_[v]; s < csr_offsets_[v + 1]; ++s) {
-      const LocalEdge& e = edges_[csr_edges_[s]];
-      const uint32_t nt = new_id_[e.to];
-      if (nt == kInf || ds_[e.to] == 0) continue;  // dropped or into X
-      adj[nv].push_back(PrrGraph::PackEdge(nt, e.boost != 0));
+      const uint32_t packed = csr_edges_[s];
+      const uint32_t to = packed >> 1;
+      const uint32_t nt = new_id_[to];
+      if (nt == kInf || ds_[to] == 0) continue;  // dropped or into X
+      emit_edges_.emplace_back(nv, PrrGraph::PackEdge(nt, (packed & 1u) != 0));
     }
   }
   // Super-seed fanout: X → kept nodes. All such edges are boost edges
@@ -246,134 +280,134 @@ void PrrGenerator::Compress(uint32_t root_local, size_t k,
   for (uint32_t v = 0; v < num_locals; ++v) {
     if (ds_[v] != 0) continue;
     for (uint32_t s = csr_offsets_[v]; s < csr_offsets_[v + 1]; ++s) {
-      const LocalEdge& e = edges_[csr_edges_[s]];
-      const uint32_t nt = new_id_[e.to];
+      const uint32_t packed = csr_edges_[s];
+      const uint32_t nt = new_id_[packed >> 1];
       if (nt == kInf) continue;
-      KB_DCHECK(e.boost) << "live edge out of the super-seed set";
+      KB_DCHECK(packed & 1u) << "live edge out of the super-seed set";
       if (!flag_[nt]) {
         flag_[nt] = 1;
-        adj[PrrGraph::kSuperSeedLocal].push_back(
-            PrrGraph::PackEdge(nt, true));
+        emit_edges_.emplace_back(PrrGraph::kSuperSeedLocal,
+                                 PrrGraph::PackEdge(nt, true));
       }
     }
   }
 
-  // ---- Reachability cleanup: keep nodes on super-seed→root paths ----
-  std::vector<uint8_t> fwd(compact_n, 0), bwd(compact_n, 0);
-  std::vector<std::vector<uint32_t>> radj(compact_n);
+  // ---- Compact out- and in-CSRs via counting sort (reused buffers) ----
+  const size_t emit_count = emit_edges_.size();
+  cadj_offsets_.assign(compact_n + 1, 0);
+  cradj_offsets_.assign(compact_n + 1, 0);
+  for (const auto& [u, packed] : emit_edges_) {
+    ++cadj_offsets_[u + 1];
+    ++cradj_offsets_[PrrGraph::EdgeNode(packed) + 1];
+  }
   for (uint32_t u = 0; u < compact_n; ++u) {
-    for (uint32_t packed : adj[u]) {
-      radj[PrrGraph::EdgeNode(packed)].push_back(
-          PrrGraph::PackEdge(u, PrrGraph::EdgeBoost(packed)));
-    }
+    cadj_offsets_[u + 1] += cadj_offsets_[u];
+    cradj_offsets_[u + 1] += cradj_offsets_[u];
   }
-  std::vector<uint32_t> stack{PrrGraph::kSuperSeedLocal};
-  fwd[PrrGraph::kSuperSeedLocal] = 1;
-  while (!stack.empty()) {
-    uint32_t u = stack.back();
-    stack.pop_back();
-    for (uint32_t packed : adj[u]) {
-      uint32_t t = PrrGraph::EdgeNode(packed);
-      if (!fwd[t]) {
-        fwd[t] = 1;
-        stack.push_back(t);
+  cadj_edges_.resize(emit_count);
+  cradj_edges_.resize(emit_count);
+  cursor_.assign(cadj_offsets_.begin(), cadj_offsets_.end() - 1);
+  for (const auto& [u, packed] : emit_edges_) {
+    cadj_edges_[cursor_[u]++] = packed;
+  }
+  cursor_.assign(cradj_offsets_.begin(), cradj_offsets_.end() - 1);
+  for (const auto& [u, packed] : emit_edges_) {
+    cradj_edges_[cursor_[PrrGraph::EdgeNode(packed)]++] =
+        PrrGraph::PackEdge(u, PrrGraph::EdgeBoost(packed));
+  }
+
+  // ---- Reachability cleanup: keep nodes on super-seed→root paths ----
+  fwd_.assign(compact_n, 0);
+  bwd_.assign(compact_n, 0);
+  stack_.assign(1, PrrGraph::kSuperSeedLocal);
+  fwd_[PrrGraph::kSuperSeedLocal] = 1;
+  while (!stack_.empty()) {
+    const uint32_t u = stack_.back();
+    stack_.pop_back();
+    for (uint32_t s = cadj_offsets_[u]; s < cadj_offsets_[u + 1]; ++s) {
+      const uint32_t t = PrrGraph::EdgeNode(cadj_edges_[s]);
+      if (!fwd_[t]) {
+        fwd_[t] = 1;
+        stack_.push_back(t);
       }
     }
   }
-  stack.assign(1, PrrGraph::kRootLocal);
-  bwd[PrrGraph::kRootLocal] = 1;
-  while (!stack.empty()) {
-    uint32_t u = stack.back();
-    stack.pop_back();
-    for (uint32_t packed : radj[u]) {
-      uint32_t t = PrrGraph::EdgeNode(packed);
-      if (!bwd[t]) {
-        bwd[t] = 1;
-        stack.push_back(t);
+  stack_.assign(1, PrrGraph::kRootLocal);
+  bwd_[PrrGraph::kRootLocal] = 1;
+  while (!stack_.empty()) {
+    const uint32_t u = stack_.back();
+    stack_.pop_back();
+    for (uint32_t s = cradj_offsets_[u]; s < cradj_offsets_[u + 1]; ++s) {
+      const uint32_t t = PrrGraph::EdgeNode(cradj_edges_[s]);
+      if (!bwd_[t]) {
+        bwd_[t] = 1;
+        stack_.push_back(t);
       }
     }
   }
-  if (!fwd[PrrGraph::kRootLocal]) {
+  if (!fwd_[PrrGraph::kRootLocal]) {
     // Cannot happen per the ds+dpr≤k keep rule, but degrade gracefully.
     result->status = PrrStatus::kHopeless;
     return;
   }
 
-  // ---- Renumber survivors and build the final CSR arrays ----
-  std::vector<uint32_t> final_id(compact_n, kInf);
-  final_id[PrrGraph::kSuperSeedLocal] = PrrGraph::kSuperSeedLocal;
-  final_id[PrrGraph::kRootLocal] = PrrGraph::kRootLocal;
+  // ---- Renumber survivors and build the final CSR arrays in scratch ----
+  final_id_.assign(compact_n, kInf);
+  final_id_[PrrGraph::kSuperSeedLocal] = PrrGraph::kSuperSeedLocal;
+  final_id_[PrrGraph::kRootLocal] = PrrGraph::kRootLocal;
   uint32_t final_n = 2;
   for (uint32_t u = 2; u < compact_n; ++u) {
-    if (fwd[u] && bwd[u]) final_id[u] = final_n++;
+    if (fwd_[u] && bwd_[u]) final_id_[u] = final_n++;
   }
 
-  PrrGraph& g = result->graph;
-  g.global_ids.assign(final_n, kInvalidNode);
-  g.global_ids[PrrGraph::kRootLocal] = locals_[root_local];
+  g_global_ids_.assign(final_n, kInvalidNode);
+  g_global_ids_[PrrGraph::kRootLocal] = locals_[root_local];
   for (uint32_t v = 0; v < num_locals; ++v) {
     const uint32_t nv = new_id_[v];
     if (nv == kInf || nv < 2) continue;
-    const uint32_t fv = final_id[nv];
-    if (fv != kInf) g.global_ids[fv] = locals_[v];
+    const uint32_t fv = final_id_[nv];
+    if (fv != kInf) g_global_ids_[fv] = locals_[v];
   }
 
-  g.out_offsets.assign(final_n + 1, 0);
-  size_t kept_edges = 0;
+  // Compact ids survive in ascending order, so one pass over them emits the
+  // final out-CSR directly — no per-node adjacency vectors.
+  g_out_offsets_.assign(final_n + 1, 0);
+  g_out_edges_.clear();
   for (uint32_t u = 0; u < compact_n; ++u) {
-    if (final_id[u] == kInf) continue;
-    for (uint32_t packed : adj[u]) {
-      if (final_id[PrrGraph::EdgeNode(packed)] != kInf) ++kept_edges;
-    }
-  }
-  g.out_edges.clear();
-  g.out_edges.reserve(kept_edges);
-  for (uint32_t u = 0; u < compact_n; ++u) {
-    const uint32_t fu = final_id[u];
+    const uint32_t fu = final_id_[u];
     if (fu == kInf) continue;
-    g.out_offsets[fu + 1] = 0;  // filled below
-  }
-  // Two-pass CSR: count then fill, iterating compact nodes in final order.
-  std::vector<std::vector<uint32_t>> final_adj(final_n);
-  for (uint32_t u = 0; u < compact_n; ++u) {
-    const uint32_t fu = final_id[u];
-    if (fu == kInf) continue;
-    for (uint32_t packed : adj[u]) {
-      const uint32_t ft = final_id[PrrGraph::EdgeNode(packed)];
+    for (uint32_t s = cadj_offsets_[u]; s < cadj_offsets_[u + 1]; ++s) {
+      const uint32_t packed = cadj_edges_[s];
+      const uint32_t ft = final_id_[PrrGraph::EdgeNode(packed)];
       if (ft == kInf) continue;
-      final_adj[fu].push_back(
+      g_out_edges_.push_back(
           PrrGraph::PackEdge(ft, PrrGraph::EdgeBoost(packed)));
     }
+    g_out_offsets_[fu + 1] = static_cast<uint32_t>(g_out_edges_.size());
   }
-  g.out_offsets.assign(final_n + 1, 0);
+  // In-CSR from the out-CSR.
+  g_in_offsets_.assign(final_n + 1, 0);
+  for (uint32_t packed : g_out_edges_) {
+    ++g_in_offsets_[PrrGraph::EdgeNode(packed) + 1];
+  }
   for (uint32_t u = 0; u < final_n; ++u) {
-    g.out_offsets[u + 1] = g.out_offsets[u] +
-                           static_cast<uint32_t>(final_adj[u].size());
-    for (uint32_t packed : final_adj[u]) g.out_edges.push_back(packed);
+    g_in_offsets_[u + 1] += g_in_offsets_[u];
   }
-  // In-CSR.
-  g.in_offsets.assign(final_n + 1, 0);
-  for (uint32_t packed : g.out_edges) {
-    ++g.in_offsets[PrrGraph::EdgeNode(packed) + 1];
-  }
-  for (uint32_t u = 0; u < final_n; ++u) g.in_offsets[u + 1] += g.in_offsets[u];
-  g.in_edges.resize(g.out_edges.size());
-  {
-    std::vector<uint32_t> cursor(g.in_offsets.begin(), g.in_offsets.end() - 1);
-    for (uint32_t u = 0; u < final_n; ++u) {
-      for (uint32_t s = g.out_offsets[u]; s < g.out_offsets[u + 1]; ++s) {
-        const uint32_t packed = g.out_edges[s];
-        g.in_edges[cursor[PrrGraph::EdgeNode(packed)]++] =
-            PrrGraph::PackEdge(u, PrrGraph::EdgeBoost(packed));
-      }
+  g_in_edges_.resize(g_out_edges_.size());
+  cursor_.assign(g_in_offsets_.begin(), g_in_offsets_.end() - 1);
+  for (uint32_t u = 0; u < final_n; ++u) {
+    for (uint32_t s = g_out_offsets_[u]; s < g_out_offsets_[u + 1]; ++s) {
+      const uint32_t packed = g_out_edges_[s];
+      g_in_edges_[cursor_[PrrGraph::EdgeNode(packed)]++] =
+          PrrGraph::PackEdge(u, PrrGraph::EdgeBoost(packed));
     }
   }
 
   // ---- Critical nodes: super-seed boost fanout into live-to-root nodes ----
-  g.critical_locals.clear();
-  for (uint32_t s = g.out_offsets[PrrGraph::kSuperSeedLocal];
-       s < g.out_offsets[PrrGraph::kSuperSeedLocal + 1]; ++s) {
-    const uint32_t packed = g.out_edges[s];
+  g_critical_.clear();
+  for (uint32_t s = g_out_offsets_[PrrGraph::kSuperSeedLocal];
+       s < g_out_offsets_[PrrGraph::kSuperSeedLocal + 1]; ++s) {
+    const uint32_t packed = g_out_edges_[s];
     const uint32_t t = PrrGraph::EdgeNode(packed);
     // Map back: find the compact node; dpr was indexed by phase-I locals.
     // Instead of reverse maps, recompute: t is live-to-root iff it has a
@@ -381,26 +415,40 @@ void PrrGenerator::Compress(uint32_t root_local, size_t k,
     // compression a node has dpr==0 iff its out-edges contain a live edge
     // to the root, or it IS the root.
     if (t == PrrGraph::kRootLocal) {
-      g.critical_locals.push_back(t);
+      g_critical_.push_back(t);
       continue;
     }
     bool live_to_root = false;
-    for (uint32_t s2 = g.out_offsets[t]; s2 < g.out_offsets[t + 1]; ++s2) {
-      const uint32_t p2 = g.out_edges[s2];
+    for (uint32_t s2 = g_out_offsets_[t]; s2 < g_out_offsets_[t + 1]; ++s2) {
+      const uint32_t p2 = g_out_edges_[s2];
       if (!PrrGraph::EdgeBoost(p2) &&
           PrrGraph::EdgeNode(p2) == PrrGraph::kRootLocal) {
         live_to_root = true;
         break;
       }
     }
-    if (live_to_root) g.critical_locals.push_back(t);
+    if (live_to_root) g_critical_.push_back(t);
   }
 
   result->critical_globals.clear();
-  result->critical_globals.reserve(g.critical_locals.size());
-  for (uint32_t c : g.critical_locals) {
-    result->critical_globals.push_back(g.global_ids[c]);
+  result->critical_globals.reserve(g_critical_.size());
+  for (uint32_t c : g_critical_) {
+    result->critical_globals.push_back(g_global_ids_[c]);
   }
+
+  if (sink != nullptr) {
+    result->store_id = sink->Append(g_global_ids_, g_out_offsets_,
+                                    g_out_edges_, g_in_offsets_, g_in_edges_,
+                                    g_critical_);
+    return;
+  }
+  PrrGraph& g = result->graph;
+  g.global_ids.assign(g_global_ids_.begin(), g_global_ids_.end());
+  g.out_offsets.assign(g_out_offsets_.begin(), g_out_offsets_.end());
+  g.out_edges.assign(g_out_edges_.begin(), g_out_edges_.end());
+  g.in_offsets.assign(g_in_offsets_.begin(), g_in_offsets_.end());
+  g.in_edges.assign(g_in_edges_.begin(), g_in_edges_.end());
+  g.critical_locals.assign(g_critical_.begin(), g_critical_.end());
 }
 
 void PrrGenerator::ExtractCriticalLbOnly(uint32_t root_local,
@@ -408,30 +456,26 @@ void PrrGenerator::ExtractCriticalLbOnly(uint32_t root_local,
   const size_t num_locals = locals_.size();
   const size_t num_edges = edges_.size();
 
-  BuildLocalCsr(
-      num_locals, num_edges, [&](size_t i) { return edges_[i].from; },
-      csr_offsets_, csr_edges_);
-  BuildLocalCsr(
-      num_locals, num_edges, [&](size_t i) { return edges_[i].to; },
-      csr_in_offsets_, csr_in_edges_);
+  BuildLocalOutCsr();
 
   // X: live-reachable from seeds (forward BFS over live edges only).
   ds_.assign(num_locals, kInf);
-  std::vector<uint32_t> stack;
+  stack_.clear();
   for (uint32_t v = 0; v < num_locals; ++v) {
     if (is_seed_[locals_[v]]) {
       ds_[v] = 0;
-      stack.push_back(v);
+      stack_.push_back(v);
     }
   }
-  while (!stack.empty()) {
-    uint32_t u = stack.back();
-    stack.pop_back();
+  while (!stack_.empty()) {
+    uint32_t u = stack_.back();
+    stack_.pop_back();
     for (uint32_t s = csr_offsets_[u]; s < csr_offsets_[u + 1]; ++s) {
-      const LocalEdge& e = edges_[csr_edges_[s]];
-      if (e.boost || ds_[e.to] == 0) continue;
-      ds_[e.to] = 0;
-      stack.push_back(e.to);
+      const uint32_t packed = csr_edges_[s];
+      const uint32_t to = packed >> 1;
+      if ((packed & 1u) || ds_[to] == 0) continue;
+      ds_[to] = 0;
+      stack_.push_back(to);
     }
   }
 
@@ -439,15 +483,16 @@ void PrrGenerator::ExtractCriticalLbOnly(uint32_t root_local,
   // X→root chain would have made the sample "activated" in phase I).
   dpr_.assign(num_locals, kInf);
   dpr_[root_local] = 0;
-  stack.assign(1, root_local);
-  while (!stack.empty()) {
-    uint32_t u = stack.back();
-    stack.pop_back();
-    for (uint32_t s = csr_in_offsets_[u]; s < csr_in_offsets_[u + 1]; ++s) {
-      const LocalEdge& e = edges_[csr_in_edges_[s]];
-      if (e.boost || dpr_[e.from] == 0 || ds_[e.from] == 0) continue;
-      dpr_[e.from] = 0;
-      stack.push_back(e.from);
+  stack_.assign(1, root_local);
+  while (!stack_.empty()) {
+    uint32_t u = stack_.back();
+    stack_.pop_back();
+    for (uint32_t s = in_run_start_[u]; s < in_run_end_[u]; ++s) {
+      const uint64_t e = edges_[s];
+      const uint32_t from = LocalEdgeFrom(e);
+      if ((e & 1u) || dpr_[from] == 0 || ds_[from] == 0) continue;
+      dpr_[from] = 0;
+      stack_.push_back(from);
     }
   }
 
@@ -455,18 +500,20 @@ void PrrGenerator::ExtractCriticalLbOnly(uint32_t root_local,
   flag_.assign(num_locals, 0);
   result->critical_globals.clear();
   for (size_t i = 0; i < num_edges; ++i) {
-    const LocalEdge& e = edges_[i];
-    if (!e.boost) continue;
-    if (ds_[e.from] != 0) continue;
-    if (ds_[e.to] == 0) continue;
-    if (dpr_[e.to] != 0) continue;
-    if (flag_[e.to]) continue;
-    flag_[e.to] = 1;
-    result->critical_globals.push_back(locals_[e.to]);
+    const uint64_t e = edges_[i];
+    if (!LocalEdgeBoost(e)) continue;
+    const uint32_t from = LocalEdgeFrom(e);
+    const uint32_t to = LocalEdgeTo(e);
+    if (ds_[from] != 0) continue;
+    if (ds_[to] == 0) continue;
+    if (dpr_[to] != 0) continue;
+    if (flag_[to]) continue;
+    flag_[to] = 1;
+    result->critical_globals.push_back(locals_[to]);
   }
 }
 
-bool PrrEvaluator::IsActivated(const PrrGraph& g,
+bool PrrEvaluator::IsActivated(const PrrGraphView& g,
                                const uint8_t* boosted_global) {
   const uint32_t n = g.num_nodes();
   fwd0_.assign(n, 0);
@@ -491,7 +538,7 @@ bool PrrEvaluator::IsActivated(const PrrGraph& g,
   return false;
 }
 
-void PrrEvaluator::ComputeReach(const PrrGraph& g,
+void PrrEvaluator::ComputeReach(const PrrGraphView& g,
                                 const uint8_t* boosted_global) {
   const uint32_t n = g.num_nodes();
   // Forward 0-reach from super-seed.
@@ -534,7 +581,7 @@ void PrrEvaluator::ComputeReach(const PrrGraph& g,
   }
 }
 
-bool PrrEvaluator::CriticalNodes(const PrrGraph& g,
+bool PrrEvaluator::CriticalNodes(const PrrGraphView& g,
                                  const uint8_t* boosted_global,
                                  std::vector<uint32_t>* out) {
   out->clear();

@@ -2,10 +2,11 @@
 #define KBOOST_CORE_PRR_GRAPH_H_
 
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/util/ring_deque.h"
 #include "src/util/rng.h"
 
 namespace kboost {
@@ -16,6 +17,9 @@ enum class PrrStatus {
   kHopeless,   ///< no seed→root path with ≤ k live-upon-boost edges; f_R ≡ 0
   kBoostable,  ///< boosting can flip the root; the interesting case
 };
+
+class PrrStore;
+struct PrrGraphView;
 
 /// A compressed, boostable Potentially-Reverse-Reachable graph (Def. 3 after
 /// the Phase-II compression of Algorithm 1).
@@ -53,14 +57,52 @@ struct PrrGraph {
   }
   size_t num_edges() const { return out_edges.size(); }
   size_t MemoryBytes() const;
+  PrrGraphView View() const;
 };
+
+/// A non-owning view of one compressed PRR-graph, either standalone
+/// (PrrGraph::View) or a span into a PrrStore arena. The layout is identical
+/// to PrrGraph — offsets are graph-relative — so all evaluation code runs on
+/// views and never cares where the bytes live.
+struct PrrGraphView {
+  const NodeId* global_ids = nullptr;
+  const uint32_t* out_offsets = nullptr;  ///< num_nodes()+1 entries
+  const uint32_t* out_edges = nullptr;    ///< packed (target, boost)
+  const uint32_t* in_offsets = nullptr;   ///< num_nodes()+1 entries
+  const uint32_t* in_edges = nullptr;     ///< packed (source, boost)
+  const uint32_t* critical_locals = nullptr;
+  uint32_t num_nodes_count = 0;
+  uint32_t num_critical_count = 0;
+
+  uint32_t num_nodes() const { return num_nodes_count; }
+  size_t num_edges() const { return out_offsets[num_nodes_count]; }
+  std::span<const uint32_t> critical() const {
+    return {critical_locals, num_critical_count};
+  }
+};
+
+inline PrrGraphView PrrGraph::View() const {
+  PrrGraphView view;
+  view.global_ids = global_ids.data();
+  view.out_offsets = out_offsets.data();
+  view.out_edges = out_edges.data();
+  view.in_offsets = in_offsets.data();
+  view.in_edges = in_edges.data();
+  view.critical_locals = critical_locals.data();
+  view.num_nodes_count = num_nodes();
+  view.num_critical_count = static_cast<uint32_t>(critical_locals.size());
+  return view;
+}
 
 /// Result of sampling one PRR-graph.
 struct PrrGenResult {
   PrrStatus status = PrrStatus::kHopeless;
   size_t edges_examined = 0;     ///< phase-I work (EPT accounting)
   size_t uncompressed_edges = 0; ///< edges collected by phase I (boostable)
-  PrrGraph graph;                ///< filled when boostable and !lb_only
+  PrrGraph graph;                ///< filled when boostable, !lb_only, no sink
+  /// Id in the sink store when one was passed to Generate (boostable, full
+  /// mode); `graph` stays empty then.
+  size_t store_id = static_cast<size_t>(-1);
   /// Critical nodes as global ids (boostable; both modes).
   std::vector<NodeId> critical_globals;
 };
@@ -79,30 +121,53 @@ class PrrGenerator {
   PrrGenerator& operator=(const PrrGenerator&) = delete;
 
   /// Samples the PRR-graph rooted at `root` with budget k. Deterministic
-  /// given the Rng state.
-  PrrGenResult Generate(NodeId root, size_t k, bool lb_only, Rng& rng);
+  /// given the Rng state. When `sink` is non-null and the sample is
+  /// boostable (full mode), the compressed graph is appended to the arena
+  /// instead of being materialized as a standalone PrrGraph — the zero-
+  /// allocation hot path used by PrrSampler.
+  PrrGenResult Generate(NodeId root, size_t k, bool lb_only, Rng& rng,
+                        PrrStore* sink = nullptr);
 
   /// Samples with a uniformly random root.
-  PrrGenResult GenerateRandomRoot(size_t k, bool lb_only, Rng& rng);
+  PrrGenResult GenerateRandomRoot(size_t k, bool lb_only, Rng& rng,
+                                  PrrStore* sink = nullptr);
 
  private:
   static constexpr uint32_t kInf = static_cast<uint32_t>(-1);
 
-  struct LocalEdge {
-    uint32_t from;
-    uint32_t to;
-    uint8_t boost;
-  };
+  // Phase-I edges are packed into one u64 — (from << 33) | (to << 1) |
+  // boost — so the hot push is a single 8-byte store and the CSR build
+  // reads one word per edge.
+  static uint64_t PackLocalEdge(uint32_t from, uint32_t to, bool boost) {
+    return (static_cast<uint64_t>(from) << 33) |
+           (static_cast<uint64_t>(to) << 1) | static_cast<uint64_t>(boost);
+  }
+  static uint32_t LocalEdgeFrom(uint64_t e) {
+    return static_cast<uint32_t>(e >> 33);
+  }
+  static uint32_t LocalEdgeTo(uint64_t e) {
+    return static_cast<uint32_t>(e >> 1);
+  }
+  static bool LocalEdgeBoost(uint64_t e) { return (e & 1u) != 0; }
 
   /// Maps a global node to its local id, creating it on first touch.
   uint32_t LocalOf(NodeId global);
 
-  /// Phase II: compress the collected subgraph into result->graph and
-  /// extract critical nodes. Sets result->status.
-  void Compress(uint32_t root_local, size_t k, PrrGenResult* result);
+  /// Phase II: compress the collected subgraph into reused flat scratch and
+  /// emit it into `sink` (when given) or result->graph. Extracts critical
+  /// nodes and sets result->status.
+  void Compress(uint32_t root_local, size_t k, PrrGenResult* result,
+                PrrStore* sink);
 
   /// Critical-node extraction for lb_only mode (no compression).
   void ExtractCriticalLbOnly(uint32_t root_local, PrrGenResult* result);
+
+  /// Builds the packed local out-CSR over the phase-I subgraph in one
+  /// counting-sort pass (entries: (target << 1) | boost). In-adjacency
+  /// needs no build at all: edges are collected while expanding their head
+  /// node and every node is expanded at most once, so edges_ is naturally
+  /// grouped by head — in_run_{start,end}_ record each node's slice.
+  void BuildLocalOutCsr();
 
   const DirectedGraph& graph_;
   std::vector<uint8_t> is_seed_;
@@ -115,15 +180,33 @@ class PrrGenerator {
   // Phase-I state, local-indexed.
   std::vector<NodeId> locals_;     // local -> global
   std::vector<uint32_t> dist_;     // distance to root
-  std::vector<LocalEdge> edges_;   // collected non-blocked edges
-  std::deque<std::pair<uint32_t, uint32_t>> queue_;
+  std::vector<uint64_t> edges_;    // collected non-blocked edges (packed)
+  std::vector<uint32_t> in_run_start_, in_run_end_;  // in-edge slice per local
+  RingDeque<std::pair<uint32_t, uint32_t>> queue_;
+  // Branchless-scan survivor buffer, sized to the graph's max in-degree;
+  // entries pack (edge slot << 1) | boost.
+  std::vector<uint32_t> pass_buf_;
 
-  // Phase-II scratch, local-indexed; reused across samples.
+  // Phase-II scratch, local-indexed; reused across samples. The local CSR
+  // holds packed (target << 1) | boost entries, not edge indices.
   std::vector<uint32_t> csr_offsets_, csr_edges_;
-  std::vector<uint32_t> csr_in_offsets_, csr_in_edges_;
   std::vector<uint32_t> ds_, dpr_;
   std::vector<uint32_t> new_id_;
   std::vector<uint8_t> flag_;
+  // Compact-graph scratch (everything Compress used to heap-allocate per
+  // sample): emitted edge list, compact CSRs, reachability marks, renumber
+  // map and the final flat arrays handed to the sink.
+  std::vector<std::pair<uint32_t, uint32_t>> emit_edges_;  // (node, packed)
+  std::vector<uint32_t> cadj_offsets_, cadj_edges_;
+  std::vector<uint32_t> cradj_offsets_, cradj_edges_;
+  std::vector<uint8_t> fwd_, bwd_;
+  std::vector<uint32_t> stack_;
+  std::vector<uint32_t> final_id_;
+  std::vector<uint32_t> cursor_;
+  std::vector<NodeId> g_global_ids_;
+  std::vector<uint32_t> g_out_offsets_, g_out_edges_;
+  std::vector<uint32_t> g_in_offsets_, g_in_edges_;
+  std::vector<uint32_t> g_critical_;
 };
 
 /// Evaluates f_R(B) and per-node criticality on compressed PRR-graphs.
@@ -133,16 +216,23 @@ class PrrEvaluator {
   /// f_R(B): is the root activated under boost set B (given as an n-sized
   /// global bitmap)? Implemented as 0-weight reachability from the
   /// super-seed, where live edges and boost edges into B have weight 0.
-  bool IsActivated(const PrrGraph& g, const uint8_t* boosted_global);
+  bool IsActivated(const PrrGraphView& g, const uint8_t* boosted_global);
+  bool IsActivated(const PrrGraph& g, const uint8_t* boosted_global) {
+    return IsActivated(g.View(), boosted_global);
+  }
 
   /// Computes the critical set given B into `out` (local ids): nodes v ∉ B
   /// such that f_R(B ∪ {v}) = 1 while f_R(B) = 0. Returns f_R(B); when it
   /// returns true `out` is left empty.
-  bool CriticalNodes(const PrrGraph& g, const uint8_t* boosted_global,
+  bool CriticalNodes(const PrrGraphView& g, const uint8_t* boosted_global,
                      std::vector<uint32_t>* out);
+  bool CriticalNodes(const PrrGraph& g, const uint8_t* boosted_global,
+                     std::vector<uint32_t>* out) {
+    return CriticalNodes(g.View(), boosted_global, out);
+  }
 
  private:
-  void ComputeReach(const PrrGraph& g, const uint8_t* boosted_global);
+  void ComputeReach(const PrrGraphView& g, const uint8_t* boosted_global);
 
   std::vector<uint8_t> fwd0_, bwd0_;
   std::vector<uint32_t> queue_;

@@ -1,7 +1,6 @@
 #include "src/core/prr_sampler.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "src/util/logging.h"
 #include "src/util/rng.h"
@@ -15,6 +14,16 @@ namespace {
 constexpr size_t kBatchSize = 1 << 16;
 }  // namespace
 
+void PrrSampler::Shard::Clear() {
+  store.Clear();
+  statuses.clear();
+  crit_offsets.assign(1, 0);
+  crit_nodes.clear();
+  edges_examined = 0;
+  uncompressed_edges = 0;
+  compressed_edges = 0;
+}
+
 PrrSampler::PrrSampler(const DirectedGraph& graph,
                        const std::vector<NodeId>& seeds, size_t k,
                        bool lb_only, uint64_t seed, int num_threads)
@@ -23,7 +32,8 @@ PrrSampler::PrrSampler(const DirectedGraph& graph,
       k_(k),
       lb_only_(lb_only),
       seed_(seed),
-      num_threads_(std::max(1, num_threads)) {
+      num_threads_(std::max(1, std::min(num_threads, 255))),
+      shards_(num_threads_) {
   generators_.reserve(num_threads_);
   for (int t = 0; t < num_threads_; ++t) {
     generators_.push_back(std::make_unique<PrrGenerator>(graph_, seeds_));
@@ -35,33 +45,64 @@ size_t PrrSampler::EnsureSamples(PrrCollection& collection, size_t target) {
     const size_t have = collection.num_samples();
     const size_t need = std::min(kBatchSize, target - have);
 
-    std::vector<PrrGenResult> batch(need);
-    std::atomic<size_t> edges{0};
+    for (Shard& shard : shards_) shard.Clear();
+    owner_.assign(need, 0);
+
+    // Generation: each worker appends into its own shard. Within a shard
+    // samples land in ascending batch order (the ParallelFor cursor is
+    // monotone), which is what makes the ordered merge below possible.
     ParallelFor(
         need, num_threads_,
         [&](size_t j, int t) {
+          Shard& shard = shards_[t];
           uint64_t s = seed_;
           s ^= (have + j + 1) * 0x9E3779B97F4A7C15ULL;
           Rng rng(s);
-          batch[j] = generators_[t]->GenerateRandomRoot(k_, lb_only_, rng);
-          edges.fetch_add(batch[j].edges_examined,
-                          std::memory_order_relaxed);
+          const size_t edges_before = shard.store.total_edges();
+          PrrGenResult r = generators_[t]->GenerateRandomRoot(
+              k_, lb_only_, rng, lb_only_ ? nullptr : &shard.store);
+          owner_[j] = static_cast<uint8_t>(t);
+          shard.statuses.push_back(r.status);
+          shard.edges_examined += r.edges_examined;
+          if (r.status == PrrStatus::kBoostable) {
+            shard.uncompressed_edges += r.uncompressed_edges;
+            if (lb_only_) {
+              shard.crit_nodes.insert(shard.crit_nodes.end(),
+                                      r.critical_globals.begin(),
+                                      r.critical_globals.end());
+              shard.crit_offsets.push_back(shard.crit_nodes.size());
+            } else {
+              shard.compressed_edges += shard.store.total_edges() - edges_before;
+            }
+          }
         },
         /*chunk=*/16);
-    stats_.edges_examined += edges.load();
 
-    for (PrrGenResult& r : batch) {
-      if (r.status != PrrStatus::kBoostable) {
-        collection.AddNonBoostable(r.status);
+    // Ordered merge: walk the batch in sample order, pulling each record
+    // from its owner shard. Boostable samples are bulk span copies into the
+    // collection's arena; everything else just bumps counters.
+    std::vector<size_t> pos(shards_.size(), 0);       // next record per shard
+    std::vector<size_t> boostable(shards_.size(), 0); // boostable ordinal
+    for (size_t j = 0; j < need; ++j) {
+      Shard& shard = shards_[owner_[j]];
+      const PrrStatus status = shard.statuses[pos[owner_[j]]++];
+      if (status != PrrStatus::kBoostable) {
+        collection.AddNonBoostable(status);
         continue;
       }
-      stats_.uncompressed_edges += r.uncompressed_edges;
+      const size_t b = boostable[owner_[j]]++;
       if (lb_only_) {
-        collection.AddBoostableCriticalOnly(r.critical_globals);
+        collection.AddBoostableCriticalOnly(std::span<const NodeId>(
+            shard.crit_nodes.data() + shard.crit_offsets[b],
+            shard.crit_offsets[b + 1] - shard.crit_offsets[b]));
       } else {
-        stats_.compressed_edges += r.graph.num_edges();
-        collection.AddBoostable(std::move(r.graph));
+        collection.AddBoostableFromStore(shard.store, b);
       }
+    }
+    for (const Shard& shard : shards_) {
+      stats_.edges_examined += shard.edges_examined;
+      stats_.uncompressed_edges += shard.uncompressed_edges;
+      stats_.compressed_edges += shard.compressed_edges;
     }
   }
   return collection.num_samples();

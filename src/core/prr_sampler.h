@@ -6,6 +6,7 @@
 
 #include "src/core/prr_collection.h"
 #include "src/core/prr_graph.h"
+#include "src/core/prr_store.h"
 #include "src/graph/graph.h"
 
 namespace kboost {
@@ -19,6 +20,12 @@ struct PrrSamplerStats {
 
 /// Parallel, deterministic PRR-graph sampler. Sample i is generated from an
 /// Rng seeded by (seed, i), so pools are identical for any thread count.
+///
+/// Each worker accumulates its samples into a thread-local shard — compressed
+/// graphs go straight into a per-shard PrrStore arena, critical sets into a
+/// flat pool — and shards are merged into the collection in sample-index
+/// order once the batch finishes. The merge is a sequence of bulk span
+/// copies: no per-graph allocation happens anywhere on this path.
 class PrrSampler {
  public:
   PrrSampler(const DirectedGraph& graph, const std::vector<NodeId>& seeds,
@@ -33,6 +40,19 @@ class PrrSampler {
   const PrrSamplerStats& stats() const { return stats_; }
 
  private:
+  /// One worker's per-batch output, reused (capacity kept) across batches.
+  struct Shard {
+    PrrStore store;                    // full mode: compressed graphs
+    std::vector<PrrStatus> statuses;   // per sample handled by this worker
+    std::vector<size_t> crit_offsets{0};  // LB mode: spans into crit_nodes
+    std::vector<NodeId> crit_nodes;
+    size_t edges_examined = 0;
+    size_t uncompressed_edges = 0;
+    size_t compressed_edges = 0;
+
+    void Clear();
+  };
+
   const DirectedGraph& graph_;
   std::vector<NodeId> seeds_;
   size_t k_;
@@ -41,6 +61,8 @@ class PrrSampler {
   int num_threads_;
   PrrSamplerStats stats_;
   std::vector<std::unique_ptr<PrrGenerator>> generators_;  // one per thread
+  std::vector<Shard> shards_;                              // one per thread
+  std::vector<uint8_t> owner_;  // batch-local: sample index -> worker
 };
 
 }  // namespace kboost

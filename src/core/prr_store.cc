@@ -1,0 +1,117 @@
+#include "src/core/prr_store.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace kboost {
+
+namespace {
+
+template <typename T>
+void AppendSpan(std::vector<T>& pool, std::span<const T> data) {
+  pool.insert(pool.end(), data.begin(), data.end());
+}
+
+}  // namespace
+
+size_t PrrStore::Append(std::span<const NodeId> global_ids,
+                        std::span<const uint32_t> out_offsets,
+                        std::span<const uint32_t> out_edges,
+                        std::span<const uint32_t> in_offsets,
+                        std::span<const uint32_t> in_edges,
+                        std::span<const uint32_t> critical_locals) {
+  KB_DCHECK(out_offsets.size() == global_ids.size() + 1);
+  KB_DCHECK(in_offsets.size() == global_ids.size() + 1);
+  KB_DCHECK(out_edges.size() == in_edges.size());
+  KB_DCHECK(out_offsets.empty() || out_offsets.back() == out_edges.size());
+
+  Meta meta;
+  meta.node_begin = global_ids_.size();
+  meta.edge_begin = out_edges_.size();
+  meta.critical_begin = critical_.size();
+  meta.num_nodes = static_cast<uint32_t>(global_ids.size());
+  meta.num_critical = static_cast<uint32_t>(critical_locals.size());
+
+  AppendSpan(global_ids_, global_ids);
+  AppendSpan(out_offsets_, out_offsets);
+  AppendSpan(in_offsets_, in_offsets);
+  AppendSpan(out_edges_, out_edges);
+  AppendSpan(in_edges_, in_edges);
+  AppendSpan(critical_, critical_locals);
+
+  meta_.push_back(meta);
+  return meta_.size() - 1;
+}
+
+size_t PrrStore::Add(const PrrGraph& graph) {
+  return Append(graph.global_ids, graph.out_offsets, graph.out_edges,
+                graph.in_offsets, graph.in_edges, graph.critical_locals);
+}
+
+size_t PrrStore::AppendFrom(const PrrStore& other, size_t id) {
+  KB_DCHECK(id < other.meta_.size());
+  const Meta& m = other.meta_[id];
+  const uint64_t off = m.node_begin + id;
+  const uint64_t edge_count = other.out_offsets_[off + m.num_nodes];
+  return Append(
+      std::span<const NodeId>(other.global_ids_.data() + m.node_begin,
+                              m.num_nodes),
+      std::span<const uint32_t>(other.out_offsets_.data() + off,
+                                m.num_nodes + 1),
+      std::span<const uint32_t>(other.out_edges_.data() + m.edge_begin,
+                                edge_count),
+      std::span<const uint32_t>(other.in_offsets_.data() + off,
+                                m.num_nodes + 1),
+      std::span<const uint32_t>(other.in_edges_.data() + m.edge_begin,
+                                edge_count),
+      std::span<const uint32_t>(other.critical_.data() + m.critical_begin,
+                                m.num_critical));
+}
+
+PrrGraphView PrrStore::View(size_t id) const {
+  KB_DCHECK(id < meta_.size());
+  const Meta& m = meta_[id];
+  PrrGraphView view;
+  view.global_ids = global_ids_.data() + m.node_begin;
+  view.out_offsets = out_offsets_.data() + m.node_begin + id;
+  view.in_offsets = in_offsets_.data() + m.node_begin + id;
+  view.out_edges = out_edges_.data() + m.edge_begin;
+  view.in_edges = in_edges_.data() + m.edge_begin;
+  view.critical_locals = critical_.data() + m.critical_begin;
+  view.num_nodes_count = m.num_nodes;
+  view.num_critical_count = m.num_critical;
+  return view;
+}
+
+PrrGraph PrrStore::ToPrrGraph(size_t id) const {
+  const PrrGraphView v = View(id);
+  PrrGraph g;
+  g.global_ids.assign(v.global_ids, v.global_ids + v.num_nodes());
+  g.out_offsets.assign(v.out_offsets, v.out_offsets + v.num_nodes() + 1);
+  g.in_offsets.assign(v.in_offsets, v.in_offsets + v.num_nodes() + 1);
+  g.out_edges.assign(v.out_edges, v.out_edges + v.num_edges());
+  g.in_edges.assign(v.in_edges, v.in_edges + v.num_edges());
+  g.critical_locals.assign(v.critical_locals,
+                           v.critical_locals + v.num_critical_count);
+  return g;
+}
+
+size_t PrrStore::MemoryBytes() const {
+  return meta_.size() * sizeof(Meta) + global_ids_.size() * sizeof(NodeId) +
+         (out_offsets_.size() + in_offsets_.size() + out_edges_.size() +
+          in_edges_.size() + critical_.size()) *
+             sizeof(uint32_t);
+}
+
+void PrrStore::Clear() {
+  meta_.clear();
+  global_ids_.clear();
+  out_offsets_.clear();
+  in_offsets_.clear();
+  out_edges_.clear();
+  in_edges_.clear();
+  critical_.clear();
+}
+
+}  // namespace kboost

@@ -31,7 +31,8 @@ size_t DirectedGraph::MemoryBytes() const {
   return out_offsets_.capacity() * sizeof(size_t) +
          in_offsets_.capacity() * sizeof(size_t) +
          out_edges_.capacity() * sizeof(OutEdge) +
-         in_edges_.capacity() * sizeof(InEdge);
+         in_edges_.capacity() * sizeof(InEdge) +
+         in_thresholds_.capacity() * sizeof(InThreshold);
 }
 
 }  // namespace kboost

@@ -39,6 +39,15 @@ class DirectedGraph {
     float p_boost;
   };
 
+  /// Integer draw thresholds for one incoming edge: t = ceil(p · 2^53).
+  /// For a 53-bit uniform draw x (NextU64() >> 11), `x < t` is bit-identical
+  /// to `NextDouble() < p` — the reverse samplers compare raw integers on
+  /// their hot loops instead of converting to double per edge.
+  struct InThreshold {
+    uint64_t p;
+    uint64_t p_boost;
+  };
+
   DirectedGraph() = default;
 
   /// Number of nodes n. Node ids are [0, n).
@@ -54,6 +63,11 @@ class DirectedGraph {
   /// Incoming edges of v, contiguous, sorted by source id.
   std::span<const InEdge> InEdges(NodeId v) const {
     return {in_edges_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+  /// Draw thresholds parallel to InEdges(v).
+  std::span<const InThreshold> InThresholds(NodeId v) const {
+    return {in_thresholds_.data() + in_offsets_[v],
             in_offsets_[v + 1] - in_offsets_[v]};
   }
 
@@ -88,6 +102,7 @@ class DirectedGraph {
   std::vector<OutEdge> out_edges_;   // size m, grouped by source
   std::vector<size_t> in_offsets_;   // size n+1
   std::vector<InEdge> in_edges_;     // size m, grouped by target
+  std::vector<InThreshold> in_thresholds_;  // size m, parallel to in_edges_
 };
 
 }  // namespace kboost

@@ -139,6 +139,20 @@ DirectedGraph GraphBuilder::Build() && {
                  const DirectedGraph::InEdge& b) { return a.from < b.from; });
   }
 
+  // Integer draw thresholds ceil(p · 2^53), parallel to in_edges_. Exact:
+  // a float promoted to double has <= 24 significant bits, so multiplying
+  // by 2^53 and taking ceil loses nothing, and `x < t` over 53-bit draws
+  // reproduces `NextDouble() < p` bit for bit.
+  g.in_thresholds_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const DirectedGraph::InEdge& e = g.in_edges_[i];
+    g.in_thresholds_[i] = DirectedGraph::InThreshold{
+        static_cast<uint64_t>(
+            std::ceil(static_cast<double>(e.p) * 0x1.0p53)),
+        static_cast<uint64_t>(
+            std::ceil(static_cast<double>(e.p_boost) * 0x1.0p53))};
+  }
+
   edges_.clear();
   return g;
 }

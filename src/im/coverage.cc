@@ -8,25 +8,43 @@
 namespace kboost {
 
 CoverageSelector::CoverageSelector(size_t num_nodes)
-    : node_to_sets_(num_nodes) {}
+    : num_nodes_(num_nodes) {}
 
 void CoverageSelector::AddSet(std::span<const NodeId> nodes) {
-  const uint32_t set_id = static_cast<uint32_t>(set_offsets_.size() - 1);
-  for (NodeId v : nodes) {
-    KB_DCHECK(v < node_to_sets_.size());
-    set_nodes_.push_back(v);
-    node_to_sets_[v].push_back(set_id);
-  }
+#ifndef NDEBUG
+  for (NodeId v : nodes) KB_DCHECK(v < num_nodes_);
+#endif
+  set_nodes_.insert(set_nodes_.end(), nodes.begin(), nodes.end());
   set_offsets_.push_back(set_nodes_.size());
   ++num_sets_;
+  index_built_ = false;
+}
+
+void CoverageSelector::EnsureIndex() const {
+  if (index_built_) return;
+  node_offsets_.assign(num_nodes_ + 1, 0);
+  for (NodeId v : set_nodes_) ++node_offsets_[v + 1];
+  for (size_t v = 0; v < num_nodes_; ++v) {
+    node_offsets_[v + 1] += node_offsets_[v];
+  }
+  node_sets_.resize(set_nodes_.size());
+  std::vector<size_t> cursor(node_offsets_.begin(), node_offsets_.end() - 1);
+  const size_t sets = num_nonempty_sets();
+  for (size_t i = 0; i < sets; ++i) {
+    for (size_t s = set_offsets_[i]; s < set_offsets_[i + 1]; ++s) {
+      node_sets_[cursor[set_nodes_[s]]++] = static_cast<uint32_t>(i);
+    }
+  }
+  index_built_ = true;
 }
 
 CoverageSelector::Result CoverageSelector::SelectGreedy(
     size_t k, const std::vector<uint8_t>* excluded) const {
   Result result;
   if (k == 0 || num_sets_ == 0) return result;
+  EnsureIndex();
 
-  const size_t n = node_to_sets_.size();
+  const size_t n = num_nodes_;
   std::vector<uint8_t> covered(num_nonempty_sets(), 0);
 
   // CELF lazy greedy: stale gains are re-evaluated only when popped.
@@ -39,9 +57,8 @@ CoverageSelector::Result CoverageSelector::SelectGreedy(
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
   for (NodeId v = 0; v < n; ++v) {
     if (excluded != nullptr && (*excluded)[v]) continue;
-    if (!node_to_sets_[v].empty()) {
-      heap.push(Entry{node_to_sets_[v].size(), v, 0});
-    }
+    const size_t count = node_offsets_[v + 1] - node_offsets_[v];
+    if (count > 0) heap.push(Entry{count, v, 0});
   }
 
   uint32_t round = 0;
@@ -53,7 +70,7 @@ CoverageSelector::Result CoverageSelector::SelectGreedy(
     if (top.round != round) {
       // Re-evaluate against current coverage.
       size_t gain = 0;
-      for (uint32_t set_id : node_to_sets_[top.node]) {
+      for (uint32_t set_id : SetsContaining(top.node)) {
         if (!covered[set_id]) ++gain;
       }
       if (gain == 0) continue;
@@ -63,7 +80,7 @@ CoverageSelector::Result CoverageSelector::SelectGreedy(
     // Fresh maximum: commit.
     picked[top.node] = 1;
     result.selected.push_back(top.node);
-    for (uint32_t set_id : node_to_sets_[top.node]) {
+    for (uint32_t set_id : SetsContaining(top.node)) {
       if (!covered[set_id]) {
         covered[set_id] = 1;
         ++result.covered_sets;

@@ -2,6 +2,7 @@
 #define KBOOST_IM_COVERAGE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,18 +17,25 @@ namespace kboost {
 /// every sample containing v. Samples may be empty — they still count in the
 /// denominator of coverage fractions, which is how non-boostable PRR-graphs
 /// and RR-sets already reached by existing seeds enter the estimates.
+///
+/// Storage is fully flat: samples are appended to one nodes/offsets pair,
+/// and the node→samples inverted index is a CSR built lazily in a single
+/// counting-sort pass over the appended nodes. Appending is therefore a
+/// cheap bulk copy (no per-node vector growth), which is what makes merging
+/// thread-local sampling shards allocation-free.
 class CoverageSelector {
  public:
   explicit CoverageSelector(size_t num_nodes);
 
   /// Appends one sample set. Node ids must be < num_nodes and distinct.
+  /// Invalidates the lazily-built inverted index.
   void AddSet(std::span<const NodeId> nodes);
   /// Appends an empty sample (counts toward totals only).
   void AddEmptySet() { ++num_sets_; }
 
   size_t num_sets() const { return num_sets_; }
   size_t num_nonempty_sets() const { return set_offsets_.size() - 1; }
-  size_t num_nodes() const { return node_to_sets_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
 
   struct Result {
     std::vector<NodeId> selected;
@@ -45,21 +53,34 @@ class CoverageSelector {
       const;
 
   /// Number of samples that contain node v (i.e. singleton coverage).
-  size_t SetCount(NodeId v) const { return node_to_sets_[v].size(); }
+  size_t SetCount(NodeId v) const {
+    EnsureIndex();
+    return node_offsets_[v + 1] - node_offsets_[v];
+  }
 
   /// Ids (into the non-empty sample numbering) of samples containing v.
   std::span<const uint32_t> SetsContaining(NodeId v) const {
-    return node_to_sets_[v];
+    EnsureIndex();
+    return {node_sets_.data() + node_offsets_[v],
+            node_offsets_[v + 1] - node_offsets_[v]};
   }
 
  private:
+  /// Builds the node→samples CSR in one counting-sort pass. Not thread-safe;
+  /// call before handing spans to parallel readers.
+  void EnsureIndex() const;
+
+  size_t num_nodes_;
   size_t num_sets_ = 0;
   // Flattened sample storage: nodes of sample i are
   // set_nodes_[set_offsets_[i] .. set_offsets_[i+1]).
   std::vector<size_t> set_offsets_{0};
   std::vector<NodeId> set_nodes_;
-  // Inverted index: sample ids (into set_offsets_) containing each node.
-  std::vector<std::vector<uint32_t>> node_to_sets_;
+  // Lazily-built inverted CSR: samples containing node v are
+  // node_sets_[node_offsets_[v] .. node_offsets_[v+1]).
+  mutable std::vector<size_t> node_offsets_;
+  mutable std::vector<uint32_t> node_sets_;
+  mutable bool index_built_ = false;
 };
 
 }  // namespace kboost

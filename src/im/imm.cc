@@ -51,7 +51,25 @@ ImmResult SelectSeedsImm(const DirectedGraph& graph,
 
   CoverageSelector selector(n);
   std::atomic<size_t> edges_examined{0};
-  const int threads = std::max(1, options.num_threads);
+  // Clamped to 255 so the per-sample owner byte below cannot overflow.
+  const int threads = std::max(1, std::min(options.num_threads, 255));
+
+  // Thread-local RR-set shards: each worker appends its sets to one flat
+  // nodes/offsets pool (no per-set vector), and shards are merged into the
+  // selector in sample order so pools are thread-count independent.
+  struct RrShard {
+    std::vector<size_t> offsets{0};
+    std::vector<NodeId> nodes;
+    size_t edges = 0;
+    void Clear() {
+      offsets.assign(1, 0);
+      nodes.clear();
+      edges = 0;
+    }
+  };
+  std::vector<RrShard> shards(threads);
+  std::vector<RrScratch> scratch(threads);
+  std::vector<uint8_t> owner;
 
   // Samples are seeded by global index so results are thread-count
   // independent.
@@ -60,17 +78,26 @@ ImmResult SelectSeedsImm(const DirectedGraph& graph,
     if (target <= have) return have;
     const size_t need = target - have;
 
-    std::vector<std::vector<NodeId>> batch(need);
-    std::vector<RrScratch> scratch(threads);
-    std::atomic<size_t> work{0};
+    for (RrShard& shard : shards) shard.Clear();
+    owner.assign(need, 0);
     ParallelFor(need, threads, [&](size_t j, int t) {
       uint64_t s = options.seed;
       s ^= (have + j + 1) * 0x9E3779B97F4A7C15ULL;
       Rng rng(s);
-      work += GenerateRandomRrSet(graph, rng, scratch[t], batch[j]);
+      RrShard& shard = shards[t];
+      shard.edges += GenerateRandomRrSet(graph, rng, scratch[t], shard.nodes);
+      shard.offsets.push_back(shard.nodes.size());
+      owner[j] = static_cast<uint8_t>(t);
     });
-    edges_examined += work.load();
-    for (const std::vector<NodeId>& rr : batch) selector.AddSet(rr);
+    std::vector<size_t> pos(threads, 0);
+    for (size_t j = 0; j < need; ++j) {
+      RrShard& shard = shards[owner[j]];
+      const size_t r = pos[owner[j]]++;
+      selector.AddSet(std::span<const NodeId>(
+          shard.nodes.data() + shard.offsets[r],
+          shard.offsets[r + 1] - shard.offsets[r]));
+    }
+    for (const RrShard& shard : shards) edges_examined += shard.edges;
     return selector.num_sets();
   };
 

@@ -23,6 +23,7 @@ size_t GenerateRrSet(const DirectedGraph& graph, NodeId root, Rng& rng,
   KB_DCHECK(root < graph.num_nodes());
   scratch.Prepare(graph.num_nodes());
   auto& mark = scratch.visit_mark;
+  auto& candidates = scratch.candidates;
   const uint32_t stamp = scratch.stamp;
 
   size_t first = out.size();
@@ -31,12 +32,31 @@ size_t GenerateRrSet(const DirectedGraph& graph, NodeId root, Rng& rng,
   size_t edges_examined = 0;
   for (size_t head = first; head < out.size(); ++head) {
     NodeId v = out[head];
-    for (const DirectedGraph::InEdge& e : graph.InEdges(v)) {
-      ++edges_examined;
-      if (mark[e.from] == stamp) continue;
-      if (rng.NextBernoulli(e.p)) {
-        mark[e.from] = stamp;
-        out.push_back(e.from);
+    const std::span<const DirectedGraph::InEdge> in_edges = graph.InEdges(v);
+    const std::span<const DirectedGraph::InThreshold> thresholds =
+        graph.InThresholds(v);
+    const size_t degree = in_edges.size();
+    edges_examined += degree;
+    // Sized per node, not per graph: one scratch may serve graphs with
+    // different degree distributions.
+    if (candidates.size() < degree) candidates.resize(degree);
+    // Branchless prefilter: collect in-edge slots whose source is unmarked.
+    // The draw loop rechecks the mark (its branch is then almost always
+    // not-taken, only parallel edges flip it), so the set and order of RNG
+    // draws — one per unmarked source, Bernoulli(p) — is exactly the same
+    // as the naive check-then-draw loop.
+    size_t count = 0;
+    for (size_t i = 0; i < degree; ++i) {
+      candidates[count] = static_cast<uint32_t>(i);
+      count += mark[in_edges[i].from] != stamp;
+    }
+    for (size_t s = 0; s < count; ++s) {
+      const uint32_t i = candidates[s];
+      const NodeId from = in_edges[i].from;
+      if (mark[from] == stamp) continue;  // marked by a parallel edge
+      if ((rng.NextU64() >> 11) < thresholds[i].p) {
+        mark[from] = stamp;
+        out.push_back(from);
       }
     }
   }

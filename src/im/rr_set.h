@@ -8,12 +8,14 @@
 
 namespace kboost {
 
-/// Reusable scratch for reverse-reachable-set generation (visited stamps).
+/// Reusable scratch for reverse-reachable-set generation (visited stamps
+/// plus the branchless-scan candidate buffer).
 class RrScratch {
  public:
   void Prepare(size_t num_nodes);
 
   std::vector<uint32_t> visit_mark;
+  std::vector<uint32_t> candidates;  // unmarked in-edge slots of one node
   uint32_t stamp = 0;
 };
 

@@ -1,0 +1,79 @@
+#ifndef KBOOST_UTIL_RING_DEQUE_H_
+#define KBOOST_UTIL_RING_DEQUE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace kboost {
+
+/// A grow-able power-of-two ring buffer with deque semantics (push at both
+/// ends, pop at the front). Drop-in for the std::deque pattern used by the
+/// 0/1-BFS loops: unlike std::deque it never allocates per block, clear()
+/// keeps capacity, and all accesses are simple masked indexing — which
+/// matters because these queues sit inside the per-sample hot loop of the
+/// PRR sampler. Element order is identical to std::deque's.
+template <typename T>
+class RingDeque {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  const T& front() const { return buf_[head_]; }
+
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void push_back(T value) {
+    Grow(size_ + 1);
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  void push_front(T value) {
+    Grow(size_ + 1);
+    head_ = (head_ + buf_.size() - 1) & mask_;
+    buf_[head_] = std::move(value);
+    ++size_;
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    push_back(T(std::forward<Args>(args)...));
+  }
+
+  template <typename... Args>
+  void emplace_front(Args&&... args) {
+    push_front(T(std::forward<Args>(args)...));
+  }
+
+ private:
+  void Grow(size_t need) {
+    if (need <= buf_.size()) return;
+    size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    while (cap < need) cap *= 2;
+    std::vector<T> next(cap);
+    for (size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_UTIL_RING_DEQUE_H_

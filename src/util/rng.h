@@ -14,8 +14,19 @@ class Rng {
   /// Constructs a generator from a 64-bit seed.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
-  /// Uniform 64-bit value.
-  uint64_t NextU64();
+  /// Uniform 64-bit value. Inline: this sits on the innermost loop of every
+  /// sampler (one draw per examined edge), so the call must disappear.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform 32-bit value.
   uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
@@ -40,6 +51,10 @@ class Rng {
   Rng Fork();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t s_[4];
 };
 

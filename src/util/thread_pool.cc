@@ -6,20 +6,101 @@
 
 namespace kboost {
 
+namespace {
+thread_local bool tls_in_pool_worker = false;
+}  // namespace
+
 int DefaultThreadCount() {
   unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
-void RunOnThreads(int num_threads, const std::function<void(int)>& body) {
-  KB_CHECK(num_threads >= 1) << "num_threads=" << num_threads;
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads - 1);
-  for (int t = 1; t < num_threads; ++t) {
-    workers.emplace_back([&body, t] { body(t); });
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: workers block in a condition-variable wait and are
+  // reclaimed by process teardown; destroying the pool during static
+  // destruction would race with any late ParallelFor.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+bool ThreadPool::InWorker() { return tls_in_pool_worker; }
+
+int ThreadPool::num_started() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
   }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count = std::min(count, kMaxWorkers);
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) return;
+    Job* job = queue_.front();
+    const int idx = job->next_index.fetch_add(1, std::memory_order_relaxed);
+    if (idx + 1 >= job->num_workers) queue_.pop_front();  // last helper slot
+    lock.unlock();
+    (*job->body)(idx);
+    {
+      // Decrement and notify under the job's mutex: the moment the caller
+      // observes remaining == 0 it may return and destroy the stack-
+      // allocated Job, so nothing may touch it after this lock releases.
+      std::lock_guard<std::mutex> done_lock(job->done_mutex);
+      job->remaining.fetch_sub(1, std::memory_order_relaxed);
+      job->done_cv.notify_one();
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::Run(int num_workers, const std::function<void(int)>& body) {
+  KB_CHECK(num_workers >= 1) << "num_workers=" << num_workers;
+  if (num_workers == 1 || tls_in_pool_worker) {
+    // Nested parallel regions run inline: every index is still invoked
+    // exactly once, on the calling worker.
+    for (int t = 0; t < num_workers; ++t) body(t);
+    return;
+  }
+  EnsureWorkers(num_workers - 1);
+
+  Job job;
+  job.body = &body;
+  job.num_workers = num_workers;
+  job.next_index.store(1, std::memory_order_relaxed);  // 0 is the caller
+  job.remaining.store(num_workers - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(&job);
+  }
+  work_cv_.notify_all();
+
   body(0);
-  for (auto& w : workers) w.join();
+
+  std::unique_lock<std::mutex> done_lock(job.done_mutex);
+  job.done_cv.wait(done_lock, [&] {
+    return job.remaining.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+void RunOnThreads(int num_threads, const std::function<void(int)>& body) {
+  ThreadPool::Global().Run(num_threads, body);
 }
 
 void ParallelFor(size_t count, int num_threads,

@@ -2,8 +2,11 @@
 #define KBOOST_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -12,13 +15,68 @@ namespace kboost {
 /// Returns a sensible default worker count (hardware concurrency, at least 1).
 int DefaultThreadCount();
 
-/// Runs `body(thread_index)` on `num_threads` threads and joins them all.
-/// Thread 0 is the calling thread, so `num_threads == 1` runs inline.
+/// A persistent worker pool with a condition-variable work queue. Threads are
+/// started once and reused across calls, so the per-batch cost of
+/// RunOnThreads/ParallelFor is a queue push instead of a pthread_create.
+///
+/// The pool grows lazily: a Run() asking for more workers than currently
+/// exist starts the missing threads (capped at kMaxWorkers), so explicit
+/// --threads=N requests are honoured even beyond hardware concurrency.
+/// Calls from inside a pool worker run inline on the caller — nested
+/// parallelism never deadlocks and never oversubscribes.
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool used by RunOnThreads/ParallelFor.
+  static ThreadPool& Global();
+
+  /// Runs `body(worker_index)` for worker_index in [0, num_workers).
+  /// Index 0 runs on the calling thread; the rest are dispatched to pool
+  /// workers. Blocks until every invocation has returned.
+  void Run(int num_workers, const std::function<void(int)>& body);
+
+  /// True when called from inside a pool worker (useful for tests).
+  static bool InWorker();
+
+  /// Workers currently started (grows on demand).
+  int num_started() const;
+
+ private:
+  static constexpr int kMaxWorkers = 256;
+
+  struct Job {
+    const std::function<void(int)>* body = nullptr;
+    std::atomic<int> next_index{0};
+    int num_workers = 0;         // total including the caller
+    std::atomic<int> remaining{0};  // helper invocations still running
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  void EnsureWorkers(int count);
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Job*> queue_;  // jobs with unclaimed helper slots
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+/// Runs `body(thread_index)` on `num_threads` workers and waits for them.
+/// Index 0 is the calling thread, so `num_threads == 1` runs inline.
+/// Backed by the global persistent pool.
 void RunOnThreads(int num_threads, const std::function<void(int)>& body);
 
 /// Parallel for over [0, count): dynamic chunked scheduling via a shared
 /// atomic cursor. `body(index, thread_index)` must be thread-safe across
-/// distinct indices. Blocks until all work is done.
+/// distinct indices. Blocks until all work is done. Backed by the global
+/// persistent pool; nested calls degrade to inline execution.
 void ParallelFor(size_t count, int num_threads,
                  const std::function<void(size_t, int)>& body,
                  size_t chunk = 64);

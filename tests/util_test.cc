@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <deque>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/util/bounds.h"
+#include "src/util/ring_deque.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/status.h"
@@ -181,6 +186,85 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
 
 TEST(ThreadPoolTest, ZeroCountIsNoop) {
   ParallelFor(0, 8, [&](size_t, int) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, RepeatedParallelForReusesPersistentWorkers) {
+  // Many small batches: the pool must not leak or wedge, and every index
+  // must be covered exactly once per batch. The global pool may already
+  // hold workers from other tests, so assert growth, not absolute size:
+  // 200 four-worker batches need at most 3 helpers beyond what exists.
+  const int before = ThreadPool::Global().num_started();
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(hits.size(), 4, [&](size_t i, int) { hits[i]++; },
+                /*chunk=*/8);
+    for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+  EXPECT_LE(ThreadPool::Global().num_started(), std::max(before, 3));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  std::atomic<int> inner_total{0};
+  ParallelFor(8, 4, [&](size_t, int) {
+    // A nested region inside a pool worker must degrade to inline
+    // execution (every index invoked once) instead of deadlocking.
+    std::atomic<int> local{0};
+    ParallelFor(16, 4, [&](size_t, int t) {
+      EXPECT_EQ(t, 0);
+      local++;
+    });
+    EXPECT_EQ(local.load(), 16);
+    inner_total += local.load();
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, RunOnThreadsInvokesEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(6);
+  RunOnThreads(6, [&](int t) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 6);
+    hits[t]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, OversubscribedRequestStillCompletes) {
+  // More workers than cores; the pool grows on demand and the call blocks
+  // until every invocation has returned.
+  std::atomic<int> calls{0};
+  RunOnThreads(12, [&](int) { calls++; });
+  EXPECT_EQ(calls.load(), 12);
+}
+
+TEST(RingDequeTest, MatchesDequeSemantics) {
+  RingDeque<std::pair<uint32_t, uint32_t>> ring;
+  std::deque<std::pair<uint32_t, uint32_t>> ref;
+  Rng rng(77);
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t r = rng.NextU64();
+    const uint32_t a = static_cast<uint32_t>(r >> 32);
+    switch (r % 3) {
+      case 0:
+        ring.emplace_back(a, a + 1);
+        ref.emplace_back(a, a + 1);
+        break;
+      case 1:
+        ring.emplace_front(a, a + 2);
+        ref.emplace_front(a, a + 2);
+        break;
+      default:
+        if (!ref.empty()) {
+          ASSERT_EQ(ring.front(), ref.front());
+          ring.pop_front();
+          ref.pop_front();
+        }
+        break;
+    }
+    ASSERT_EQ(ring.size(), ref.size());
+    ASSERT_EQ(ring.empty(), ref.empty());
+    if (!ref.empty()) ASSERT_EQ(ring.front(), ref.front());
+  }
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {
