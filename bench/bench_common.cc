@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "src/baselines/high_degree.h"
+#include "src/core/boost_session.h"
 #include "src/baselines/more_seeds.h"
 #include "src/baselines/pagerank.h"
 #include "src/expt/seed_selection.h"
@@ -164,11 +165,22 @@ void RunBoostVsK(SeedMode mode, const BenchFlags& flags) {
   for (const char* name : kAllDatasets) {
     BenchInstance instance = LoadInstance(name, mode, flags);
     const DirectedGraph& g = instance.dataset.graph;
+    std::vector<size_t> sweep;
     for (size_t k : DefaultKSweep(flags)) {
-      if (k + instance.seeds.size() >= g.num_nodes()) continue;
-      BoostOptions bopts = MakeBoostOptions(k, flags);
-      BoostResult prr = PrrBoost(g, instance.seeds, bopts);
-      BoostResult lb = PrrBoostLb(g, instance.seeds, bopts);
+      if (k + instance.seeds.size() < g.num_nodes()) sweep.push_back(k);
+    }
+    if (sweep.empty()) continue;
+    // One session per (dataset, seed set) and mode: the PRR pools are
+    // sampled once at the largest k of the sweep; every smaller k is
+    // selection-only on the shared pools.
+    const size_t k_max = *std::max_element(sweep.begin(), sweep.end());
+    BoostSession full_session(g, instance.seeds,
+                              MakeBoostOptions(k_max, flags));
+    BoostSession lb_session(g, instance.seeds, MakeBoostOptions(k_max, flags),
+                            /*lb_only=*/true);
+    for (size_t k : sweep) {
+      BoostResult prr = full_session.SolveForBudget(k);
+      BoostResult lb = lb_session.SolveForBudget(k);
       ImmOptions mopts;
       mopts.k = k;
       mopts.seed = flags.seed;

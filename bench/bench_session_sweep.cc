@@ -1,0 +1,87 @@
+// Measures the serving-layer win: a budget sweep through one BoostSession
+// (pool sampled once at k_max, every budget answered by selection only)
+// against the same sweep as independent PrrBoost() runs (pool resampled from
+// scratch at every point — what RunBudgetAllocation and the fig05/fig10/
+// fig13 harnesses did before the session refactor).
+//
+// With --json=BENCH_session_sweep.json the end-to-end times and the speedup
+// are recorded in the BENCH_*.json shape for cross-PR comparison.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/bench_flags.h"
+#include "src/core/boost_session.h"
+#include "src/expt/table_printer.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace kboost;
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBanner(
+      "Session sweep: one BoostSession vs fresh PrrBoost() per budget",
+      "the session samples the PRR pool exactly once for the whole sweep, "
+      "so the sweep runs several times faster end-to-end",
+      flags);
+
+  std::vector<size_t> sweep =
+      flags.ks.empty() ? std::vector<size_t>{1, 10, 50, 100} : flags.ks;
+  std::sort(sweep.begin(), sweep.end());
+  const size_t k_max = sweep.back();
+
+  BenchInstance instance = LoadInstance("digg", SeedMode::kInfluential, flags);
+  const DirectedGraph& g = instance.dataset.graph;
+
+  // --- One session, pool sampled once at k_max. ---------------------------
+  WallTimer session_timer;
+  BoostSession session(g, instance.seeds, MakeBoostOptions(k_max, flags));
+  std::vector<BoostResult> session_results;
+  size_t pools_sampled = 0;
+  for (size_t k : sweep) {
+    BoostResult r = session.SolveForBudget(k);
+    pools_sampled += r.pool_reused ? 0 : 1;
+    session_results.push_back(std::move(r));
+  }
+  const double session_s = session_timer.Seconds();
+
+  // --- The old pipeline: a fresh engine (and pool) per sweep point. -------
+  WallTimer fresh_timer;
+  std::vector<BoostResult> fresh_results;
+  for (size_t k : sweep) {
+    fresh_results.push_back(
+        PrrBoost(g, instance.seeds, MakeBoostOptions(k, flags)));
+  }
+  const double fresh_s = fresh_timer.Seconds();
+  const double speedup = fresh_s / std::max(session_s, 1e-9);
+
+  TablePrinter table({"k", "session Δ̂", "fresh Δ̂", "session θ", "fresh θ",
+                      "pool_reused"});
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    table.AddRow({std::to_string(sweep[i]),
+                  FormatDouble(session_results[i].best_estimate),
+                  FormatDouble(fresh_results[i].best_estimate),
+                  std::to_string(session_results[i].num_samples),
+                  std::to_string(fresh_results[i].num_samples),
+                  session_results[i].pool_reused ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  std::printf("\npools sampled by the session: %zu (of %zu sweep points)\n",
+              pools_sampled, sweep.size());
+  std::printf("end-to-end: session %.3fs, fresh-per-k %.3fs -> %.2fx\n",
+              session_s, fresh_s, speedup);
+
+  BenchJsonWriter json;
+  json.Add("session_sweep/session_s", session_s, "s");
+  json.Add("session_sweep/fresh_per_k_s", fresh_s, "s");
+  json.Add("session_sweep/speedup", speedup, "x");
+  json.Add("session_sweep/pools_sampled_session",
+           static_cast<double>(pools_sampled), "pools");
+  json.Add("session_sweep/pools_sampled_fresh",
+           static_cast<double>(sweep.size()), "pools");
+  json.Add("session_sweep/theta_session",
+           static_cast<double>(session_results.back().num_samples),
+           "samples");
+  json.WriteTo(flags.json_path);
+  return 0;
+}

@@ -5,19 +5,28 @@
 //   kboost_cli generate --dataset=digg --scale=0.02 --out=graph.txt
 //   kboost_cli seeds    --graph=graph.txt --count=20 [--random]
 //   kboost_cli boost    --graph=graph.txt --seeds=0,5,9 --k=50 [--lb]
+//                       [--k-sweep=1,10,50] [--save-pool=pool.bin]
+//                       [--load-pool=pool.bin]
 //   kboost_cli evaluate --graph=graph.txt --seeds=0,5,9 --boost=1,2,3
 //
-// Graphs are the text edge-list format of src/graph/graph_io.h.
+// Graphs are the text edge-list format of src/graph/graph_io.h. Pool
+// snapshots (--save-pool/--load-pool) are the binary format of
+// src/io/pool_io.h: sample once, then serve any budget ≤ the pool's from
+// the same file — across processes and restarts.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/core/prr_boost.h"
+#include "src/core/boost_session.h"
 #include "src/expt/datasets.h"
 #include "src/expt/seed_selection.h"
 #include "src/graph/graph_io.h"
+#include "src/io/pool_io.h"
 #include "src/sim/boost_model.h"
 
 namespace {
@@ -41,17 +50,70 @@ bool HasFlag(int argc, char** argv, const char* name) {
   return false;
 }
 
-std::vector<NodeId> ParseNodeList(const char* text) {
-  std::vector<NodeId> nodes;
-  if (text == nullptr) return nodes;
+/// Rejects unknown arguments: every flag must be a known `--name=value` or a
+/// known `--switch`, otherwise the command fails loudly instead of silently
+/// ignoring a typo (e.g. --kk=50).
+bool ValidateFlags(int argc, char** argv,
+                   std::initializer_list<const char*> value_flags,
+                   std::initializer_list<const char*> switches = {}) {
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    bool known = false;
+    for (const char* name : value_flags) {
+      const size_t len = std::strlen(name);
+      if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        known = true;
+        break;
+      }
+    }
+    for (const char* name : switches) {
+      if (known) break;
+      if (std::strcmp(arg, name) == 0) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "error: unknown flag '%s' for 'kboost_cli %s' "
+                   "(see kboost_cli --help)\n",
+                   arg, argv[1]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses a comma-separated list of non-negative integers into `out`.
+/// Returns false (leaving a clear error on stderr to the caller) on any
+/// malformed input: non-numeric characters, empty elements, trailing commas.
+template <typename T>
+bool ParseUintList(const char* text, const char* flag_name,
+                   std::vector<T>* out) {
+  out->clear();
+  if (text == nullptr) return true;
   const char* p = text;
   while (*p) {
-    nodes.push_back(static_cast<NodeId>(std::strtoull(p,
-                                                      const_cast<char**>(&p),
-                                                      10)));
-    if (*p == ',') ++p;
+    char* end = nullptr;
+    const uint64_t value = std::strtoull(p, &end, 10);
+    if (end == p) {
+      std::fprintf(stderr, "error: malformed %s value '%s'\n", flag_name,
+                   text);
+      return false;
+    }
+    out->push_back(static_cast<T>(value));
+    p = end;
+    if (*p == ',') {
+      ++p;
+      if (*p == '\0') {
+        std::fprintf(stderr, "error: trailing comma in %s value '%s'\n",
+                     flag_name, text);
+        return false;
+      }
+    } else if (*p != '\0') {
+      std::fprintf(stderr, "error: malformed %s value '%s'\n", flag_name,
+                   text);
+      return false;
+    }
   }
-  return nodes;
+  return true;
 }
 
 int Usage() {
@@ -63,14 +125,22 @@ int Usage() {
       "  seeds --graph=PATH --count=N [--random] [--seed=N]\n"
       "      print an influential (IMM) or uniform-random seed set\n"
       "  boost --graph=PATH --seeds=a,b,c --k=N [--lb] [--epsilon=F]\n"
+      "        [--seed=N] [--k-sweep=a,b,c] [--save-pool=PATH]\n"
+      "        [--load-pool=PATH]\n"
       "      run PRR-Boost (or PRR-Boost-LB with --lb); prints the boost\n"
-      "      set and its Monte-Carlo-verified boost\n"
+      "      set and its Monte-Carlo-verified boost. --k-sweep answers\n"
+      "      every listed budget from ONE sampled pool (a BoostSession);\n"
+      "      --save-pool snapshots that pool, --load-pool serves from a\n"
+      "      snapshot without resampling (seeds/mode come from the file)\n"
       "  evaluate --graph=PATH --seeds=a,b,c --boost=x,y,z [--sims=N]\n"
       "      Monte-Carlo estimate of the spread and boost of a given set\n");
   return 2;
 }
 
 int CmdGenerate(int argc, char** argv) {
+  if (!ValidateFlags(argc, argv, {"--dataset", "--out", "--scale", "--beta"})) {
+    return 2;
+  }
   const char* name = FlagValue(argc, argv, "--dataset");
   const char* out = FlagValue(argc, argv, "--out");
   const char* scale_s = FlagValue(argc, argv, "--scale");
@@ -91,6 +161,10 @@ int CmdGenerate(int argc, char** argv) {
 }
 
 int CmdSeeds(int argc, char** argv) {
+  if (!ValidateFlags(argc, argv, {"--graph", "--count", "--seed"},
+                     {"--random"})) {
+    return 2;
+  }
   const char* path = FlagValue(argc, argv, "--graph");
   const char* count_s = FlagValue(argc, argv, "--count");
   if (path == nullptr || count_s == nullptr) return Usage();
@@ -114,42 +188,130 @@ int CmdSeeds(int argc, char** argv) {
 }
 
 int CmdBoost(int argc, char** argv) {
+  if (!ValidateFlags(argc, argv,
+                     {"--graph", "--seeds", "--k", "--k-sweep", "--epsilon",
+                      "--seed", "--save-pool", "--load-pool"},
+                     {"--lb"})) {
+    return 2;
+  }
   const char* path = FlagValue(argc, argv, "--graph");
   const char* k_s = FlagValue(argc, argv, "--k");
-  std::vector<NodeId> seeds = ParseNodeList(FlagValue(argc, argv, "--seeds"));
-  if (path == nullptr || k_s == nullptr || seeds.empty()) return Usage();
+  const char* load_pool = FlagValue(argc, argv, "--load-pool");
+  const char* save_pool = FlagValue(argc, argv, "--save-pool");
+  std::vector<size_t> sweep;
+  std::vector<NodeId> seeds;
+  if (!ParseUintList(FlagValue(argc, argv, "--k-sweep"), "--k-sweep",
+                     &sweep) ||
+      !ParseUintList(FlagValue(argc, argv, "--seeds"), "--seeds", &seeds)) {
+    return 2;
+  }
+  if (load_pool != nullptr) {
+    // Mode, sampling options and seeds come from the snapshot; accepting
+    // these flags alongside --load-pool would silently discard them.
+    for (const char* name : {"--seeds", "--epsilon", "--seed"}) {
+      if (FlagValue(argc, argv, name) != nullptr) {
+        std::fprintf(stderr,
+                     "error: %s comes from the pool snapshot; it cannot be "
+                     "combined with --load-pool\n",
+                     name);
+        return 2;
+      }
+    }
+    if (HasFlag(argc, argv, "--lb")) {
+      std::fprintf(stderr,
+                   "error: the snapshot fixes the lb/full mode; --lb cannot "
+                   "be combined with --load-pool\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) return Usage();
+  if (load_pool == nullptr && k_s == nullptr && sweep.empty()) return Usage();
+  if (load_pool == nullptr && seeds.empty()) return Usage();
   StatusOr<DirectedGraph> g = LoadEdgeList(path);
   if (!g.ok()) {
     std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
     return 1;
   }
-  BoostOptions options;
-  options.k = std::strtoull(k_s, nullptr, 10);
-  const char* eps_s = FlagValue(argc, argv, "--epsilon");
-  if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
-  const bool lb = HasFlag(argc, argv, "--lb");
 
-  BoostResult r = lb ? PrrBoostLb(g.value(), seeds, options)
-                     : PrrBoost(g.value(), seeds, options);
-  std::printf("boost_set: ");
-  for (size_t i = 0; i < r.best_set.size(); ++i) {
-    std::printf("%s%u", i ? "," : "", r.best_set[i]);
+  std::unique_ptr<BoostSession> session;
+  if (load_pool != nullptr) {
+    StatusOr<std::unique_ptr<BoostSession>> loaded =
+        LoadPoolSnapshot(g.value(), load_pool);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    session = std::move(loaded).value();
+    std::printf("loaded pool %s: budget=%zu theta=%zu mode=%s\n", load_pool,
+                session->budget(), session->engine().collection().num_samples(),
+                session->lb_only() ? "lb" : "full");
+  } else {
+    BoostOptions options;
+    options.k = k_s ? std::strtoull(k_s, nullptr, 10) : 0;
+    for (size_t k : sweep) options.k = std::max(options.k, k);
+    if (options.k == 0) return Usage();
+    const char* eps_s = FlagValue(argc, argv, "--epsilon");
+    if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
+    const char* seed_s = FlagValue(argc, argv, "--seed");
+    if (seed_s != nullptr) options.seed = std::strtoull(seed_s, nullptr, 10);
+    session = std::make_unique<BoostSession>(g.value(), seeds, options,
+                                             HasFlag(argc, argv, "--lb"));
   }
-  std::printf("\nestimate (%s): %.3f\n", lb ? "mu_hat" : "delta_hat",
-              r.best_estimate);
-  BoostEstimate mc = EstimateBoost(g.value(), seeds, r.best_set, {});
-  std::printf("monte_carlo: boost %.3f +- %.3f (spread %.1f -> %.1f)\n",
-              mc.boost, 2 * mc.boost_stderr, mc.base_spread,
-              mc.boosted_spread);
-  std::printf("samples: %zu (boostable %zu%s)\n", r.num_samples,
-              r.num_boostable, r.samples_capped ? ", capped" : "");
+
+  if (sweep.empty()) {
+    sweep.push_back(k_s ? std::strtoull(k_s, nullptr, 10)
+                        : session->budget());
+  }
+  std::sort(sweep.begin(), sweep.end());
+
+  const bool lb = session->lb_only();
+  for (size_t k : sweep) {
+    if (k < 1 || k > session->budget()) {
+      std::fprintf(stderr,
+                   "error: budget %zu outside the session's range [1, %zu]\n",
+                   k, session->budget());
+      return 1;
+    }
+    BoostResult r = session->SolveForBudget(k);
+    std::printf("k=%zu boost_set: ", k);
+    for (size_t i = 0; i < r.best_set.size(); ++i) {
+      std::printf("%s%u", i ? "," : "", r.best_set[i]);
+    }
+    std::printf("\nestimate (%s): %.3f%s\n", lb ? "mu_hat" : "delta_hat",
+                r.best_estimate,
+                r.pool_reused ? "  [pool reused]" : "");
+    BoostEstimate mc =
+        EstimateBoost(g.value(), session->seeds(), r.best_set, {});
+    std::printf("monte_carlo: boost %.3f +- %.3f (spread %.1f -> %.1f)\n",
+                mc.boost, 2 * mc.boost_stderr, mc.base_spread,
+                mc.boosted_spread);
+    std::printf("samples: %zu (boostable %zu%s, pool budget %zu)\n",
+                r.num_samples, r.num_boostable,
+                r.samples_capped ? ", capped" : "", r.pool_budget);
+  }
+
+  if (save_pool != nullptr) {
+    Status s = session->SavePool(save_pool);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved pool to %s\n", save_pool);
+  }
   return 0;
 }
 
 int CmdEvaluate(int argc, char** argv) {
+  if (!ValidateFlags(argc, argv, {"--graph", "--seeds", "--boost", "--sims"})) {
+    return 2;
+  }
   const char* path = FlagValue(argc, argv, "--graph");
-  std::vector<NodeId> seeds = ParseNodeList(FlagValue(argc, argv, "--seeds"));
-  std::vector<NodeId> boost = ParseNodeList(FlagValue(argc, argv, "--boost"));
+  std::vector<NodeId> seeds, boost;
+  if (!ParseUintList(FlagValue(argc, argv, "--seeds"), "--seeds", &seeds) ||
+      !ParseUintList(FlagValue(argc, argv, "--boost"), "--boost", &boost)) {
+    return 2;
+  }
   if (path == nullptr || seeds.empty()) return Usage();
   StatusOr<DirectedGraph> g = LoadEdgeList(path);
   if (!g.ok()) {

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
               "influencers):\n");
   BudgetAllocationOptions opts;
   opts.max_seeds = 20;
-  opts.cost_ratio = 20;
+  opts.cost_ratios = {20};
   opts.seed_fractions = {0.25, 0.5, 0.75, 1.0};
   opts.sim_options = sim;
   for (const BudgetAllocationPoint& p : RunBudgetAllocation(d.graph, opts)) {

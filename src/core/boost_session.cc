@@ -1,0 +1,23 @@
+#include "src/core/boost_session.h"
+
+#include "src/io/pool_io.h"
+
+namespace kboost {
+
+BoostSession::BoostSession(const DirectedGraph& graph,
+                           std::vector<NodeId> seeds,
+                           const BoostOptions& options, bool lb_only)
+    : engine_(graph, std::move(seeds), options, lb_only) {}
+
+void BoostSession::Prepare() { engine_.EnsureSampled(); }
+
+BoostResult BoostSession::SolveForBudget(size_t k) {
+  return engine_.SolveForBudget(k);
+}
+
+Status BoostSession::SavePool(const std::string& path) {
+  Prepare();
+  return SavePoolSnapshot(*this, path);
+}
+
+}  // namespace kboost

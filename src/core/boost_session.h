@@ -1,0 +1,71 @@
+#ifndef KBOOST_CORE_BOOST_SESSION_H_
+#define KBOOST_CORE_BOOST_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/prr_boost.h"
+#include "src/util/status.h"
+
+namespace kboost {
+
+/// The serving-layer entry point: one prepared PRR-graph pool, many budget
+/// queries. Where PrrBoost()/PrrBoostLb() sample a fresh pool per call, a
+/// BoostSession samples once at its maximum budget (`options.k`, the session
+/// budget) and then answers SolveForBudget(k) for any k ≤ budget() with
+/// selection work only:
+///
+/// - LB mode: greedy on the submodular μ̂ yields nested solutions, so every
+///   budget's answer is a prefix slice of one cached greedy order — O(k)
+///   per query after the first.
+/// - Full mode: only the Δ̂ greedy re-runs per budget (its gains are not
+///   monotone in B); the pool, the LB order and all estimators are reused.
+///
+/// Results answered from an existing pool carry pool_reused = true and
+/// pool_budget = budget(), recording that the sampling constants correspond
+/// to the larger budget (the paper's budget-reuse heuristic).
+///
+/// Prepared pools can be snapshotted to disk and restored in another
+/// process via SavePool / LoadPoolSnapshot (src/io/pool_io.h), enabling
+/// warm restarts and cross-process serving against one prepared index.
+class BoostSession {
+ public:
+  /// `options.k` is the session budget — the largest k the session can
+  /// answer. `lb_only` selects the PRR-Boost-LB pipeline (no stored graphs).
+  BoostSession(const DirectedGraph& graph, std::vector<NodeId> seeds,
+               const BoostOptions& options, bool lb_only = false);
+
+  /// Samples the pool at budget() via the IMM schedule. Idempotent; called
+  /// lazily by SolveForBudget — call eagerly to front-load the expensive
+  /// part (e.g. at server startup or before SavePool).
+  void Prepare();
+
+  /// Answers the k-boosting problem for any 1 ≤ k ≤ budget() without
+  /// resampling.
+  BoostResult SolveForBudget(size_t k);
+
+  /// The largest budget this session can answer (options.k).
+  size_t budget() const { return engine_.options().k; }
+  bool lb_only() const { return engine_.lb_only(); }
+  /// Whether the pool has been sampled (or adopted from a snapshot).
+  bool prepared() const { return engine_.sampled(); }
+
+  const DirectedGraph& graph() const { return engine_.graph(); }
+  const std::vector<NodeId>& seeds() const { return engine_.seeds(); }
+  const BoostOptions& options() const { return engine_.options(); }
+  /// The wrapped engine, for pool estimators (EstimateDelta/EstimateMu) and
+  /// snapshot restore.
+  PrrBoostEngine& engine() { return engine_; }
+  const PrrBoostEngine& engine() const { return engine_; }
+
+  /// Prepares (if needed) and snapshots the pool to `path`; convenience for
+  /// SavePoolSnapshot (src/io/pool_io.h).
+  Status SavePool(const std::string& path);
+
+ private:
+  PrrBoostEngine engine_;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_CORE_BOOST_SESSION_H_

@@ -27,53 +27,86 @@ PrrBoostEngine::PrrBoostEngine(const DirectedGraph& graph,
                                           options_.num_threads);
 }
 
-BoostResult PrrBoostEngine::Run() {
-  BoostResult result;
+void PrrBoostEngine::EnsureSampled() {
+  if (sampled_) return;
   const size_t n = graph_.num_nodes();
+  // Algorithm 2 line 1: ℓ' = ℓ(1 + log3 / log n) so that the three failure
+  // events (sampling, LB selection, sandwich comparison) union-bound.
+  ImmBounds bounds;
+  bounds.epsilon = options_.epsilon;
+  bounds.ell = options_.ell *
+               (1.0 + std::log(3.0) / std::log(static_cast<double>(n)));
+  bounds.n = n;
+  bounds.k = options_.k;
 
-  WallTimer sampling_timer;
-  if (!sampled_) {
-    // Algorithm 2 line 1: ℓ' = ℓ(1 + log3 / log n) so that the three failure
-    // events (sampling, LB selection, sandwich comparison) union-bound.
-    ImmBounds bounds;
-    bounds.epsilon = options_.epsilon;
-    bounds.ell = options_.ell *
-                 (1.0 + std::log(3.0) / std::log(static_cast<double>(n)));
-    bounds.n = n;
-    bounds.k = options_.k;
+  ImmScheduleCallbacks callbacks;
+  callbacks.ensure_samples = [&](size_t target) {
+    if (options_.max_samples > 0 && target > options_.max_samples) {
+      target = options_.max_samples;
+      samples_capped_ = true;
+    }
+    return sampler_->EnsureSamples(*collection_, target);
+  };
+  callbacks.select_coverage = [&]() {
+    return collection_->coverage()
+        .SelectGreedy(options_.k, &excluded_)
+        .coverage_fraction;
+  };
+  RunImmSchedule(bounds, callbacks);
+  stats_ = sampler_->stats();
+  sampled_ = true;
+}
 
-    ImmScheduleCallbacks callbacks;
-    callbacks.ensure_samples = [&](size_t target) {
-      if (options_.max_samples > 0 && target > options_.max_samples) {
-        target = options_.max_samples;
-        samples_capped_ = true;
-      }
-      return sampler_->EnsureSamples(*collection_, target);
-    };
-    callbacks.select_coverage = [&]() {
-      return collection_->coverage()
-          .SelectGreedy(options_.k, &excluded_)
-          .coverage_fraction;
-    };
-    RunImmSchedule(bounds, callbacks);
-    sampled_ = true;
+void PrrBoostEngine::AdoptPool(std::unique_ptr<PrrCollection> collection,
+                               const PrrSamplerStats& stats,
+                               bool samples_capped) {
+  KB_CHECK(!sampled_) << "cannot adopt a pool after sampling";
+  KB_CHECK(collection != nullptr &&
+           collection->num_graph_nodes() == graph_.num_nodes());
+  collection_ = std::move(collection);
+  stats_ = stats;
+  samples_capped_ = samples_capped;
+  sampled_ = true;
+}
+
+const PrrCollection::LbResult& PrrBoostEngine::LbGreedyOrder() {
+  if (!lb_order_ready_) {
+    // NodeSelectionLB at the full pool budget: maximize μ̂ by greedy
+    // max-coverage over critical sets. Computed once; nested budgets slice.
+    lb_order_ = collection_->SelectGreedyLowerBound(options_.k, excluded_);
+    lb_order_ready_ = true;
   }
+  return lb_order_;
+}
+
+BoostResult PrrBoostEngine::Run() { return SolveForBudget(options_.k); }
+
+BoostResult PrrBoostEngine::SolveForBudget(size_t k) {
+  KB_CHECK(k >= 1 && k <= options_.k)
+      << "budget " << k << " exceeds the pool's sampling budget "
+      << options_.k;
+  BoostResult result;
+  const bool had_pool = sampled_;
+  WallTimer sampling_timer;
+  EnsureSampled();
   result.sampling_seconds = sampling_timer.Seconds();
+  result.pool_budget = options_.k;
+  result.pool_reused = had_pool;
 
   WallTimer selection_timer;
-  // NodeSelectionLB: maximize μ̂ by greedy max-coverage over critical sets.
-  PrrCollection::LbResult lb =
-      collection_->SelectGreedyLowerBound(options_.k, excluded_);
-  result.lb_set = std::move(lb.nodes);
-  result.lb_mu_hat = lb.mu_hat;
+  const PrrCollection::LbResult& order = LbGreedyOrder();
+  const size_t take = std::min(k, order.nodes.size());
+  result.lb_set.assign(order.nodes.begin(), order.nodes.begin() + take);
+  result.lb_mu_hat = take > 0 ? order.prefix_mu_hat[take - 1] : 0.0;
 
   if (lb_only_) {
     result.best_set = result.lb_set;
     result.best_estimate = result.lb_mu_hat;
   } else {
-    // NodeSelection: greedy on Δ̂ directly, reusing the same pool.
-    PrrCollection::DeltaResult dr = collection_->SelectGreedyDelta(
-        options_.k, excluded_, options_.num_threads);
+    // NodeSelection: greedy on Δ̂ directly, reusing the same pool. Not
+    // nested in k (Δ̂ gains are non-monotone), so selection re-runs per k.
+    PrrCollection::DeltaResult dr =
+        collection_->SelectGreedyDelta(k, excluded_, options_.num_threads);
     result.delta_set = std::move(dr.nodes);
     result.delta_delta_hat = dr.delta_hat;
     result.lb_delta_hat =
@@ -90,20 +123,19 @@ BoostResult PrrBoostEngine::Run() {
   result.selection_seconds = selection_timer.Seconds();
 
   // Statistics.
-  const PrrSamplerStats& stats = sampler_->stats();
   result.num_samples = collection_->num_samples();
   result.samples_capped = samples_capped_;
   result.num_boostable = collection_->num_boostable();
   result.num_activated = collection_->num_activated();
   result.num_hopeless = collection_->num_hopeless();
-  result.edges_examined = stats.edges_examined;
+  result.edges_examined = stats_.edges_examined;
   result.stored_graph_bytes = collection_->StoredGraphBytes();
   if (result.num_boostable > 0) {
     result.avg_uncompressed_edges =
-        static_cast<double>(stats.uncompressed_edges) /
+        static_cast<double>(stats_.uncompressed_edges) /
         static_cast<double>(result.num_boostable);
     result.avg_compressed_edges =
-        static_cast<double>(stats.compressed_edges) /
+        static_cast<double>(stats_.compressed_edges) /
         static_cast<double>(result.num_boostable);
     if (result.avg_compressed_edges > 0) {
       result.compression_ratio =

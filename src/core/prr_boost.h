@@ -39,6 +39,15 @@ struct BoostResult {
   std::vector<NodeId> delta_set;   ///< B_Δ from NodeSelection (full mode)
   double delta_delta_hat = 0.0;    ///< Δ̂(B_Δ) (full mode only)
 
+  // Pool provenance. `pool_budget` is the budget the IMM schedule sampled
+  // the pool at; a BoostSession answering SolveForBudget(k) for k <
+  // pool_budget reuses that pool, so the (1-1/e-ε) constants formally
+  // correspond to pool_budget (selection quality for the smaller budget is
+  // the paper's budget-reuse heuristic). `pool_reused` is set when the call
+  // answered from an existing pool without sampling.
+  size_t pool_budget = 0;
+  bool pool_reused = false;
+
   // Sampling statistics (Tables 2/3, Figs. 6/11).
   size_t num_samples = 0;    ///< θ
   bool samples_capped = false;  ///< hit BoostOptions::max_samples
@@ -66,7 +75,19 @@ class PrrBoostEngine {
 
   /// Runs SamplingLB (IMM schedule over μ̂), then the node-selection steps,
   /// and returns the assembled result. Idempotent: the pool is sampled once.
+  /// Equivalent to SolveForBudget(options.k).
   BoostResult Run();
+
+  /// Samples the pool at options.k via the IMM schedule. Idempotent; called
+  /// lazily by SolveForBudget/Run, or eagerly (BoostSession::Prepare).
+  void EnsureSampled();
+
+  /// Answers the k-boosting problem for any budget k ≤ options.k on the
+  /// already-sampled pool — selection only, no resampling. LB answers are
+  /// prefix slices of one cached greedy order (greedy on the submodular μ̂
+  /// yields nested solutions); full mode re-runs only the Δ̂ selection.
+  /// The returned result carries pool_budget/pool_reused provenance.
+  BoostResult SolveForBudget(size_t k);
 
   /// The sampled pool (valid after Run()).
   const PrrCollection& collection() const { return *collection_; }
@@ -77,8 +98,24 @@ class PrrBoostEngine {
 
   const DirectedGraph& graph() const { return graph_; }
   const std::vector<NodeId>& seeds() const { return seeds_; }
+  const BoostOptions& options() const { return options_; }
+  bool lb_only() const { return lb_only_; }
+  bool sampled() const { return sampled_; }
+  bool samples_capped() const { return samples_capped_; }
+  /// Aggregate sampling statistics of the pool (valid once sampled).
+  const PrrSamplerStats& stats() const { return stats_; }
+
+  /// Pool-snapshot restore (src/io/pool_io): adopts an already-filled pool
+  /// and marks sampling done, so every SolveForBudget answers from it.
+  /// The engine must not have sampled yet.
+  void AdoptPool(std::unique_ptr<PrrCollection> collection,
+                 const PrrSamplerStats& stats, bool samples_capped);
 
  private:
+  /// The cached NodeSelectionLB greedy order at the full pool budget; every
+  /// smaller budget's LB answer is a prefix of it.
+  const PrrCollection::LbResult& LbGreedyOrder();
+
   const DirectedGraph& graph_;
   std::vector<NodeId> seeds_;
   BoostOptions options_;
@@ -88,6 +125,9 @@ class PrrBoostEngine {
   std::unique_ptr<PrrSampler> sampler_;
   bool sampled_ = false;
   bool samples_capped_ = false;
+  PrrSamplerStats stats_;
+  bool lb_order_ready_ = false;
+  PrrCollection::LbResult lb_order_;  // greedy order at options_.k
 };
 
 /// PRR-Boost (Algorithm 2): sandwich approximation over {B_µ, B_Δ}.

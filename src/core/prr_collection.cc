@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <queue>
 
+#include "src/select/greedy.h"
 #include "src/sim/boost_model.h"
 #include "src/util/logging.h"
 #include "src/util/thread_pool.h"
@@ -82,15 +82,172 @@ void PrrCollection::EnsureGraphIndex() const {
   graph_index_built_ = true;
 }
 
+void PrrCollection::RestoreFullPool(PrrStore&& store, size_t num_activated,
+                                    size_t num_hopeless) {
+  KB_CHECK(num_samples() == 0) << "snapshot restore into a non-empty pool";
+  store_ = std::move(store);
+  const size_t num_graphs = store_.num_graphs();
+  for (size_t g = 0; g < num_graphs; ++g) {
+    const PrrGraphView view = store_.View(g);
+    critical_scratch_.clear();
+    for (uint32_t c : view.critical()) {
+      critical_scratch_.push_back(view.global_ids[c]);
+    }
+    coverage_.AddSet(critical_scratch_);
+  }
+  num_boostable_ = num_graphs;
+  graph_index_built_ = false;
+  AddNonBoostableCounts(num_activated, num_hopeless);
+}
+
+void PrrCollection::AddNonBoostableCounts(size_t num_activated,
+                                          size_t num_hopeless) {
+  coverage_.AddEmptySets(num_activated + num_hopeless);
+  num_activated_ += num_activated;
+  num_hopeless_ += num_hopeless;
+}
+
 PrrCollection::LbResult PrrCollection::SelectGreedyLowerBound(
     size_t k, const std::vector<uint8_t>& excluded) const {
   CoverageSelector::Result cov = coverage_.SelectGreedy(k, &excluded);
   LbResult result;
   result.nodes = std::move(cov.selected);
+  // Nested-budget answers: μ̂ of each greedy prefix from the per-pick gains,
+  // with the same n·covered/θ expression EstimateMu uses.
+  result.prefix_mu_hat.reserve(cov.pick_gains.size());
+  uint64_t covered = 0;
+  for (uint64_t gain : cov.pick_gains) {
+    covered += gain;
+    result.prefix_mu_hat.push_back(static_cast<double>(num_graph_nodes_) *
+                                   static_cast<double>(covered) /
+                                   static_cast<double>(num_samples()));
+  }
   result.mu_hat =
-      static_cast<double>(num_graph_nodes_) * cov.coverage_fraction;
+      result.prefix_mu_hat.empty() ? 0.0 : result.prefix_mu_hat.back();
   return result;
 }
+
+namespace {
+
+/// Push-model oracle for the Δ̂ greedy: a node's gain is the number of
+/// not-yet-activated PRR-graphs it is currently critical in. Gains move both
+/// ways as B grows (Δ̂ is not submodular), so Commit re-evaluates exactly the
+/// PRR-graphs containing the pick — diffing old and new critical sets, the
+/// "linear in the size of R" update — and reports every node whose gain
+/// moved. The re-evaluation scan runs on `num_threads` workers with
+/// per-thread evaluator scratch; increments/decrements commute, so the
+/// settled gains are deterministic for every thread count.
+class DeltaOracle final : public SelectionOracle {
+ public:
+  DeltaOracle(const PrrCollection& collection,
+              const std::vector<uint8_t>& excluded, int num_threads)
+      : collection_(collection),
+        excluded_(excluded),
+        threads_(std::max(1, num_threads)),
+        n_(collection.num_graph_nodes()),
+        boosted_(n_, 0),
+        covered_(collection.store().num_graphs(), 0),
+        critical_(collection.store().num_graphs()),
+        gains_(n_),
+        evaluators_(threads_),
+        new_critical_(threads_),
+        worker_touched_(threads_) {
+    for (size_t v = 0; v < n_; ++v) {
+      gains_[v].store(0, std::memory_order_relaxed);
+    }
+    const size_t num_graphs = collection.store().num_graphs();
+    for (size_t g = 0; g < num_graphs; ++g) {
+      const PrrGraphView view = collection.store().View(g);
+      critical_[g].reserve(view.num_critical_count);
+      for (uint32_t c : view.critical()) {
+        const NodeId global = view.global_ids[c];
+        critical_[g].push_back(global);
+        if (!excluded_[global]) {
+          gains_[global].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  size_t num_candidates() const override { return n_; }
+  uint64_t InitialGain(NodeId v) const override {
+    return gains_[v].load(std::memory_order_relaxed);
+  }
+  uint64_t CurrentGain(NodeId v) const override {
+    return gains_[v].load(std::memory_order_relaxed);
+  }
+
+  void Commit(NodeId pick, std::vector<NodeId>* touched) override {
+    boosted_[pick] = 1;
+    gains_[pick].store(0, std::memory_order_relaxed);
+    // Graphs are disjoint work items: critical_[g]/covered_[g] are
+    // per-graph, gain updates are atomic, and touched nodes are collected
+    // per worker.
+    const std::span<const uint32_t> graphs_of_pick =
+        collection_.GraphsContaining(pick);
+    for (auto& t : worker_touched_) t.clear();
+    ParallelFor(
+        graphs_of_pick.size(), threads_,
+        [&](size_t gi, int t) {
+          const uint32_t g = graphs_of_pick[gi];
+          if (covered_[g]) return;
+          std::vector<NodeId>& tl_touched = worker_touched_[t];
+          for (NodeId old : critical_[g]) {
+            if (!boosted_[old] && !excluded_[old]) {
+              gains_[old].fetch_sub(1, std::memory_order_relaxed);
+              tl_touched.push_back(old);
+            }
+          }
+          const PrrGraphView view = collection_.store().View(g);
+          const bool now_active = evaluators_[t].CriticalNodes(
+              view, boosted_.data(), &new_critical_[t]);
+          if (now_active) {
+            covered_[g] = 1;
+            activated_.fetch_add(1, std::memory_order_relaxed);
+            critical_[g].clear();
+            return;
+          }
+          critical_[g].clear();
+          for (uint32_t c : new_critical_[t]) {
+            const NodeId global = view.global_ids[c];
+            critical_[g].push_back(global);
+            if (!boosted_[global] && !excluded_[global]) {
+              gains_[global].fetch_add(1, std::memory_order_relaxed);
+              tl_touched.push_back(global);
+            }
+          }
+        },
+        /*chunk=*/8);
+    // Serial epilogue: report the touched nodes; the greedy loop re-reads
+    // their settled gains. Duplicates are tolerated by the loop.
+    for (const std::vector<NodeId>& tl : worker_touched_) {
+      touched->insert(touched->end(), tl.begin(), tl.end());
+    }
+  }
+
+  size_t activated() const {
+    return activated_.load(std::memory_order_relaxed);
+  }
+  std::vector<uint8_t>& boosted() { return boosted_; }
+
+ private:
+  const PrrCollection& collection_;
+  const std::vector<uint8_t>& excluded_;
+  const int threads_;
+  const size_t n_;
+  std::vector<uint8_t> boosted_;
+  std::vector<uint8_t> covered_;
+  // Current critical set per stored graph (global ids).
+  std::vector<std::vector<NodeId>> critical_;
+  std::vector<std::atomic<uint32_t>> gains_;
+  // Per-worker scratch reused across picks.
+  std::vector<PrrEvaluator> evaluators_;
+  std::vector<std::vector<uint32_t>> new_critical_;
+  std::vector<std::vector<NodeId>> worker_touched_;
+  std::atomic<size_t> activated_{0};
+};
+
+}  // namespace
 
 PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
     size_t k, const std::vector<uint8_t>& excluded, int num_threads) const {
@@ -98,127 +255,19 @@ PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
   if (k == 0 || num_samples() == 0) return result;
   EnsureGraphIndex();
 
-  const size_t n = num_graph_nodes_;
-  const size_t num_graphs = store_.num_graphs();
-  const int threads = std::max(1, num_threads);
-
-  std::vector<uint8_t> boosted(n, 0);
-  std::vector<uint8_t> covered(num_graphs, 0);
-  // Current critical set per stored graph (global ids).
-  std::vector<std::vector<NodeId>> critical(num_graphs);
-  // Gains are updated concurrently during the per-pick re-evaluation scan;
-  // increments/decrements commute, so the final values are deterministic.
-  std::vector<std::atomic<uint32_t>> gains(n);
-  for (size_t v = 0; v < n; ++v) gains[v].store(0, std::memory_order_relaxed);
-
-  for (size_t g = 0; g < num_graphs; ++g) {
-    const PrrGraphView view = store_.View(g);
-    critical[g].reserve(view.num_critical_count);
-    for (uint32_t c : view.critical()) {
-      const NodeId global = view.global_ids[c];
-      critical[g].push_back(global);
-      if (!excluded[global]) gains[global].fetch_add(1, std::memory_order_relaxed);
-    }
-  }
-
-  // Max-heap tolerant of stale entries: an entry is valid iff its recorded
-  // gain still matches gains[node]. Gains move both ways as B grows, so a
-  // fresh entry is pushed for every node whose gain changed. Ties break
-  // toward smaller node ids, which makes the pick — and therefore the whole
-  // selection — independent of heap insertion order and thread count.
-  struct Entry {
-    uint32_t gain;
-    NodeId node;
-  };
-  auto cmp = [](const Entry& a, const Entry& b) {
-    return a.gain < b.gain || (a.gain == b.gain && a.node > b.node);
-  };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
-  for (NodeId v = 0; v < n; ++v) {
-    const uint32_t gv = gains[v].load(std::memory_order_relaxed);
-    if (gv > 0 && !excluded[v]) heap.push(Entry{gv, v});
-  }
-
-  // Per-worker scratch reused across picks.
-  std::vector<PrrEvaluator> evaluators(threads);
-  std::vector<std::vector<uint32_t>> new_critical(threads);
-  std::vector<std::vector<NodeId>> touched(threads);
-  std::atomic<size_t> activated{0};
-
-  while (result.nodes.size() < k) {
-    NodeId pick = kInvalidNode;
-    while (!heap.empty()) {
-      const Entry top = heap.top();
-      const uint32_t current = gains[top.node].load(std::memory_order_relaxed);
-      if (boosted[top.node] || top.gain != current || current == 0) {
-        heap.pop();
-        continue;
-      }
-      pick = top.node;
-      break;
-    }
-    if (pick == kInvalidNode) break;  // no single node has positive gain
-
-    boosted[pick] = 1;
-    result.nodes.push_back(pick);
-    gains[pick].store(0, std::memory_order_relaxed);
-
-    // Re-evaluate every graph containing the pick; update gains by diffing
-    // old and new critical sets ("linear in the size of R" update). Graphs
-    // are disjoint work items: critical[g]/covered[g] are per-graph, gain
-    // updates are atomic, and touched nodes are collected per worker.
-    const std::span<const uint32_t> graphs_of_pick = GraphsContaining(pick);
-    for (auto& t : touched) t.clear();
-    ParallelFor(
-        graphs_of_pick.size(), threads,
-        [&](size_t gi, int t) {
-          const uint32_t g = graphs_of_pick[gi];
-          if (covered[g]) return;
-          std::vector<NodeId>& tl_touched = touched[t];
-          for (NodeId old : critical[g]) {
-            if (!boosted[old] && !excluded[old]) {
-              gains[old].fetch_sub(1, std::memory_order_relaxed);
-              tl_touched.push_back(old);
-            }
-          }
-          const PrrGraphView view = store_.View(g);
-          const bool now_active = evaluators[t].CriticalNodes(
-              view, boosted.data(), &new_critical[t]);
-          if (now_active) {
-            covered[g] = 1;
-            activated.fetch_add(1, std::memory_order_relaxed);
-            critical[g].clear();
-            return;
-          }
-          critical[g].clear();
-          for (uint32_t c : new_critical[t]) {
-            const NodeId global = view.global_ids[c];
-            critical[g].push_back(global);
-            if (!boosted[global] && !excluded[global]) {
-              gains[global].fetch_add(1, std::memory_order_relaxed);
-              tl_touched.push_back(global);
-            }
-          }
-        },
-        /*chunk=*/8);
-    // Serial epilogue: publish one heap entry per touched node with its
-    // settled gain. Stale or duplicate entries are filtered at pop time.
-    for (const std::vector<NodeId>& tl : touched) {
-      for (NodeId v : tl) {
-        const uint32_t gv = gains[v].load(std::memory_order_relaxed);
-        if (gv > 0) heap.push(Entry{gv, v});
-      }
-    }
-  }
-  result.activated_samples = activated.load(std::memory_order_relaxed);
+  DeltaOracle oracle(*this, excluded, num_threads);
+  GreedyResult greedy = RunLazyGreedy(oracle, k, &excluded);
+  result.nodes = std::move(greedy.selected);
+  result.activated_samples = oracle.activated();
 
   // Budget left but no single-node gains: fall back to PRR-occurrence
   // counts (nodes present in many boostable PRR-graphs are the best
   // remaining heuristic candidates).
   if (result.nodes.size() < k) {
+    std::vector<uint8_t>& boosted = oracle.boosted();
     std::vector<NodeId> order;
-    order.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
+    order.reserve(num_graph_nodes_);
+    for (NodeId v = 0; v < num_graph_nodes_; ++v) {
       if (!boosted[v] && !excluded[v] && !GraphsContaining(v).empty()) {
         order.push_back(v);
       }

@@ -54,15 +54,20 @@ class PrrCollection {
   const PrrStore& store() const { return store_; }
 
   /// Greedy max-coverage over critical sets (maximizes μ̂) — the
-  /// NodeSelectionLB step. Returns the selected nodes and μ̂ of that set.
+  /// NodeSelectionLB step. Returns the selected nodes, μ̂ of that set, and μ̂
+  /// of every prefix: greedy on the submodular μ̂ yields nested solutions, so
+  /// one run at k answers every budget k' ≤ k by slicing.
   struct LbResult {
     std::vector<NodeId> nodes;
     double mu_hat = 0.0;
+    /// μ̂(nodes[0..i]) for each i — the nested-budget answers.
+    std::vector<double> prefix_mu_hat;
   };
   LbResult SelectGreedyLowerBound(size_t k,
                                   const std::vector<uint8_t>& excluded) const;
 
-  /// Greedy maximization of Δ̂ (the NodeSelection step; full mode only).
+  /// Greedy maximization of Δ̂ (the NodeSelection step; full mode only) — a
+  /// push-model oracle over the shared src/select lazy-greedy engine.
   /// Each round picks the node with the largest marginal Δ̂ gain — i.e. the
   /// node critical in the most not-yet-activated PRR-graphs — then
   /// re-evaluates exactly the PRR-graphs containing it. The re-evaluation
@@ -88,6 +93,24 @@ class PrrCollection {
   /// Access to the coverage structure driving the IMM schedule.
   const CoverageSelector& coverage() const { return coverage_; }
 
+  /// Ids of the stored graphs whose compressed form contains global node v
+  /// (full mode; lazily-built CSR — call EnsureGraphIndex() via any selection
+  /// entry point, or rely on the const laziness here).
+  std::span<const uint32_t> GraphsContaining(NodeId v) const {
+    EnsureGraphIndex();
+    return {node_graphs_.data() + node_graph_offsets_[v],
+            node_graph_offsets_[v + 1] - node_graph_offsets_[v]};
+  }
+
+  /// Pool-snapshot restore (full mode): adopts a deserialized arena,
+  /// re-derives every critical set from it in stored order, then accounts
+  /// the non-boostable samples. The collection must be empty.
+  void RestoreFullPool(PrrStore&& store, size_t num_activated,
+                       size_t num_hopeless);
+  /// Accounts non-boostable samples in bulk (denominator only) — the
+  /// LB-mode snapshot-restore path after AddBoostableCriticalOnly calls.
+  void AddNonBoostableCounts(size_t num_activated, size_t num_hopeless);
+
   /// Bytes held by stored PRR-graphs (the paper's Table 2/3 "memory for
   /// boostable PRR-graphs").
   size_t StoredGraphBytes() const {
@@ -97,10 +120,6 @@ class PrrCollection {
  private:
   /// Builds the global-node → stored-graph-ids CSR (one counting-sort pass).
   void EnsureGraphIndex() const;
-  std::span<const uint32_t> GraphsContaining(NodeId v) const {
-    return {node_graphs_.data() + node_graph_offsets_[v],
-            node_graph_offsets_[v + 1] - node_graph_offsets_[v]};
-  }
 
   size_t num_graph_nodes_;
   PrrStore store_;                 // full mode storage

@@ -1,6 +1,8 @@
 #include "src/core/prr_store.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "src/util/logging.h"
 
@@ -11,6 +13,28 @@ namespace {
 template <typename T>
 void AppendSpan(std::vector<T>& pool, std::span<const T> data) {
   pool.insert(pool.end(), data.begin(), data.end());
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  const uint64_t count = v.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+/// Reads a WriteVec-encoded vector, rejecting counts other than `expect`
+/// (every vector's size is implied by the graph-size table, so a mismatch
+/// means corruption — and guards against pathological allocations).
+template <typename T>
+bool ReadVec(std::istream& in, std::vector<T>* v, uint64_t expect) {
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != expect) return false;
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
 }
 
 }  // namespace
@@ -102,6 +126,109 @@ size_t PrrStore::MemoryBytes() const {
          (out_offsets_.size() + in_offsets_.size() + out_edges_.size() +
           in_edges_.size() + critical_.size()) *
              sizeof(uint32_t);
+}
+
+void PrrStore::Serialize(std::ostream& out) const {
+  const uint64_t num_graphs = meta_.size();
+  out.write(reinterpret_cast<const char*>(&num_graphs), sizeof(num_graphs));
+  std::vector<uint32_t> num_nodes(num_graphs), num_critical(num_graphs);
+  for (size_t g = 0; g < num_graphs; ++g) {
+    num_nodes[g] = meta_[g].num_nodes;
+    num_critical[g] = meta_[g].num_critical;
+  }
+  WriteVec(out, num_nodes);
+  WriteVec(out, num_critical);
+  WriteVec(out, global_ids_);
+  WriteVec(out, out_offsets_);
+  WriteVec(out, in_offsets_);
+  WriteVec(out, out_edges_);
+  WriteVec(out, in_edges_);
+  WriteVec(out, critical_);
+}
+
+bool PrrStore::Deserialize(std::istream& in) {
+  KB_CHECK(meta_.empty()) << "Deserialize into a non-empty store";
+  uint64_t num_graphs = 0;
+  in.read(reinterpret_cast<char*>(&num_graphs), sizeof(num_graphs));
+  if (!in) return false;
+
+  // Every declared count must fit in the bytes actually present, so a
+  // corrupt count can never drive a pathological allocation: reject any
+  // vector whose payload exceeds what remains of the stream.
+  const std::streampos pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const uint64_t remaining = static_cast<uint64_t>(in.tellg() - pos);
+  in.seekg(pos);
+  const auto fits = [remaining](uint64_t count, size_t elem_size) {
+    return count <= remaining / elem_size;
+  };
+  if (!fits(num_graphs, 2 * sizeof(uint32_t))) return false;
+
+  std::vector<uint32_t> num_nodes, num_critical;
+  if (!ReadVec(in, &num_nodes, num_graphs)) return false;
+  if (!ReadVec(in, &num_critical, num_graphs)) return false;
+  uint64_t total_nodes = 0, total_critical = 0;
+  for (size_t g = 0; g < num_graphs; ++g) {
+    total_nodes += num_nodes[g];
+    total_critical += num_critical[g];
+  }
+  const uint64_t offsets_len = total_nodes + num_graphs;
+  if (!fits(total_nodes, sizeof(NodeId)) ||
+      !fits(offsets_len, sizeof(uint32_t)) ||
+      !fits(total_critical, sizeof(uint32_t))) {
+    return false;
+  }
+  if (!ReadVec(in, &global_ids_, total_nodes)) return false;
+  if (!ReadVec(in, &out_offsets_, offsets_len)) return false;
+  if (!ReadVec(in, &in_offsets_, offsets_len)) return false;
+
+  // Rebuild the meta table by prefix sums over the per-graph sizes, checking
+  // the offset pools are graph-relative, monotone and mutually consistent.
+  meta_.reserve(num_graphs);
+  uint64_t node_begin = 0, edge_begin = 0, critical_begin = 0;
+  for (size_t g = 0; g < num_graphs; ++g) {
+    Meta m;
+    m.node_begin = node_begin;
+    m.edge_begin = edge_begin;
+    m.critical_begin = critical_begin;
+    m.num_nodes = num_nodes[g];
+    m.num_critical = num_critical[g];
+    const uint64_t off = node_begin + g;
+    if (out_offsets_[off] != 0 || in_offsets_[off] != 0) return false;
+    for (uint32_t v = 0; v < m.num_nodes; ++v) {
+      if (out_offsets_[off + v] > out_offsets_[off + v + 1] ||
+          in_offsets_[off + v] > in_offsets_[off + v + 1]) {
+        return false;
+      }
+    }
+    if (out_offsets_[off + m.num_nodes] != in_offsets_[off + m.num_nodes]) {
+      return false;
+    }
+    meta_.push_back(m);
+    node_begin += m.num_nodes;
+    edge_begin += out_offsets_[off + m.num_nodes];
+    critical_begin += m.num_critical;
+  }
+  if (!fits(edge_begin, sizeof(uint32_t))) return false;
+  if (!ReadVec(in, &out_edges_, edge_begin)) return false;
+  if (!ReadVec(in, &in_edges_, edge_begin)) return false;
+  if (!ReadVec(in, &critical_, critical_begin)) return false;
+
+  // Every packed edge endpoint and critical id must be a valid local node.
+  for (size_t g = 0; g < num_graphs; ++g) {
+    const Meta& m = meta_[g];
+    const uint64_t edges = out_offsets_[m.node_begin + g + m.num_nodes];
+    for (uint64_t e = 0; e < edges; ++e) {
+      if (PrrGraph::EdgeNode(out_edges_[m.edge_begin + e]) >= m.num_nodes ||
+          PrrGraph::EdgeNode(in_edges_[m.edge_begin + e]) >= m.num_nodes) {
+        return false;
+      }
+    }
+    for (uint32_t c = 0; c < m.num_critical; ++c) {
+      if (critical_[m.critical_begin + c] >= m.num_nodes) return false;
+    }
+  }
+  return true;
 }
 
 void PrrStore::Clear() {

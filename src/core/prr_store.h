@@ -2,6 +2,7 @@
 #define KBOOST_CORE_PRR_STORE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -55,6 +56,16 @@ class PrrStore {
 
   /// Drops all graphs but keeps buffer capacity (shard reuse across batches).
   void Clear();
+
+  /// Binary snapshot of the arena (pool snapshots, src/io/pool_io). The
+  /// format is independent of the Meta struct layout: per-graph sizes are
+  /// written explicitly and the arena begins are rebuilt by prefix sums on
+  /// load.
+  void Serialize(std::ostream& out) const;
+  /// Restores an arena written by Serialize into this (empty) store,
+  /// verifying structural consistency (counts, offset monotonicity, edge
+  /// targets and critical ids in range). Returns false on malformed input.
+  bool Deserialize(std::istream& in);
 
  private:
   struct Meta {

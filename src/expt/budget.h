@@ -9,9 +9,11 @@
 
 namespace kboost {
 
-/// One point of the budget-allocation curve (Fig. 13): spend
-/// `seed_fraction` of the budget on initial adopters, the rest on boosting.
+/// One point of the budget-allocation curves (Fig. 13): spend
+/// `seed_fraction` of the budget on initial adopters, the rest on boosting,
+/// with one seed trading for `cost_ratio` boosts.
 struct BudgetAllocationPoint {
+  double cost_ratio = 0.0;
   double seed_fraction = 0.0;
   size_t num_seeds = 0;
   size_t num_boosted = 0;
@@ -19,10 +21,11 @@ struct BudgetAllocationPoint {
 };
 
 /// Parameters of the experiment: all-budget-on-seeds buys `max_seeds`
-/// seeds; one seed costs `cost_ratio` boosts.
+/// seeds; one seed costs `cost_ratios[r]` boosts. All ratios are swept in
+/// one call so the per-(fraction, seed set) work is shared.
 struct BudgetAllocationOptions {
   size_t max_seeds = 100;
-  double cost_ratio = 100.0;
+  std::vector<double> cost_ratios = {100.0};
   std::vector<double> seed_fractions = {0.2, 0.4, 0.6, 0.8, 1.0};
   BoostOptions boost_options;
   SimulationOptions sim_options;
@@ -30,7 +33,10 @@ struct BudgetAllocationOptions {
 
 /// For each split: IMM picks the seeds, PRR-Boost picks the boosted users,
 /// Monte Carlo evaluates the boosted spread (the paper's heuristic of
-/// Sec. V-D).
+/// Sec. V-D). Each (graph, seed set) drives ONE BoostSession sampled at the
+/// largest boosting budget any cost ratio needs; every ratio's answer is
+/// selection-only on that shared pool instead of a fresh PrrBoost() run.
+/// Points are returned ratio-major, fractions in input order within a ratio.
 std::vector<BudgetAllocationPoint> RunBudgetAllocation(
     const DirectedGraph& graph, const BudgetAllocationOptions& options);
 

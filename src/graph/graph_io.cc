@@ -27,9 +27,11 @@ StatusOr<DirectedGraph> LoadEdgeList(const std::string& path) {
   if (!in) return Status::IoError("cannot open for reading: " + path);
 
   std::string line;
-  // Header.
+  // Header. Trailing '\r' is stripped so CRLF (Windows-edited) edge lists
+  // parse identically to LF ones.
   size_t n = 0, m = 0;
   while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     std::istringstream header(line);
     if (!(header >> n >> m)) {
@@ -45,6 +47,7 @@ StatusOr<DirectedGraph> LoadEdgeList(const std::string& path) {
   GraphBuilder builder(static_cast<NodeId>(n));
   size_t read = 0;
   while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     uint64_t from, to;

@@ -1,8 +1,8 @@
 #include "src/im/coverage.h"
 
 #include <algorithm>
-#include <queue>
 
+#include "src/select/greedy.h"
 #include "src/util/logging.h"
 
 namespace kboost {
@@ -38,57 +38,49 @@ void CoverageSelector::EnsureIndex() const {
   index_built_ = true;
 }
 
+namespace {
+
+/// Pull-model (CELF) oracle over the selector's inverted CSR: a gain is the
+/// number of still-uncovered samples containing the candidate, recomputed
+/// lazily when the shared greedy loop surfaces a stale heap entry.
+class CoverageOracle final : public SelectionOracle {
+ public:
+  explicit CoverageOracle(const CoverageSelector& selector)
+      : selector_(selector), covered_(selector.num_nonempty_sets(), 0) {}
+
+  size_t num_candidates() const override { return selector_.num_nodes(); }
+  uint64_t InitialGain(NodeId v) const override {
+    return selector_.SetCount(v);
+  }
+  uint64_t CurrentGain(NodeId v) const override {
+    uint64_t gain = 0;
+    for (uint32_t set_id : selector_.SetsContaining(v)) {
+      gain += !covered_[set_id];
+    }
+    return gain;
+  }
+  void Commit(NodeId v, std::vector<NodeId>* /*touched*/) override {
+    for (uint32_t set_id : selector_.SetsContaining(v)) covered_[set_id] = 1;
+  }
+
+ private:
+  const CoverageSelector& selector_;
+  std::vector<uint8_t> covered_;
+};
+
+}  // namespace
+
 CoverageSelector::Result CoverageSelector::SelectGreedy(
     size_t k, const std::vector<uint8_t>* excluded) const {
   Result result;
   if (k == 0 || num_sets_ == 0) return result;
   EnsureIndex();
 
-  const size_t n = num_nodes_;
-  std::vector<uint8_t> covered(num_nonempty_sets(), 0);
-
-  // CELF lazy greedy: stale gains are re-evaluated only when popped.
-  struct Entry {
-    size_t gain;
-    NodeId node;
-    uint32_t round;
-  };
-  auto cmp = [](const Entry& a, const Entry& b) { return a.gain < b.gain; };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
-  for (NodeId v = 0; v < n; ++v) {
-    if (excluded != nullptr && (*excluded)[v]) continue;
-    const size_t count = node_offsets_[v + 1] - node_offsets_[v];
-    if (count > 0) heap.push(Entry{count, v, 0});
-  }
-
-  uint32_t round = 0;
-  std::vector<uint8_t> picked(n, 0);
-  while (result.selected.size() < k && !heap.empty()) {
-    Entry top = heap.top();
-    heap.pop();
-    if (picked[top.node]) continue;
-    if (top.round != round) {
-      // Re-evaluate against current coverage.
-      size_t gain = 0;
-      for (uint32_t set_id : SetsContaining(top.node)) {
-        if (!covered[set_id]) ++gain;
-      }
-      if (gain == 0) continue;
-      heap.push(Entry{gain, top.node, round});
-      continue;
-    }
-    // Fresh maximum: commit.
-    picked[top.node] = 1;
-    result.selected.push_back(top.node);
-    for (uint32_t set_id : SetsContaining(top.node)) {
-      if (!covered[set_id]) {
-        covered[set_id] = 1;
-        ++result.covered_sets;
-      }
-    }
-    ++round;
-  }
-
+  CoverageOracle oracle(*this);
+  GreedyResult greedy = RunLazyGreedy(oracle, k, excluded);
+  result.selected = std::move(greedy.selected);
+  result.pick_gains = std::move(greedy.gains);
+  result.covered_sets = greedy.total_gain;
   result.coverage_fraction =
       static_cast<double>(result.covered_sets) / static_cast<double>(num_sets_);
   return result;

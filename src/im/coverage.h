@@ -32,23 +32,35 @@ class CoverageSelector {
   void AddSet(std::span<const NodeId> nodes);
   /// Appends an empty sample (counts toward totals only).
   void AddEmptySet() { ++num_sets_; }
+  /// Appends `count` empty samples at once (pool-snapshot restore).
+  void AddEmptySets(size_t count) { num_sets_ += count; }
 
   size_t num_sets() const { return num_sets_; }
   size_t num_nonempty_sets() const { return set_offsets_.size() - 1; }
   size_t num_nodes() const { return num_nodes_; }
 
+  /// Nodes of non-empty sample `i` (adapters and pool-snapshot IO).
+  std::span<const NodeId> SetNodes(size_t i) const {
+    return {set_nodes_.data() + set_offsets_[i],
+            set_offsets_[i + 1] - set_offsets_[i]};
+  }
+
   struct Result {
     std::vector<NodeId> selected;
+    /// Sets newly covered by each pick (selection order); prefix sums give
+    /// the coverage of every nested budget from one run.
+    std::vector<uint64_t> pick_gains;
     size_t covered_sets = 0;
     /// covered_sets / num_sets (0 when no samples).
     double coverage_fraction = 0.0;
   };
 
   /// Greedily selects up to k nodes maximizing the number of covered samples
-  /// (CELF-style lazy evaluation). `excluded`, if non-null, is an n-sized
-  /// bitmap of forbidden candidates (e.g. the seed set). Stops early when no
-  /// remaining candidate covers anything new. Const: can be re-run with
-  /// different k on the same samples.
+  /// — a pull-model (CELF) adapter over the shared src/select lazy-greedy
+  /// engine. `excluded`, if non-null, is an n-sized bitmap of forbidden
+  /// candidates (e.g. the seed set). Stops early when no remaining candidate
+  /// covers anything new; ties break toward the smaller node id. Const: can
+  /// be re-run with different k on the same samples.
   Result SelectGreedy(size_t k, const std::vector<uint8_t>* excluded = nullptr)
       const;
 

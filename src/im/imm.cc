@@ -11,38 +11,6 @@
 
 namespace kboost {
 
-ImmScheduleResult RunImmSchedule(const ImmBounds& bounds,
-                                 const ImmScheduleCallbacks& callbacks) {
-  KB_CHECK(bounds.epsilon > 0.0 && bounds.epsilon < 1.0);
-  KB_CHECK(bounds.ell > 0.0);
-  KB_CHECK(bounds.n >= 2);
-
-  ImmScheduleResult result;
-  const double n = static_cast<double>(bounds.n);
-  const double eps_prime = bounds.EpsilonPrime();
-  const double lambda_prime = bounds.LambdaPrime();
-
-  double lb = 1.0;
-  const int levels = bounds.NumSearchLevels();
-  for (int i = 1; i <= levels; ++i) {
-    ++result.levels_used;
-    const double x = n / std::pow(2.0, i);
-    const size_t theta_i = static_cast<size_t>(std::ceil(lambda_prime / x));
-    result.num_samples = callbacks.ensure_samples(theta_i);
-    const double frac = callbacks.select_coverage();
-    if (n * frac >= (1.0 + eps_prime) * x) {
-      lb = n * frac / (1.0 + eps_prime);
-      break;
-    }
-  }
-  result.opt_lower_bound = lb;
-
-  const size_t theta =
-      static_cast<size_t>(std::ceil(bounds.LambdaStar() / lb));
-  result.num_samples = callbacks.ensure_samples(theta);
-  return result;
-}
-
 ImmResult SelectSeedsImm(const DirectedGraph& graph,
                          const ImmOptions& options) {
   const size_t n = graph.num_nodes();

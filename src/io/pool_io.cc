@@ -1,0 +1,282 @@
+#include "src/io/pool_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "src/core/prr_collection.h"
+#include "src/core/prr_sampler.h"
+#include "src/im/coverage.h"
+
+namespace kboost {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'B', 'P', 'R', 'R', 'P', 'O', 'L'};
+constexpr uint32_t kVersion = 1;
+
+constexpr uint32_t kFlagLbOnly = 1u << 0;
+constexpr uint32_t kFlagSamplesCapped = 1u << 1;
+
+/// Fixed-size snapshot header. Every field is written explicitly (no struct
+/// dump), so the on-disk layout is independent of compiler padding.
+struct Header {
+  uint32_t version = kVersion;
+  uint32_t flags = 0;
+  uint64_t num_graph_nodes = 0;
+  uint64_t pool_budget = 0;  // BoostOptions::k the schedule sampled at
+  double epsilon = 0.0;
+  double ell = 0.0;
+  uint64_t rng_seed = 0;
+  uint64_t max_samples = 0;
+  uint32_t num_threads = 0;
+  uint64_t num_seeds = 0;
+  uint64_t num_boostable = 0;
+  uint64_t num_activated = 0;
+  uint64_t num_hopeless = 0;
+  uint64_t edges_examined = 0;
+  uint64_t uncompressed_edges = 0;
+  uint64_t compressed_edges = 0;
+};
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+/// Bytes left between the current position and the end of the stream. Used
+/// to bound every count-driven allocation: a corrupt count larger than the
+/// file itself is rejected before any resize happens.
+uint64_t RemainingBytes(std::istream& in) {
+  const std::streampos pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  in.seekg(pos);
+  return static_cast<uint64_t>(end - pos);
+}
+
+void WriteHeader(std::ostream& out, const Header& h) {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, h.version);
+  WritePod(out, h.flags);
+  WritePod(out, h.num_graph_nodes);
+  WritePod(out, h.pool_budget);
+  WritePod(out, h.epsilon);
+  WritePod(out, h.ell);
+  WritePod(out, h.rng_seed);
+  WritePod(out, h.max_samples);
+  WritePod(out, h.num_threads);
+  WritePod(out, h.num_seeds);
+  WritePod(out, h.num_boostable);
+  WritePod(out, h.num_activated);
+  WritePod(out, h.num_hopeless);
+  WritePod(out, h.edges_examined);
+  WritePod(out, h.uncompressed_edges);
+  WritePod(out, h.compressed_edges);
+}
+
+Status ReadHeader(std::istream& in, const std::string& path, Header* h) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a kboost pool snapshot: " + path);
+  }
+  if (!ReadPod(in, &h->version) || !ReadPod(in, &h->flags) ||
+      !ReadPod(in, &h->num_graph_nodes) || !ReadPod(in, &h->pool_budget) ||
+      !ReadPod(in, &h->epsilon) || !ReadPod(in, &h->ell) ||
+      !ReadPod(in, &h->rng_seed) || !ReadPod(in, &h->max_samples) ||
+      !ReadPod(in, &h->num_threads) || !ReadPod(in, &h->num_seeds) ||
+      !ReadPod(in, &h->num_boostable) || !ReadPod(in, &h->num_activated) ||
+      !ReadPod(in, &h->num_hopeless) || !ReadPod(in, &h->edges_examined) ||
+      !ReadPod(in, &h->uncompressed_edges) ||
+      !ReadPod(in, &h->compressed_edges)) {
+    return Status::IoError("truncated pool snapshot header: " + path);
+  }
+  if (h->version != kVersion) {
+    return Status::InvalidArgument(
+        "unsupported pool snapshot version " + std::to_string(h->version) +
+        " (this build reads version " + std::to_string(kVersion) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
+  if (!session.prepared()) {
+    return Status::InvalidArgument(
+        "session pool not prepared; call Prepare() before saving");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+
+  const PrrBoostEngine& engine = session.engine();
+  const PrrCollection& pool = engine.collection();
+  const PrrSamplerStats& stats = engine.stats();
+
+  Header h;
+  h.flags = (session.lb_only() ? kFlagLbOnly : 0) |
+            (engine.samples_capped() ? kFlagSamplesCapped : 0);
+  h.num_graph_nodes = pool.num_graph_nodes();
+  h.pool_budget = session.budget();
+  h.epsilon = session.options().epsilon;
+  h.ell = session.options().ell;
+  h.rng_seed = session.options().seed;
+  h.max_samples = session.options().max_samples;
+  h.num_threads = static_cast<uint32_t>(session.options().num_threads);
+  h.num_seeds = session.seeds().size();
+  h.num_boostable = pool.num_boostable();
+  h.num_activated = pool.num_activated();
+  h.num_hopeless = pool.num_hopeless();
+  h.edges_examined = stats.edges_examined;
+  h.uncompressed_edges = stats.uncompressed_edges;
+  h.compressed_edges = stats.compressed_edges;
+  WriteHeader(out, h);
+  out.write(reinterpret_cast<const char*>(session.seeds().data()),
+            static_cast<std::streamsize>(h.num_seeds * sizeof(NodeId)));
+
+  if (session.lb_only()) {
+    // LB mode: only the critical sets exist. Write them as one flat
+    // offsets/nodes pair over the non-empty sample numbering.
+    const CoverageSelector& coverage = pool.coverage();
+    const uint64_t num_sets = coverage.num_nonempty_sets();
+    WritePod(out, num_sets);
+    uint64_t offset = 0;
+    WritePod(out, offset);
+    for (uint64_t i = 0; i < num_sets; ++i) {
+      offset += coverage.SetNodes(i).size();
+      WritePod(out, offset);
+    }
+    for (uint64_t i = 0; i < num_sets; ++i) {
+      const std::span<const NodeId> nodes = coverage.SetNodes(i);
+      out.write(reinterpret_cast<const char*>(nodes.data()),
+                static_cast<std::streamsize>(nodes.size() * sizeof(NodeId)));
+    }
+  } else {
+    pool.store().Serialize(out);
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
+    const DirectedGraph& graph, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  Header h;
+  Status header_status = ReadHeader(in, path, &h);
+  if (!header_status.ok()) return header_status;
+  if (h.num_graph_nodes != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "pool snapshot was taken against a graph with " +
+        std::to_string(h.num_graph_nodes) + " nodes, not " +
+        std::to_string(graph.num_nodes()));
+  }
+  if (h.pool_budget == 0 || h.num_seeds == 0 ||
+      h.num_seeds > graph.num_nodes()) {
+    return Status::InvalidArgument("corrupt pool snapshot header: " + path);
+  }
+  const bool lb_only = (h.flags & kFlagLbOnly) != 0;
+
+  std::vector<NodeId> seeds(h.num_seeds);
+  in.read(reinterpret_cast<char*>(seeds.data()),
+          static_cast<std::streamsize>(h.num_seeds * sizeof(NodeId)));
+  if (!in) return Status::IoError("truncated pool snapshot: " + path);
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) {
+      return Status::OutOfRange("snapshot seed out of range: " +
+                                std::to_string(s));
+    }
+  }
+
+  auto pool = std::make_unique<PrrCollection>(graph.num_nodes());
+  if (lb_only) {
+    uint64_t num_sets = 0;
+    if (!ReadPod(in, &num_sets) || num_sets != h.num_boostable ||
+        num_sets > RemainingBytes(in) / sizeof(uint64_t)) {
+      return Status::InvalidArgument("corrupt LB pool snapshot: " + path);
+    }
+    std::vector<uint64_t> offsets(num_sets + 1);
+    in.read(reinterpret_cast<char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(uint64_t)));
+    if (!in || offsets[0] != 0) {
+      return Status::InvalidArgument("corrupt LB pool snapshot: " + path);
+    }
+    for (uint64_t i = 0; i < num_sets; ++i) {
+      if (offsets[i] > offsets[i + 1]) {
+        return Status::InvalidArgument("corrupt LB pool snapshot: " + path);
+      }
+    }
+    if (offsets[num_sets] > RemainingBytes(in) / sizeof(NodeId)) {
+      return Status::InvalidArgument("corrupt LB pool snapshot: " + path);
+    }
+    std::vector<NodeId> nodes(offsets[num_sets]);
+    in.read(reinterpret_cast<char*>(nodes.data()),
+            static_cast<std::streamsize>(nodes.size() * sizeof(NodeId)));
+    if (!in) return Status::IoError("truncated pool snapshot: " + path);
+    for (NodeId v : nodes) {
+      if (v >= graph.num_nodes()) {
+        return Status::OutOfRange("snapshot critical node out of range: " +
+                                  std::to_string(v));
+      }
+    }
+    for (uint64_t i = 0; i < num_sets; ++i) {
+      pool->AddBoostableCriticalOnly(std::span<const NodeId>(
+          nodes.data() + offsets[i], offsets[i + 1] - offsets[i]));
+    }
+    pool->AddNonBoostableCounts(h.num_activated, h.num_hopeless);
+  } else {
+    PrrStore store;
+    if (!store.Deserialize(in)) {
+      return Status::InvalidArgument("corrupt PRR-graph arena in snapshot: " +
+                                     path);
+    }
+    if (store.num_graphs() != h.num_boostable) {
+      return Status::InvalidArgument(
+          "snapshot header declares " + std::to_string(h.num_boostable) +
+          " boostable graphs but the arena has " +
+          std::to_string(store.num_graphs()));
+    }
+    // Global ids must fit the serving graph before views reach evaluators.
+    for (size_t g = 0; g < store.num_graphs(); ++g) {
+      const PrrGraphView view = store.View(g);
+      for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
+        if (view.global_ids[v] >= graph.num_nodes()) {
+          return Status::OutOfRange(
+              "snapshot PRR-graph node out of range: " +
+              std::to_string(view.global_ids[v]));
+        }
+      }
+    }
+    pool->RestoreFullPool(std::move(store), h.num_activated, h.num_hopeless);
+  }
+
+  BoostOptions options;
+  options.k = h.pool_budget;
+  options.epsilon = h.epsilon;
+  options.ell = h.ell;
+  options.seed = h.rng_seed;
+  options.max_samples = h.max_samples;
+  if (h.num_threads > 0) options.num_threads = static_cast<int>(h.num_threads);
+
+  PrrSamplerStats stats;
+  stats.edges_examined = h.edges_examined;
+  stats.uncompressed_edges = h.uncompressed_edges;
+  stats.compressed_edges = h.compressed_edges;
+
+  auto session = std::make_unique<BoostSession>(graph, std::move(seeds),
+                                                options, lb_only);
+  session->engine().AdoptPool(std::move(pool), stats,
+                              (h.flags & kFlagSamplesCapped) != 0);
+  return session;
+}
+
+}  // namespace kboost

@@ -1,0 +1,35 @@
+#ifndef KBOOST_IO_POOL_IO_H_
+#define KBOOST_IO_POOL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/boost_session.h"
+#include "src/util/status.h"
+
+namespace kboost {
+
+/// Binary snapshot save/load of a prepared BoostSession pool — the sampled
+/// PRR-graph arena (full mode) or critical sets (LB mode), the sample
+/// counters, the sampler statistics and the sampling metadata (seeds, budget,
+/// ε, ℓ, rng seed), behind a versioned header. A reloaded session answers
+/// SolveForBudget with bit-identical best sets and estimates, enabling warm
+/// restarts and cross-process serving against one prepared index.
+///
+/// The format is host-endian (the magic doubles as an endianness check) and
+/// trusted to the extent of the structural validation performed on load:
+/// header match, count consistency, offset monotonicity and id ranges.
+
+/// Writes the session's pool to `path`. The session must be prepared()
+/// (BoostSession::SavePool prepares and delegates here).
+Status SavePoolSnapshot(const BoostSession& session, const std::string& path);
+
+/// Restores a session from a snapshot taken against a graph with the same
+/// node count. Seeds and BoostOptions come from the snapshot; the returned
+/// session is prepared() and never resamples.
+StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
+    const DirectedGraph& graph, const std::string& path);
+
+}  // namespace kboost
+
+#endif  // KBOOST_IO_POOL_IO_H_

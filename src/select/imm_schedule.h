@@ -1,0 +1,40 @@
+#ifndef KBOOST_SELECT_IMM_SCHEDULE_H_
+#define KBOOST_SELECT_IMM_SCHEDULE_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/util/bounds.h"
+
+namespace kboost {
+
+/// Callbacks that let the generic IMM sampling schedule drive any
+/// sample-and-cover maximization: classic RR-sets (influence maximization),
+/// marginal RR-sets (MoreSeeds) or PRR-graph critical sets (PRR-Boost's
+/// lower-bound maximization).
+struct ImmScheduleCallbacks {
+  /// Grows the sample pool to at least `target` samples; returns the new
+  /// pool size.
+  std::function<size_t(size_t target)> ensure_samples;
+  /// Greedy-selects k candidates on the current pool and returns the covered
+  /// fraction of *all* samples.
+  std::function<double()> select_coverage;
+};
+
+/// Outcome of the sampling schedule.
+struct ImmScheduleResult {
+  size_t num_samples = 0;    ///< final pool size θ
+  double opt_lower_bound = 0;///< LB on OPT established by the search phase
+  int levels_used = 0;       ///< geometric-search iterations executed
+};
+
+/// IMM sampling phase (Tang et al., SIGMOD'15, Alg. 3): geometric search for
+/// a lower bound on OPT with λ'(ε′)-sized pools, then a final pool of
+/// λ*/LB samples. Callers pass the already-adjusted ℓ (e.g. ℓ(1+log3/log n)
+/// for PRR-Boost per its Algorithm 2).
+ImmScheduleResult RunImmSchedule(const ImmBounds& bounds,
+                                 const ImmScheduleCallbacks& callbacks);
+
+}  // namespace kboost
+
+#endif  // KBOOST_SELECT_IMM_SCHEDULE_H_

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/boost_session.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/io/pool_io.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+DirectedGraph MakeTestGraph(uint64_t seed = 7) {
+  Rng rng(seed);
+  GraphBuilder b = BuildErdosRenyi(80, 500, rng);
+  b.AssignConstantProbability(0.12);
+  b.SetBoostWithBeta(2.0);
+  return std::move(b).Build();
+}
+
+BoostOptions MakeOptions(size_t k) {
+  BoostOptions options;
+  options.k = k;
+  options.seed = 11;
+  options.num_threads = 2;
+  return options;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(BoostSessionTest, NestedBudgetInvariantInLbMode) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1, 2}, MakeOptions(16), /*lb_only=*/true);
+  BoostResult full = session.SolveForBudget(16);
+  // Greedy on the submodular μ̂ yields nested solutions: every smaller
+  // budget's answer is a prefix of the largest budget's.
+  for (size_t k : {1, 2, 5, 9, 13}) {
+    BoostResult r = session.SolveForBudget(k);
+    ASSERT_LE(r.best_set.size(), full.best_set.size());
+    for (size_t i = 0; i < r.best_set.size(); ++i) {
+      EXPECT_EQ(r.best_set[i], full.best_set[i]) << "prefix diverges at " << i;
+    }
+    // μ̂ grows monotonically along the prefix chain.
+    EXPECT_LE(r.lb_mu_hat, full.lb_mu_hat + 1e-12);
+  }
+}
+
+TEST(BoostSessionTest, SweepSamplesThePoolExactlyOnce) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(12));
+  EXPECT_FALSE(session.prepared());
+  size_t pools_sampled = 0;
+  size_t theta = 0;
+  for (size_t k : {1, 4, 8, 12}) {
+    BoostResult r = session.SolveForBudget(k);
+    pools_sampled += r.pool_reused ? 0 : 1;
+    EXPECT_EQ(r.pool_budget, 12u);
+    if (theta == 0) theta = r.num_samples;
+    EXPECT_EQ(r.num_samples, theta) << "pool changed mid-sweep";
+  }
+  EXPECT_EQ(pools_sampled, 1u);
+  EXPECT_TRUE(session.prepared());
+}
+
+TEST(BoostSessionTest, SweepAnswersMatchAFreshRunAtTheSameBudget) {
+  DirectedGraph g = MakeTestGraph();
+  const std::vector<NodeId> seeds = {0, 1, 2};
+  // Session answers after sweeping down from k_max...
+  BoostSession session(g, seeds, MakeOptions(12));
+  BoostResult at_12 = session.SolveForBudget(12);
+  BoostResult at_5 = session.SolveForBudget(5);
+
+  // ...must equal a one-shot run at k_max (identical schedule and pool)...
+  BoostResult fresh_12 = PrrBoost(g, seeds, MakeOptions(12));
+  EXPECT_EQ(at_12.best_set, fresh_12.best_set);
+  EXPECT_EQ(at_12.lb_set, fresh_12.lb_set);
+  EXPECT_EQ(at_12.delta_set, fresh_12.delta_set);
+  EXPECT_EQ(at_12.best_estimate, fresh_12.best_estimate);
+  EXPECT_EQ(at_12.num_samples, fresh_12.num_samples);
+
+  // ...and a second session over the same pool budget answering k=5 first
+  // (the cached-order prefix path must equal direct selection at k=5).
+  BoostSession direct(g, seeds, MakeOptions(12));
+  BoostResult direct_5 = direct.SolveForBudget(5);
+  EXPECT_EQ(at_5.best_set, direct_5.best_set);
+  EXPECT_EQ(at_5.lb_set, direct_5.lb_set);
+  EXPECT_EQ(at_5.delta_set, direct_5.delta_set);
+  EXPECT_EQ(at_5.best_estimate, direct_5.best_estimate);
+}
+
+TEST(BoostSessionTest, LbModeMatchesPrrBoostLbAtFullBudget) {
+  DirectedGraph g = MakeTestGraph(9);
+  const std::vector<NodeId> seeds = {3, 4};
+  BoostSession session(g, seeds, MakeOptions(10), /*lb_only=*/true);
+  BoostResult session_result = session.SolveForBudget(10);
+  BoostResult fresh = PrrBoostLb(g, seeds, MakeOptions(10));
+  EXPECT_EQ(session_result.best_set, fresh.best_set);
+  EXPECT_EQ(session_result.lb_mu_hat, fresh.lb_mu_hat);
+  EXPECT_EQ(session_result.num_samples, fresh.num_samples);
+}
+
+class PoolRoundTripTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PoolRoundTripTest, SaveLoadSolveIsBitIdentical) {
+  const bool lb_only = GetParam();
+  DirectedGraph g = MakeTestGraph(13);
+  const std::vector<NodeId> seeds = {0, 5};
+  const std::string path = TempPath(lb_only ? "kboost_pool_lb.bin"
+                                            : "kboost_pool_full.bin");
+
+  BoostSession session(g, seeds, MakeOptions(10), lb_only);
+  ASSERT_TRUE(session.SavePool(path).ok());
+
+  StatusOr<std::unique_ptr<BoostSession>> loaded = LoadPoolSnapshot(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  BoostSession& warm = *loaded.value();
+  EXPECT_TRUE(warm.prepared());
+  EXPECT_EQ(warm.lb_only(), lb_only);
+  EXPECT_EQ(warm.budget(), 10u);
+  EXPECT_EQ(warm.seeds(), seeds);
+  EXPECT_EQ(warm.engine().collection().num_samples(),
+            session.engine().collection().num_samples());
+  EXPECT_EQ(warm.engine().collection().StoredGraphBytes(),
+            session.engine().collection().StoredGraphBytes());
+
+  for (size_t k : {2, 6, 10}) {
+    BoostResult a = session.SolveForBudget(k);
+    BoostResult b = warm.SolveForBudget(k);
+    EXPECT_EQ(a.best_set, b.best_set);
+    EXPECT_EQ(a.lb_set, b.lb_set);
+    EXPECT_EQ(a.delta_set, b.delta_set);
+    // Bit-identical estimates, not just approximately equal.
+    EXPECT_EQ(a.best_estimate, b.best_estimate);
+    EXPECT_EQ(a.lb_mu_hat, b.lb_mu_hat);
+    EXPECT_EQ(a.lb_delta_hat, b.lb_delta_hat);
+    EXPECT_EQ(a.delta_delta_hat, b.delta_delta_hat);
+    EXPECT_EQ(a.num_samples, b.num_samples);
+    EXPECT_EQ(a.num_boostable, b.num_boostable);
+    EXPECT_EQ(a.avg_compressed_edges, b.avg_compressed_edges);
+    EXPECT_TRUE(b.pool_reused);
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PoolRoundTripTest, ::testing::Bool());
+
+TEST(PoolIoTest, SaveRequiresAPreparedPool) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0}, MakeOptions(5));
+  // The free function demands a prepared pool; the member auto-prepares.
+  EXPECT_FALSE(SavePoolSnapshot(session, TempPath("kboost_never.bin")).ok());
+}
+
+TEST(PoolIoTest, LoadRejectsMissingGarbageAndMismatchedSnapshots) {
+  DirectedGraph g = MakeTestGraph();
+  EXPECT_FALSE(LoadPoolSnapshot(g, "/nonexistent/pool.bin").ok());
+
+  const std::string garbage = TempPath("kboost_garbage.bin");
+  FILE* f = fopen(garbage.c_str(), "wb");
+  fputs("definitely not a pool snapshot", f);
+  fclose(f);
+  StatusOr<std::unique_ptr<BoostSession>> r = LoadPoolSnapshot(g, garbage);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(garbage);
+
+  // A valid snapshot against a graph with a different node count.
+  const std::string path = TempPath("kboost_pool_mismatch.bin");
+  BoostSession session(g, {0, 1}, MakeOptions(5));
+  ASSERT_TRUE(session.SavePool(path).ok());
+  DirectedGraph other = MakeTestGraph(21);
+  GraphBuilder small(10);
+  small.AddEdge(0, 1, 0.5);
+  DirectedGraph tiny = std::move(small).Build();
+  EXPECT_FALSE(LoadPoolSnapshot(tiny, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(PoolIoTest, InflatedHeaderCountsAreRejectedNotAllocated) {
+  // A corrupt count must produce an error Status, not a multi-gigabyte
+  // allocation. num_seeds sits at byte 68 of the v1 header (after magic,
+  // version, flags, n, budget, epsilon, ell, rng seed, max_samples,
+  // num_threads).
+  DirectedGraph g = MakeTestGraph();
+  const std::string path = TempPath("kboost_pool_inflated.bin");
+  BoostSession session(g, {0, 1}, MakeOptions(5));
+  ASSERT_TRUE(session.SavePool(path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(68);
+    const uint64_t huge = uint64_t{1} << 60;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  StatusOr<std::unique_ptr<BoostSession>> r = LoadPoolSnapshot(g, path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(PoolIoTest, TruncatedSnapshotFailsCleanly) {
+  DirectedGraph g = MakeTestGraph();
+  const std::string path = TempPath("kboost_pool_trunc.bin");
+  BoostSession session(g, {0, 1}, MakeOptions(5));
+  ASSERT_TRUE(session.SavePool(path).ok());
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  EXPECT_FALSE(LoadPoolSnapshot(g, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(BoostSessionTest, RejectsBudgetsAboveThePoolBudget) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0}, MakeOptions(5));
+  EXPECT_DEATH(session.SolveForBudget(6), "exceeds");
+}
+
+}  // namespace
+}  // namespace kboost

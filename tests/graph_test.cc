@@ -152,6 +152,28 @@ TEST(GraphIoTest, SaveLoadRoundTrip) {
   std::filesystem::remove(path);
 }
 
+TEST(GraphIoTest, LoadToleratesCrlfLineEndings) {
+  // Windows-edited edge lists terminate lines with \r\n; the trailing \r
+  // must not break the header, comment, blank-line or edge parsing.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kboost_crlf.txt").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# comment\r\n3 2\r\n\r\n0 1 0.5 0.7\r\n1 2 0.25\r\n", f);
+  fclose(f);
+  StatusOr<DirectedGraph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const DirectedGraph& g = loaded.value();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  ASSERT_EQ(g.OutEdges(0).size(), 1u);
+  EXPECT_NEAR(g.OutEdges(0)[0].p, 0.5, 1e-6);
+  EXPECT_NEAR(g.OutEdges(0)[0].p_boost, 0.7, 1e-6);
+  // p_boost defaults to p when omitted — also on a CRLF line.
+  ASSERT_EQ(g.OutEdges(1).size(), 1u);
+  EXPECT_NEAR(g.OutEdges(1)[0].p_boost, 0.25, 1e-6);
+  std::filesystem::remove(path);
+}
+
 TEST(GraphIoTest, LoadRejectsMissingFile) {
   StatusOr<DirectedGraph> r = LoadEdgeList("/nonexistent/zzz.txt");
   EXPECT_FALSE(r.ok());

@@ -128,7 +128,7 @@ TEST(BudgetAllocationTest, ProducesOnePointPerFraction) {
   Dataset d = MakeDataset(SpecByName("digg", 0.01));
   BudgetAllocationOptions opts;
   opts.max_seeds = 10;
-  opts.cost_ratio = 10;
+  opts.cost_ratios = {10};
   opts.seed_fractions = {0.5, 1.0};
   opts.boost_options.num_threads = 4;
   opts.sim_options.num_simulations = 2000;

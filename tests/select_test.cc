@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/im/coverage.h"
+#include "src/select/greedy.h"
+
+namespace kboost {
+namespace {
+
+/// Pull-model toy: plain max-coverage over explicit sets, with CurrentGain
+/// recomputed by scanning (the CELF discipline CoverageSelector uses).
+class PullCoverageOracle final : public SelectionOracle {
+ public:
+  PullCoverageOracle(size_t n, std::vector<std::vector<NodeId>> sets)
+      : n_(n), sets_(std::move(sets)), covered_(sets_.size(), 0) {}
+
+  size_t num_candidates() const override { return n_; }
+  uint64_t InitialGain(NodeId v) const override { return Gain(v); }
+  uint64_t CurrentGain(NodeId v) const override { return Gain(v); }
+  void Commit(NodeId v, std::vector<NodeId>* /*touched*/) override {
+    for (size_t s = 0; s < sets_.size(); ++s) {
+      if (covered_[s]) continue;
+      for (NodeId u : sets_[s]) {
+        if (u == v) {
+          covered_[s] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  uint64_t Gain(NodeId v) const {
+    uint64_t gain = 0;
+    for (size_t s = 0; s < sets_.size(); ++s) {
+      if (covered_[s]) continue;
+      for (NodeId u : sets_[s]) {
+        if (u == v) {
+          ++gain;
+          break;
+        }
+      }
+    }
+    return gain;
+  }
+
+  size_t n_;
+  std::vector<std::vector<NodeId>> sets_;
+  std::vector<uint8_t> covered_;
+};
+
+/// Push-model toy with NON-monotone gains: committing a node can raise
+/// another node's gain (as Δ̂ does when a pick shifts critical sets). The
+/// oracle owns the gain table and reports touched nodes from Commit.
+class PushOracle final : public SelectionOracle {
+ public:
+  /// `bumps[v]` = {node, delta} applied to the gain table when v commits.
+  PushOracle(std::vector<uint64_t> gains,
+             std::vector<std::vector<std::pair<NodeId, int64_t>>> bumps)
+      : gains_(std::move(gains)), bumps_(std::move(bumps)) {}
+
+  size_t num_candidates() const override { return gains_.size(); }
+  uint64_t InitialGain(NodeId v) const override { return gains_[v]; }
+  uint64_t CurrentGain(NodeId v) const override { return gains_[v]; }
+  void Commit(NodeId v, std::vector<NodeId>* touched) override {
+    gains_[v] = 0;
+    for (const auto& [node, delta] : bumps_[v]) {
+      gains_[node] = static_cast<uint64_t>(
+          static_cast<int64_t>(gains_[node]) + delta);
+      touched->push_back(node);
+    }
+  }
+
+ private:
+  std::vector<uint64_t> gains_;
+  std::vector<std::vector<std::pair<NodeId, int64_t>>> bumps_;
+};
+
+TEST(LazyGreedyTest, PicksByMarginalGainNotInitialDegree) {
+  // Node 0 appears in 3 sets but optimal 2-cover is {1, 2} covering 4.
+  PullCoverageOracle oracle(3, {{0, 1}, {0, 1}, {0, 2}, {2}});
+  GreedyResult r = RunLazyGreedy(oracle, 2);
+  EXPECT_EQ(r.total_gain, 4u);
+  ASSERT_EQ(r.gains.size(), 2u);
+  EXPECT_EQ(r.gains[0] + r.gains[1], 4u);
+}
+
+TEST(LazyGreedyTest, TiesBreakTowardSmallerNodeId) {
+  // Nodes 2 and 1 each cover two disjoint sets; node 1 must go first.
+  PullCoverageOracle oracle(3, {{1}, {1}, {2}, {2}});
+  GreedyResult r = RunLazyGreedy(oracle, 2);
+  ASSERT_EQ(r.selected.size(), 2u);
+  EXPECT_EQ(r.selected[0], 1u);
+  EXPECT_EQ(r.selected[1], 2u);
+}
+
+TEST(LazyGreedyTest, ExclusionAndZeroGainCandidatesAreNeverPicked) {
+  PullCoverageOracle oracle(4, {{0, 1}, {0}, {1}});
+  std::vector<uint8_t> excluded = {1, 0, 0, 0};  // forbid the dominator
+  GreedyResult r = RunLazyGreedy(oracle, 4, &excluded);
+  // Node 0 excluded, node 1 covers two sets, node 2/3 cover nothing:
+  // the loop stops after covering everything reachable.
+  ASSERT_EQ(r.selected.size(), 1u);
+  EXPECT_EQ(r.selected[0], 1u);
+  EXPECT_EQ(r.total_gain, 2u);
+}
+
+TEST(LazyGreedyTest, PerPickGainsSumToTotal) {
+  PullCoverageOracle oracle(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  GreedyResult r = RunLazyGreedy(oracle, 5);
+  uint64_t sum = 0;
+  for (uint64_t gain : r.gains) sum += gain;
+  EXPECT_EQ(sum, r.total_gain);
+  EXPECT_EQ(r.total_gain, 5u);  // everything covered
+}
+
+TEST(LazyGreedyTest, HandlesGainIncreasesFromPushOracles) {
+  // Initially node 0 has the best gain; committing it RAISES node 3's gain
+  // from 1 to 6, which must beat node 1's stale 5. A pure-CELF loop (no
+  // touched reinsertions) would pick 1 here.
+  PushOracle oracle({7, 5, 4, 1},
+                    {/*0*/ {{3, +5}}, /*1*/ {}, /*2*/ {}, /*3*/ {}});
+  GreedyResult r = RunLazyGreedy(oracle, 2);
+  ASSERT_EQ(r.selected.size(), 2u);
+  EXPECT_EQ(r.selected[0], 0u);
+  EXPECT_EQ(r.selected[1], 3u);
+  EXPECT_EQ(r.total_gain, 7u + 6u);
+}
+
+TEST(LazyGreedyTest, HandlesGainDecreasesFromPushOracles) {
+  // Committing 0 drops node 1's cached gain to 1; node 2 must win round 2.
+  PushOracle oracle({7, 5, 3, 0},
+                    {/*0*/ {{1, -4}}, /*1*/ {}, /*2*/ {}, /*3*/ {}});
+  GreedyResult r = RunLazyGreedy(oracle, 2);
+  ASSERT_EQ(r.selected.size(), 2u);
+  EXPECT_EQ(r.selected[0], 0u);
+  EXPECT_EQ(r.selected[1], 2u);
+}
+
+TEST(LazyGreedyTest, GreedyIsPrefixConsistentAcrossBudgets) {
+  // One deterministic engine ⇒ the k-budget answer is a prefix of the
+  // k'-budget answer for every k < k' (the session layer's LB fast path).
+  auto make = [] {
+    return PullCoverageOracle(
+        6, {{0, 1, 2}, {1, 3}, {2, 4}, {3, 5}, {4}, {5, 0}, {2}});
+  };
+  PullCoverageOracle big_oracle = make();
+  GreedyResult big = RunLazyGreedy(big_oracle, 6);
+  for (size_t k = 1; k < big.selected.size(); ++k) {
+    PullCoverageOracle small_oracle = make();
+    GreedyResult small = RunLazyGreedy(small_oracle, k);
+    ASSERT_EQ(small.selected.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(small.selected[i], big.selected[i]);
+      EXPECT_EQ(small.gains[i], big.gains[i]);
+    }
+  }
+}
+
+TEST(CoverageSelectorAdapterTest, MatchesTheSharedEngineSemantics) {
+  // The CoverageSelector adapter must inherit the engine's deterministic
+  // tie-break and report per-pick gains.
+  CoverageSelector sel(4);
+  sel.AddSet(std::vector<NodeId>{2});
+  sel.AddSet(std::vector<NodeId>{2});
+  sel.AddSet(std::vector<NodeId>{1});
+  sel.AddSet(std::vector<NodeId>{1});
+  sel.AddEmptySet();
+  CoverageSelector::Result r = sel.SelectGreedy(2);
+  ASSERT_EQ(r.selected.size(), 2u);
+  EXPECT_EQ(r.selected[0], 1u);  // tie vs node 2 breaks toward smaller id
+  EXPECT_EQ(r.selected[1], 2u);
+  ASSERT_EQ(r.pick_gains.size(), 2u);
+  EXPECT_EQ(r.pick_gains[0], 2u);
+  EXPECT_EQ(r.pick_gains[1], 2u);
+  EXPECT_EQ(r.covered_sets, 4u);
+  EXPECT_DOUBLE_EQ(r.coverage_fraction, 0.8);
+}
+
+}  // namespace
+}  // namespace kboost
