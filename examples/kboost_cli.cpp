@@ -15,6 +15,7 @@
 // the same file — across processes and restarts.
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <initializer_list>
@@ -126,12 +127,13 @@ int Usage() {
       "      print an influential (IMM) or uniform-random seed set\n"
       "  boost --graph=PATH --seeds=a,b,c --k=N [--lb] [--epsilon=F]\n"
       "        [--seed=N] [--k-sweep=a,b,c] [--save-pool=PATH]\n"
-      "        [--load-pool=PATH]\n"
+      "        [--load-pool=PATH] [--threads=N]\n"
       "      run PRR-Boost (or PRR-Boost-LB with --lb); prints the boost\n"
       "      set and its Monte-Carlo-verified boost. --k-sweep answers\n"
       "      every listed budget from ONE sampled pool (a BoostSession);\n"
       "      --save-pool snapshots that pool, --load-pool serves from a\n"
-      "      snapshot without resampling (seeds/mode come from the file)\n"
+      "      snapshot without resampling (seeds/mode come from the file);\n"
+      "      --threads runs sampling and selection on N workers\n"
       "  evaluate --graph=PATH --seeds=a,b,c --boost=x,y,z [--sims=N]\n"
       "      Monte-Carlo estimate of the spread and boost of a given set\n");
   return 2;
@@ -190,12 +192,29 @@ int CmdSeeds(int argc, char** argv) {
 int CmdBoost(int argc, char** argv) {
   if (!ValidateFlags(argc, argv,
                      {"--graph", "--seeds", "--k", "--k-sweep", "--epsilon",
-                      "--seed", "--save-pool", "--load-pool"},
+                      "--seed", "--save-pool", "--load-pool", "--threads"},
                      {"--lb"})) {
     return 2;
   }
   const char* path = FlagValue(argc, argv, "--graph");
   const char* k_s = FlagValue(argc, argv, "--k");
+  const char* threads_s = FlagValue(argc, argv, "--threads");
+  long threads = 0;
+  if (threads_s != nullptr) {
+    char* end = nullptr;
+    errno = 0;
+    threads = std::strtol(threads_s, &end, 10);
+    // 256 is the thread pool's worker cap; anything above it (or a strtol
+    // overflow) is rejected rather than silently wrapped or clamped.
+    if (end == threads_s || *end != '\0' || errno == ERANGE || threads <= 0 ||
+        threads > 256) {
+      std::fprintf(stderr,
+                   "error: --threads must be an integer in [1, 256], "
+                   "got '%s'\n",
+                   threads_s);
+      return 2;
+    }
+  }
   const char* load_pool = FlagValue(argc, argv, "--load-pool");
   const char* save_pool = FlagValue(argc, argv, "--save-pool");
   std::vector<size_t> sweep;
@@ -243,6 +262,7 @@ int CmdBoost(int argc, char** argv) {
       return 1;
     }
     session = std::move(loaded).value();
+    if (threads_s != nullptr) session->set_num_threads(static_cast<int>(threads));
     std::printf("loaded pool %s: budget=%zu theta=%zu mode=%s\n", load_pool,
                 session->budget(), session->engine().collection().num_samples(),
                 session->lb_only() ? "lb" : "full");
@@ -255,6 +275,7 @@ int CmdBoost(int argc, char** argv) {
     if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
     const char* seed_s = FlagValue(argc, argv, "--seed");
     if (seed_s != nullptr) options.seed = std::strtoull(seed_s, nullptr, 10);
+    if (threads_s != nullptr) options.num_threads = static_cast<int>(threads);
     session = std::make_unique<BoostSession>(g.value(), seeds, options,
                                              HasFlag(argc, argv, "--lb"));
   }

@@ -53,6 +53,12 @@ class BoostSession {
   const DirectedGraph& graph() const { return engine_.graph(); }
   const std::vector<NodeId>& seeds() const { return engine_.seeds(); }
   const BoostOptions& options() const { return engine_.options(); }
+  /// Overrides the selection/estimator worker count (the CLI's --threads);
+  /// useful for sessions restored from a snapshot, whose options come from
+  /// the file.
+  void set_num_threads(int num_threads) {
+    engine_.set_num_threads(num_threads);
+  }
   /// The wrapped engine, for pool estimators (EstimateDelta/EstimateMu) and
   /// snapshot restore.
   PrrBoostEngine& engine() { return engine_; }

@@ -1,6 +1,7 @@
 #ifndef KBOOST_CORE_PRR_BOOST_H_
 #define KBOOST_CORE_PRR_BOOST_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -99,6 +100,12 @@ class PrrBoostEngine {
   const DirectedGraph& graph() const { return graph_; }
   const std::vector<NodeId>& seeds() const { return seeds_; }
   const BoostOptions& options() const { return options_; }
+  /// Overrides the worker count for subsequent selection and estimator
+  /// calls (the CLI's --threads). Sampling keeps the count the engine was
+  /// built with — pools are bit-identical for every thread count anyway.
+  void set_num_threads(int num_threads) {
+    options_.num_threads = std::max(1, num_threads);
+  }
   bool lb_only() const { return lb_only_; }
   bool sampled() const { return sampled_; }
   bool samples_capped() const { return samples_capped_; }

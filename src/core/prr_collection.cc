@@ -1,7 +1,7 @@
 #include "src/core/prr_collection.h"
 
 #include <algorithm>
-#include <atomic>
+#include <bit>
 
 #include "src/select/greedy.h"
 #include "src/sim/boost_model.h"
@@ -71,15 +71,61 @@ void PrrCollection::EnsureGraphIndex() const {
     node_graph_offsets_[v + 1] += node_graph_offsets_[v];
   }
   node_graphs_.resize(node_graph_offsets_[num_graph_nodes_]);
+  node_graph_locals_.resize(node_graph_offsets_[num_graph_nodes_]);
   std::vector<size_t> cursor(node_graph_offsets_.begin(),
                              node_graph_offsets_.end() - 1);
   for (size_t g = 0; g < num_graphs; ++g) {
     const PrrGraphView view = store_.View(g);
     for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
-      node_graphs_[cursor[view.global_ids[v]]++] = static_cast<uint32_t>(g);
+      const size_t slot = cursor[view.global_ids[v]]++;
+      node_graphs_[slot] = static_cast<uint32_t>(g);
+      node_graph_locals_[slot] = v;
     }
   }
   graph_index_built_ = true;
+}
+
+void PrrCollection::AddBoostableRound(
+    std::span<const BoostableSampleRef> items, bool lb_only, int num_threads) {
+  const size_t count = items.size();
+  if (count == 0) return;
+  std::vector<uint32_t> sizes(count);
+  std::vector<size_t> graph_ids;
+  if (lb_only) {
+    size_t total = 0;
+    for (size_t i = 0; i < count; ++i) {
+      sizes[i] = items[i].critical_count;
+      total += items[i].critical_count;
+    }
+    lb_critical_bytes_ += total * sizeof(NodeId);
+  } else {
+    // Arena appends stay ordered serial span copies; only the critical-set
+    // translation below fans out.
+    graph_ids.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      graph_ids[i] = store_.AppendFrom(*items[i].shard, items[i].shard_graph_id);
+      sizes[i] = static_cast<uint32_t>(store_.critical_count(graph_ids[i]));
+    }
+    graph_index_built_ = false;
+  }
+  NodeId* base = coverage_.AppendSets(sizes);
+  std::vector<size_t> offsets(count + 1, 0);
+  for (size_t i = 0; i < count; ++i) offsets[i + 1] = offsets[i] + sizes[i];
+  ParallelFor(
+      count, num_threads,
+      [&](size_t i, int /*t*/) {
+        NodeId* dst = base + offsets[i];
+        if (lb_only) {
+          std::copy(items[i].critical, items[i].critical + sizes[i], dst);
+        } else {
+          const PrrGraphView view = store_.View(graph_ids[i]);
+          for (uint32_t c = 0; c < sizes[i]; ++c) {
+            dst[c] = view.global_ids[view.critical_locals[c]];
+          }
+        }
+      },
+      /*chunk=*/64);
+  num_boostable_ += count;
 }
 
 void PrrCollection::RestoreFullPool(PrrStore&& store, size_t num_activated,
@@ -87,13 +133,17 @@ void PrrCollection::RestoreFullPool(PrrStore&& store, size_t num_activated,
   KB_CHECK(num_samples() == 0) << "snapshot restore into a non-empty pool";
   store_ = std::move(store);
   const size_t num_graphs = store_.num_graphs();
+  // One coverage grow for the whole pool instead of an AddSet per graph.
+  std::vector<uint32_t> sizes(num_graphs);
+  for (size_t g = 0; g < num_graphs; ++g) {
+    sizes[g] = static_cast<uint32_t>(store_.critical_count(g));
+  }
+  NodeId* dst = coverage_.AppendSets(sizes);
   for (size_t g = 0; g < num_graphs; ++g) {
     const PrrGraphView view = store_.View(g);
-    critical_scratch_.clear();
     for (uint32_t c : view.critical()) {
-      critical_scratch_.push_back(view.global_ids[c]);
+      *dst++ = view.global_ids[c];
     }
-    coverage_.AddSet(critical_scratch_);
   }
   num_boostable_ = num_graphs;
   graph_index_built_ = false;
@@ -132,15 +182,28 @@ namespace {
 /// Push-model oracle for the Δ̂ greedy: a node's gain is the number of
 /// not-yet-activated PRR-graphs it is currently critical in. Gains move both
 /// ways as B grows (Δ̂ is not submodular), so Commit re-evaluates exactly the
-/// PRR-graphs containing the pick — diffing old and new critical sets, the
-/// "linear in the size of R" update — and reports every node whose gain
-/// moved. The re-evaluation scan runs on `num_threads` workers with
-/// per-thread evaluator scratch; increments/decrements commute, so the
-/// settled gains are deterministic for every thread count.
+/// PRR-graphs containing the pick and reports every node whose gain moved.
+///
+/// The re-evaluation runs on the incremental engine: each graph keeps
+/// fwd/bwd/crit bitmaps in a PrrEvalState arena, initialized lazily on first
+/// touch (live-edge-only reach at B ∩ R = ∅ plus the stored critical set)
+/// and relaxed forward/backward from the pick afterwards. Because boosting
+/// only opens edges, reach and criticality grow monotonically until a graph
+/// activates — so commits emit only +1 events for newly critical nodes, and
+/// -1 events for a graph's whole critical set exactly once, on activation.
+/// Graphs too large for cached state fall back to the scratch evaluator's
+/// full recompute (old-vs-new critical diff).
+///
+/// Workers collect (node, ±1) gain events and activation counts in
+/// shard-local buffers; one serial merge per pick settles the plain (non-
+/// atomic) gain table and reports touched nodes, so the settled gains are
+/// deterministic for every thread count. Every gain *increase* is reported
+/// (required for lazy-greedy correctness); decreases ride along for free.
 class DeltaOracle final : public SelectionOracle {
  public:
   DeltaOracle(const PrrCollection& collection,
-              const std::vector<uint8_t>& excluded, int num_threads)
+              const std::vector<uint8_t>& excluded, int num_threads,
+              PrrEvalState* state)
       : collection_(collection),
         excluded_(excluded),
         threads_(std::max(1, num_threads)),
@@ -148,13 +211,14 @@ class DeltaOracle final : public SelectionOracle {
         boosted_(n_, 0),
         covered_(collection.store().num_graphs(), 0),
         critical_(collection.store().num_graphs()),
-        gains_(n_),
+        gains_(n_, 0),
+        state_(state),
+        incrementals_(threads_),
         evaluators_(threads_),
         new_critical_(threads_),
-        worker_touched_(threads_) {
-    for (size_t v = 0; v < n_; ++v) {
-      gains_[v].store(0, std::memory_order_relaxed);
-    }
+        worker_events_(threads_),
+        worker_activated_(threads_, 0) {
+    state_->Attach(collection.store());
     const size_t num_graphs = collection.store().num_graphs();
     for (size_t g = 0; g < num_graphs; ++g) {
       const PrrGraphView view = collection.store().View(g);
@@ -162,89 +226,155 @@ class DeltaOracle final : public SelectionOracle {
       for (uint32_t c : view.critical()) {
         const NodeId global = view.global_ids[c];
         critical_[g].push_back(global);
-        if (!excluded_[global]) {
-          gains_[global].fetch_add(1, std::memory_order_relaxed);
-        }
+        if (!excluded_[global]) ++gains_[global];
       }
+    }
+    // Grow-only scratch for the fallback evaluators, sized once per run.
+    for (PrrEvaluator& e : evaluators_) {
+      e.Reserve(collection.store().max_num_nodes());
     }
   }
 
   size_t num_candidates() const override { return n_; }
-  uint64_t InitialGain(NodeId v) const override {
-    return gains_[v].load(std::memory_order_relaxed);
-  }
-  uint64_t CurrentGain(NodeId v) const override {
-    return gains_[v].load(std::memory_order_relaxed);
-  }
+  uint64_t InitialGain(NodeId v) const override { return gains_[v]; }
+  uint64_t CurrentGain(NodeId v) const override { return gains_[v]; }
 
   void Commit(NodeId pick, std::vector<NodeId>* touched) override {
     boosted_[pick] = 1;
-    gains_[pick].store(0, std::memory_order_relaxed);
-    // Graphs are disjoint work items: critical_[g]/covered_[g] are
-    // per-graph, gain updates are atomic, and touched nodes are collected
-    // per worker.
+    gains_[pick] = 0;
+    // Graphs are disjoint work items: the eval-state bitmaps and
+    // critical_[g] are per-graph, and gain events land in per-worker
+    // buffers — nothing shared is written during the scan.
     const std::span<const uint32_t> graphs_of_pick =
         collection_.GraphsContaining(pick);
-    for (auto& t : worker_touched_) t.clear();
+    const std::span<const uint32_t> locals_of_pick =
+        collection_.GraphLocalsContaining(pick);
     ParallelFor(
         graphs_of_pick.size(), threads_,
         [&](size_t gi, int t) {
           const uint32_t g = graphs_of_pick[gi];
           if (covered_[g]) return;
-          std::vector<NodeId>& tl_touched = worker_touched_[t];
-          for (NodeId old : critical_[g]) {
-            if (!boosted_[old] && !excluded_[old]) {
-              gains_[old].fetch_sub(1, std::memory_order_relaxed);
-              tl_touched.push_back(old);
-            }
-          }
+          std::vector<GainEvent>& events = worker_events_[t];
           const PrrGraphView view = collection_.store().View(g);
-          const bool now_active = evaluators_[t].CriticalNodes(
-              view, boosted_.data(), &new_critical_[t]);
-          if (now_active) {
-            covered_[g] = 1;
-            activated_.fetch_add(1, std::memory_order_relaxed);
-            critical_[g].clear();
+          if (!state_->has_state(g)) {
+            ScratchCommit(g, view, t);
             return;
           }
-          critical_[g].clear();
-          for (uint32_t c : new_critical_[t]) {
+          uint64_t* fwd = state_->fwd(g);
+          uint64_t* bwd = state_->bwd(g);
+          uint64_t* crit = state_->crit(g);
+          PrrIncrementalEvaluator& inc = incrementals_[t];
+          bool activated = false;
+          if (!state_->initialized(g)) {
+            // First touch this run: B ∩ R = {pick} (an earlier pick inside R
+            // would have touched it), so the empty-set state plus one relax
+            // is exact. The stored critical set is the ∅-state membership.
+            state_->mark_initialized(g);
+            inc.InitEmptyReach(view, fwd, bwd);
+            for (uint32_t c : view.critical()) {
+              PrrIncrementalEvaluator::SetBit(crit, c);
+            }
+            activated =
+                PrrIncrementalEvaluator::TestBit(fwd, PrrGraph::kRootLocal);
+          }
+          if (!activated) {
+            activated = inc.RelaxCommit(view, boosted_.data(),
+                                        locals_of_pick[gi], fwd, bwd);
+          }
+          if (activated) {
+            covered_[g] = 1;
+            ++worker_activated_[t];
+            for (NodeId old : critical_[g]) {
+              if (!boosted_[old] && !excluded_[old]) {
+                events.push_back(GainEvent{old, -1});
+              }
+            }
+            critical_[g].clear();
+            critical_[g].shrink_to_fit();
+            return;
+          }
+          std::vector<uint32_t>& fresh = new_critical_[t];
+          fresh.clear();
+          inc.AppendNewCriticalFrontier(view, boosted_.data(), fwd, bwd, crit,
+                                        &fresh);
+          for (uint32_t c : fresh) {
             const NodeId global = view.global_ids[c];
             critical_[g].push_back(global);
-            if (!boosted_[global] && !excluded_[global]) {
-              gains_[global].fetch_add(1, std::memory_order_relaxed);
-              tl_touched.push_back(global);
-            }
+            // Newly critical nodes are never boosted (the evaluator checks),
+            // so only exclusion filters the gain event.
+            if (!excluded_[global]) events.push_back(GainEvent{global, +1});
           }
         },
-        /*chunk=*/8);
-    // Serial epilogue: report the touched nodes; the greedy loop re-reads
-    // their settled gains. Duplicates are tolerated by the loop.
-    for (const std::vector<NodeId>& tl : worker_touched_) {
-      touched->insert(touched->end(), tl.begin(), tl.end());
+        /*chunk=*/16);
+    // One serial merge per pick: settle gains, count activations, report
+    // touched nodes (duplicates are tolerated by the greedy loop).
+    for (int t = 0; t < threads_; ++t) {
+      activated_ += worker_activated_[t];
+      worker_activated_[t] = 0;
+      for (const GainEvent& e : worker_events_[t]) {
+        gains_[e.node] = static_cast<uint32_t>(
+            static_cast<int64_t>(gains_[e.node]) + e.delta);
+        touched->push_back(e.node);
+      }
+      worker_events_[t].clear();
     }
   }
 
-  size_t activated() const {
-    return activated_.load(std::memory_order_relaxed);
-  }
+  size_t activated() const { return activated_; }
   std::vector<uint8_t>& boosted() { return boosted_; }
 
  private:
+  struct GainEvent {
+    NodeId node;
+    int32_t delta;
+  };
+
+  /// Full-recompute fallback for graphs without cached state: diff the old
+  /// and new critical sets exactly as the pre-incremental engine did.
+  void ScratchCommit(uint32_t g, const PrrGraphView& view, int t) {
+    std::vector<GainEvent>& events = worker_events_[t];
+    for (NodeId old : critical_[g]) {
+      if (!boosted_[old] && !excluded_[old]) {
+        events.push_back(GainEvent{old, -1});
+      }
+    }
+    const bool now_active =
+        evaluators_[t].CriticalNodes(view, boosted_.data(), &new_critical_[t]);
+    if (now_active) {
+      covered_[g] = 1;
+      ++worker_activated_[t];
+      critical_[g].clear();
+      return;
+    }
+    critical_[g].clear();
+    for (uint32_t c : new_critical_[t]) {
+      const NodeId global = view.global_ids[c];
+      critical_[g].push_back(global);
+      if (!boosted_[global] && !excluded_[global]) {
+        events.push_back(GainEvent{global, +1});
+      }
+    }
+  }
+
   const PrrCollection& collection_;
   const std::vector<uint8_t>& excluded_;
   const int threads_;
   const size_t n_;
   std::vector<uint8_t> boosted_;
   std::vector<uint8_t> covered_;
-  // Current critical set per stored graph (global ids).
+  // Current critical set per stored graph (global ids). May retain nodes
+  // that were boosted after becoming critical; every consumer filters with
+  // !boosted_, so the settled gains are unaffected.
   std::vector<std::vector<NodeId>> critical_;
-  std::vector<std::atomic<uint32_t>> gains_;
+  std::vector<uint32_t> gains_;
+  PrrEvalState* state_;
   // Per-worker scratch reused across picks.
+  std::vector<PrrIncrementalEvaluator> incrementals_;
   std::vector<PrrEvaluator> evaluators_;
   std::vector<std::vector<uint32_t>> new_critical_;
-  std::vector<std::vector<NodeId>> worker_touched_;
-  std::atomic<size_t> activated_{0};
+  std::vector<std::vector<GainEvent>> worker_events_;
+  std::vector<size_t> worker_activated_;
+  size_t activated_ = 0;
 };
 
 }  // namespace
@@ -255,9 +385,10 @@ PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
   if (k == 0 || num_samples() == 0) return result;
   EnsureGraphIndex();
 
-  DeltaOracle oracle(*this, excluded, num_threads);
+  DeltaOracle oracle(*this, excluded, num_threads, &eval_state_);
   GreedyResult greedy = RunLazyGreedy(oracle, k, &excluded);
   result.nodes = std::move(greedy.selected);
+  result.pick_gains = std::move(greedy.gains);
   result.activated_samples = oracle.activated();
 
   // Budget left but no single-node gains: fall back to PRR-occurrence
@@ -295,19 +426,13 @@ double PrrCollection::EstimateDelta(const std::vector<NodeId>& boost_set,
   if (num_samples() == 0) return 0.0;
   const std::vector<uint8_t> boosted =
       MakeNodeBitmap(num_graph_nodes_, boost_set);
-  std::atomic<size_t> activated{0};
-  const int threads = std::max(1, num_threads);
-  std::vector<PrrEvaluator> evaluators(threads);
-  ParallelFor(
-      store_.num_graphs(), threads,
-      [&](size_t g, int t) {
-        if (evaluators[t].IsActivated(store_.View(g), boosted.data())) {
-          activated.fetch_add(1, std::memory_order_relaxed);
-        }
-      },
-      /*chunk=*/256);
+  // Batched evaluation: activation bits for 64 graphs land in one word per
+  // worker-owned chunk; the count is a popcount reduction, no atomics.
+  PrrBatchEvaluator batch;
+  const size_t activated =
+      batch.CountActivated(store_, boosted.data(), num_threads);
   return static_cast<double>(num_graph_nodes_) *
-         static_cast<double>(activated.load()) /
+         static_cast<double>(activated) /
          static_cast<double>(num_samples());
 }
 
@@ -316,18 +441,18 @@ double PrrCollection::EstimateMu(const std::vector<NodeId>& boost_set) const {
   // Count samples whose critical set intersects B, via the coverage
   // structure's per-node sample lists. Set ids from SetsContaining() index
   // the *non-empty* sample numbering even when empty samples interleave, so
-  // `hit` is sized by num_nonempty_sets() — never by num_sets().
-  std::vector<uint8_t> hit(coverage_.num_nonempty_sets(), 0);
-  size_t covered = 0;
+  // `hit` is sized by num_nonempty_sets() — never by num_sets(). Hits are
+  // packed 64 samples per word: the inner loop is a branchless OR, and the
+  // covered total is one popcount scan.
+  std::vector<uint64_t> hit((coverage_.num_nonempty_sets() + 63) / 64, 0);
   for (NodeId v : boost_set) {
     KB_CHECK(v < num_graph_nodes_);
     for (uint32_t set_id : coverage_.SetsContaining(v)) {
-      if (!hit[set_id]) {
-        hit[set_id] = 1;
-        ++covered;
-      }
+      hit[set_id >> 6] |= 1ull << (set_id & 63);
     }
   }
+  size_t covered = 0;
+  for (const uint64_t w : hit) covered += std::popcount(w);
   return static_cast<double>(num_graph_nodes_) * static_cast<double>(covered) /
          static_cast<double>(num_samples());
 }

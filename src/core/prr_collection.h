@@ -31,11 +31,31 @@ class PrrCollection {
 
   /// Adds a boostable sample from a standalone compressed graph; critical
   /// ids are taken from it. (Compat path for tests and tools — the sampler
-  /// uses AddBoostableFromStore.)
+  /// uses AddBoostableRound.)
   void AddBoostable(const PrrGraph& graph);
   /// Adds a boostable sample by bulk-copying graph `shard_id` out of a
-  /// thread-local sampling shard arena.
+  /// thread-local sampling shard arena. (Per-sample compat path; the
+  /// sampler's hot path is AddBoostableRound.)
   void AddBoostableFromStore(const PrrStore& shard, size_t shard_id);
+
+  /// One sampling round's boostable sample, in batch order. Full mode
+  /// references a graph inside a shard arena; LB mode references a flat
+  /// critical-set span (the span must stay alive through AddBoostableRound).
+  struct BoostableSampleRef {
+    const PrrStore* shard = nullptr;   ///< full mode: source shard arena
+    uint32_t shard_graph_id = 0;       ///< graph id within `shard`
+    const NodeId* critical = nullptr;  ///< LB mode: critical globals
+    uint32_t critical_count = 0;       ///< LB mode: critical set size
+  };
+  /// Bulk merge of one sampling round (shard-local coverage accumulation):
+  /// full-mode graphs are appended to the arena as ordered span copies, and
+  /// the round's critical sets land in the coverage structure through ONE
+  /// grow — the per-sample fill (critical-id translation in full mode, flat
+  /// copies in LB mode) runs on `num_threads` workers over disjoint spans.
+  /// Bit-identical to the equivalent sequence of per-sample AddBoostable*
+  /// calls for every thread count.
+  void AddBoostableRound(std::span<const BoostableSampleRef> items,
+                         bool lb_only, int num_threads);
   /// LB mode: adds a boostable sample given only its critical set.
   void AddBoostableCriticalOnly(std::span<const NodeId> critical_globals);
   void AddBoostableCriticalOnly(std::initializer_list<NodeId> critical) {
@@ -67,17 +87,24 @@ class PrrCollection {
                                   const std::vector<uint8_t>& excluded) const;
 
   /// Greedy maximization of Δ̂ (the NodeSelection step; full mode only) — a
-  /// push-model oracle over the shared src/select lazy-greedy engine.
-  /// Each round picks the node with the largest marginal Δ̂ gain — i.e. the
-  /// node critical in the most not-yet-activated PRR-graphs — then
-  /// re-evaluates exactly the PRR-graphs containing it. The re-evaluation
-  /// scan runs on `num_threads` workers with per-thread evaluator scratch
-  /// and atomic gain updates; ties break toward smaller node ids, so the
-  /// selected set is identical for every thread count. If gains hit zero
-  /// before k picks (no single node helps), remaining slots are filled by
-  /// PRR-occurrence counts so the budget is never silently wasted.
+  /// push-model oracle over the shared src/select lazy-greedy engine,
+  /// backed by the incremental evaluation engine: every graph keeps a
+  /// persistent fwd/bwd/crit bitmap state (PrrEvalState, arena-backed
+  /// alongside the store), so committing a pick only relaxes reachability
+  /// forward/backward from the newly boosted node instead of recomputing
+  /// from the super-seed. The re-evaluation scan runs on `num_threads`
+  /// workers with per-thread scratch and shard-local gain-delta buffers
+  /// merged once per pick (no atomics); ties break toward smaller node ids,
+  /// so the selected set is identical for every thread count. If gains hit
+  /// zero before k picks (no single node helps), remaining slots are filled
+  /// by PRR-occurrence counts so the budget is never silently wasted.
+  /// Not safe to call concurrently on one collection (the evaluation-state
+  /// arena and the lazily-built index are shared).
   struct DeltaResult {
     std::vector<NodeId> nodes;
+    /// Marginal Δ̂ gain (in covered samples) of each greedy pick, in
+    /// selection order; fallback-filled nodes contribute no entries.
+    std::vector<uint64_t> pick_gains;
     size_t activated_samples = 0;
     double delta_hat = 0.0;
   };
@@ -99,6 +126,13 @@ class PrrCollection {
   std::span<const uint32_t> GraphsContaining(NodeId v) const {
     EnsureGraphIndex();
     return {node_graphs_.data() + node_graph_offsets_[v],
+            node_graph_offsets_[v + 1] - node_graph_offsets_[v]};
+  }
+  /// Local ids of v inside each graph of GraphsContaining(v) (parallel
+  /// span) — saves the incremental engine a per-commit global→local scan.
+  std::span<const uint32_t> GraphLocalsContaining(NodeId v) const {
+    EnsureGraphIndex();
+    return {node_graph_locals_.data() + node_graph_offsets_[v],
             node_graph_offsets_[v + 1] - node_graph_offsets_[v]};
   }
 
@@ -130,10 +164,14 @@ class PrrCollection {
   size_t lb_critical_bytes_ = 0;   // LB-mode critical-set accounting
   std::vector<NodeId> critical_scratch_;
   // Lazily-built inverted index: global node -> stored-graph ids whose
-  // compressed form contains it.
+  // compressed form contains it, plus v's local id inside each (parallel).
   mutable std::vector<size_t> node_graph_offsets_;
   mutable std::vector<uint32_t> node_graphs_;
+  mutable std::vector<uint32_t> node_graph_locals_;
   mutable bool graph_index_built_ = false;
+  // Per-session incremental evaluation state, reused (capacity kept) across
+  // SelectGreedyDelta runs; re-zeroed per run, rebuilt on resample.
+  mutable PrrEvalState eval_state_;
 };
 
 }  // namespace kboost

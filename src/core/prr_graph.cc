@@ -1,9 +1,11 @@
 #include "src/core/prr_graph.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/core/prr_store.h"
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace kboost {
 
@@ -513,10 +515,26 @@ void PrrGenerator::ExtractCriticalLbOnly(uint32_t root_local,
   }
 }
 
+void PrrEvaluator::Reserve(uint32_t max_nodes) {
+  if (fwd0_.size() < max_nodes) {
+    fwd0_.resize(max_nodes);
+    bwd0_.resize(max_nodes);
+  }
+  queue_.reserve(max_nodes);
+}
+
+void PrrEvaluator::PrepareMarks(uint32_t n) {
+  if (fwd0_.size() < n) {
+    fwd0_.resize(n);
+    bwd0_.resize(n);
+  }
+}
+
 bool PrrEvaluator::IsActivated(const PrrGraphView& g,
                                const uint8_t* boosted_global) {
   const uint32_t n = g.num_nodes();
-  fwd0_.assign(n, 0);
+  PrepareMarks(n);
+  std::fill_n(fwd0_.begin(), n, 0);
   queue_.clear();
   fwd0_[PrrGraph::kSuperSeedLocal] = 1;
   queue_.push_back(PrrGraph::kSuperSeedLocal);
@@ -541,8 +559,9 @@ bool PrrEvaluator::IsActivated(const PrrGraphView& g,
 void PrrEvaluator::ComputeReach(const PrrGraphView& g,
                                 const uint8_t* boosted_global) {
   const uint32_t n = g.num_nodes();
+  PrepareMarks(n);
   // Forward 0-reach from super-seed.
-  fwd0_.assign(n, 0);
+  std::fill_n(fwd0_.begin(), n, 0);
   queue_.clear();
   fwd0_[PrrGraph::kSuperSeedLocal] = 1;
   queue_.push_back(PrrGraph::kSuperSeedLocal);
@@ -561,7 +580,7 @@ void PrrEvaluator::ComputeReach(const PrrGraphView& g,
     }
   }
   // Backward 0-reach to root. Edge (u,v) has weight 0 iff live or v ∈ B.
-  bwd0_.assign(n, 0);
+  std::fill_n(bwd0_.begin(), n, 0);
   queue_.clear();
   bwd0_[PrrGraph::kRootLocal] = 1;
   queue_.push_back(PrrGraph::kRootLocal);
@@ -604,6 +623,246 @@ bool PrrEvaluator::CriticalNodes(const PrrGraphView& g,
     }
   }
   return false;
+}
+
+void PrrIncrementalEvaluator::InitEmptyReach(const PrrGraphView& g,
+                                             uint64_t* fwd, uint64_t* bwd) {
+  // Forward: live-reachable from the super-seed. Compressed PRR-graphs give
+  // the super-seed only boost out-edges, so this loop normally never grows.
+  SetBit(fwd, PrrGraph::kSuperSeedLocal);
+  stack_.assign(1, PrrGraph::kSuperSeedLocal);
+  while (!stack_.empty()) {
+    const uint32_t u = stack_.back();
+    stack_.pop_back();
+    for (uint32_t s = g.out_offsets[u]; s < g.out_offsets[u + 1]; ++s) {
+      const uint32_t packed = g.out_edges[s];
+      if (PrrGraph::EdgeBoost(packed)) continue;
+      const uint32_t t = PrrGraph::EdgeNode(packed);
+      if (TestBit(fwd, t)) continue;
+      SetBit(fwd, t);
+      stack_.push_back(t);
+    }
+  }
+  // Backward: live path to the root. Compression collapses these to direct
+  // shortcut edges, so this is normally one scan of the root's in-edges.
+  SetBit(bwd, PrrGraph::kRootLocal);
+  stack_.assign(1, PrrGraph::kRootLocal);
+  while (!stack_.empty()) {
+    const uint32_t v = stack_.back();
+    stack_.pop_back();
+    for (uint32_t s = g.in_offsets[v]; s < g.in_offsets[v + 1]; ++s) {
+      const uint32_t packed = g.in_edges[s];
+      if (PrrGraph::EdgeBoost(packed)) continue;
+      const uint32_t u = PrrGraph::EdgeNode(packed);
+      if (TestBit(bwd, u)) continue;
+      SetBit(bwd, u);
+      stack_.push_back(u);
+    }
+  }
+}
+
+bool PrrIncrementalEvaluator::RelaxCommit(const PrrGraphView& g,
+                                          const uint8_t* boosted_global,
+                                          uint32_t pick, uint64_t* fwd,
+                                          uint64_t* bwd) {
+  newly_fwd_.clear();
+  newly_bwd_.clear();
+
+  // The only edges whose weight changed are the ones pointing into `pick`,
+  // so all new forward reach flows through it: pick becomes fwd-reached iff
+  // one of its (now 0-weight) boost in-edges has a fwd-reached tail. Live
+  // in-edges cannot open anything — a fwd-reached live tail would have
+  // reached pick already.
+  if (!TestBit(fwd, pick)) {
+    bool opened = false;
+    for (uint32_t s = g.in_offsets[pick]; s < g.in_offsets[pick + 1]; ++s) {
+      const uint32_t packed = g.in_edges[s];
+      if (PrrGraph::EdgeBoost(packed) &&
+          TestBit(fwd, PrrGraph::EdgeNode(packed))) {
+        opened = true;
+        break;
+      }
+    }
+    if (opened) {
+      SetBit(fwd, pick);
+      if (pick == PrrGraph::kRootLocal) return true;
+      newly_fwd_.push_back(pick);
+      stack_.assign(1, pick);
+      while (!stack_.empty()) {
+        const uint32_t u = stack_.back();
+        stack_.pop_back();
+        for (uint32_t s = g.out_offsets[u]; s < g.out_offsets[u + 1]; ++s) {
+          const uint32_t packed = g.out_edges[s];
+          const uint32_t t = PrrGraph::EdgeNode(packed);
+          if (TestBit(fwd, t)) continue;
+          if (PrrGraph::EdgeBoost(packed) &&
+              !boosted_global[g.global_ids[t]]) {
+            continue;
+          }
+          SetBit(fwd, t);
+          if (t == PrrGraph::kRootLocal) return true;  // activated; state dead
+          newly_fwd_.push_back(t);
+          stack_.push_back(t);
+        }
+      }
+    }
+  }
+
+  // Backward: pick's boost in-edges became 0-weight, so their tails reach
+  // the root iff pick does; cascade from the newly reached tails.
+  if (TestBit(bwd, pick)) {
+    stack_.clear();
+    for (uint32_t s = g.in_offsets[pick]; s < g.in_offsets[pick + 1]; ++s) {
+      const uint32_t packed = g.in_edges[s];
+      if (!PrrGraph::EdgeBoost(packed)) continue;
+      const uint32_t u = PrrGraph::EdgeNode(packed);
+      if (TestBit(bwd, u)) continue;
+      SetBit(bwd, u);
+      newly_bwd_.push_back(u);
+      stack_.push_back(u);
+    }
+    while (!stack_.empty()) {
+      const uint32_t v = stack_.back();
+      stack_.pop_back();
+      const bool v_boosted = v != PrrGraph::kSuperSeedLocal &&
+                             boosted_global[g.global_ids[v]] != 0;
+      for (uint32_t s = g.in_offsets[v]; s < g.in_offsets[v + 1]; ++s) {
+        const uint32_t packed = g.in_edges[s];
+        const uint32_t u = PrrGraph::EdgeNode(packed);
+        if (TestBit(bwd, u)) continue;
+        if (PrrGraph::EdgeBoost(packed) && !v_boosted) continue;
+        SetBit(bwd, u);
+        newly_bwd_.push_back(u);
+        stack_.push_back(u);
+      }
+    }
+  }
+  return false;
+}
+
+void PrrIncrementalEvaluator::AppendNewCriticalFrontier(
+    const PrrGraphView& g, const uint8_t* boosted_global, const uint64_t* fwd,
+    const uint64_t* bwd, uint64_t* crit, std::vector<uint32_t>* out) {
+  // Criticality (bwd-reached + boost in-edge from a fwd-reached tail) only
+  // involves monotone quantities, so new members must touch the frontier:
+  // either their enabling tail just became fwd-reached, or they themselves
+  // just became bwd-reached.
+  for (const uint32_t u : newly_fwd_) {
+    for (uint32_t s = g.out_offsets[u]; s < g.out_offsets[u + 1]; ++s) {
+      const uint32_t packed = g.out_edges[s];
+      if (!PrrGraph::EdgeBoost(packed)) continue;
+      const uint32_t v = PrrGraph::EdgeNode(packed);
+      if (!TestBit(bwd, v) || TestBit(crit, v)) continue;
+      if (boosted_global[g.global_ids[v]]) continue;
+      SetBit(crit, v);
+      out->push_back(v);
+    }
+  }
+  for (const uint32_t v : newly_bwd_) {
+    if (v == PrrGraph::kSuperSeedLocal) continue;  // never a candidate
+    if (TestBit(crit, v) || boosted_global[g.global_ids[v]]) continue;
+    for (uint32_t s = g.in_offsets[v]; s < g.in_offsets[v + 1]; ++s) {
+      const uint32_t packed = g.in_edges[s];
+      if (!PrrGraph::EdgeBoost(packed)) continue;
+      if (TestBit(fwd, PrrGraph::EdgeNode(packed))) {
+        SetBit(crit, v);
+        out->push_back(v);
+        break;
+      }
+    }
+  }
+}
+
+bool PrrIncrementalEvaluator::RebuildReach(const PrrGraphView& g,
+                                           const uint8_t* boosted_global,
+                                           uint64_t* fwd, uint64_t* bwd) {
+  const uint32_t n = g.num_nodes();
+  const uint32_t words = (n + 63) / 64;
+  std::fill_n(fwd, words, 0);
+  std::fill_n(bwd, words, 0);
+  SetBit(fwd, PrrGraph::kSuperSeedLocal);
+  stack_.assign(1, PrrGraph::kSuperSeedLocal);
+  while (!stack_.empty()) {
+    const uint32_t u = stack_.back();
+    stack_.pop_back();
+    for (uint32_t s = g.out_offsets[u]; s < g.out_offsets[u + 1]; ++s) {
+      const uint32_t packed = g.out_edges[s];
+      const uint32_t t = PrrGraph::EdgeNode(packed);
+      if (TestBit(fwd, t)) continue;
+      if (PrrGraph::EdgeBoost(packed) && !boosted_global[g.global_ids[t]]) {
+        continue;
+      }
+      SetBit(fwd, t);
+      stack_.push_back(t);
+    }
+  }
+  SetBit(bwd, PrrGraph::kRootLocal);
+  stack_.assign(1, PrrGraph::kRootLocal);
+  while (!stack_.empty()) {
+    const uint32_t v = stack_.back();
+    stack_.pop_back();
+    const bool v_boosted = v != PrrGraph::kSuperSeedLocal &&
+                           boosted_global[g.global_ids[v]] != 0;
+    for (uint32_t s = g.in_offsets[v]; s < g.in_offsets[v + 1]; ++s) {
+      const uint32_t packed = g.in_edges[s];
+      const uint32_t u = PrrGraph::EdgeNode(packed);
+      if (TestBit(bwd, u)) continue;
+      if (PrrGraph::EdgeBoost(packed) && !v_boosted) continue;
+      SetBit(bwd, u);
+      stack_.push_back(u);
+    }
+  }
+  return TestBit(fwd, PrrGraph::kRootLocal);
+}
+
+void PrrIncrementalEvaluator::AppendNewCriticalFull(
+    const PrrGraphView& g, const uint8_t* boosted_global, const uint64_t* fwd,
+    const uint64_t* bwd, uint64_t* crit, std::vector<uint32_t>* out) {
+  const uint32_t n = g.num_nodes();
+  for (uint32_t v = PrrGraph::kRootLocal; v < n; ++v) {
+    if (!TestBit(bwd, v) || TestBit(crit, v)) continue;
+    if (boosted_global[g.global_ids[v]]) continue;
+    for (uint32_t s = g.in_offsets[v]; s < g.in_offsets[v + 1]; ++s) {
+      const uint32_t packed = g.in_edges[s];
+      if (!PrrGraph::EdgeBoost(packed)) continue;
+      if (TestBit(fwd, PrrGraph::EdgeNode(packed))) {
+        SetBit(crit, v);
+        out->push_back(v);
+        break;
+      }
+    }
+  }
+}
+
+size_t PrrBatchEvaluator::CountActivated(
+    const PrrStore& store, const uint8_t* boosted_global, int num_threads,
+    std::vector<uint64_t>* activation_words) {
+  const size_t num_graphs = store.num_graphs();
+  const size_t num_words = (num_graphs + 63) / 64;
+  words_.assign(num_words, 0);
+  const int threads = std::max(1, num_threads);
+  if (evaluators_.size() < static_cast<size_t>(threads)) {
+    evaluators_.resize(threads);
+  }
+  for (PrrEvaluator& e : evaluators_) e.Reserve(store.max_num_nodes());
+  ParallelFor(
+      num_words, threads,
+      [&](size_t w, int t) {
+        const size_t begin = w * 64;
+        const size_t end = std::min(num_graphs, begin + 64);
+        uint64_t word = 0;
+        for (size_t g = begin; g < end; ++g) {
+          word |= static_cast<uint64_t>(evaluators_[t].IsActivated(
+                      store.View(g), boosted_global))
+                  << (g - begin);
+        }
+        words_[w] = word;
+      },
+      /*chunk=*/2);
+  size_t count = 0;
+  for (const uint64_t w : words_) count += std::popcount(w);
+  if (activation_words != nullptr) *activation_words = words_;
+  return count;
 }
 
 }  // namespace kboost

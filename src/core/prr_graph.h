@@ -209,10 +209,18 @@ class PrrGenerator {
   std::vector<uint32_t> g_critical_;
 };
 
-/// Evaluates f_R(B) and per-node criticality on compressed PRR-graphs.
-/// Holds scratch; one instance per thread.
+/// Evaluates f_R(B) and per-node criticality on compressed PRR-graphs from
+/// scratch (a full 0-weight BFS per call). Holds scratch; one instance per
+/// thread. This is the reference evaluator; PrrIncrementalEvaluator and
+/// PrrBatchEvaluator are the hot-path variants built on the same semantics.
 class PrrEvaluator {
  public:
+  /// Grow-only scratch sizing: pre-sizes the reach marks and queue for
+  /// graphs of up to `max_nodes` local nodes, so per-graph evaluation never
+  /// reallocates. Call once per selection run with the pool's max local node
+  /// count (PrrStore::max_num_nodes); buffers never shrink.
+  void Reserve(uint32_t max_nodes);
+
   /// f_R(B): is the root activated under boost set B (given as an n-sized
   /// global bitmap)? Implemented as 0-weight reachability from the
   /// super-seed, where live edges and boost edges into B have weight 0.
@@ -233,9 +241,89 @@ class PrrEvaluator {
 
  private:
   void ComputeReach(const PrrGraphView& g, const uint8_t* boosted_global);
+  /// Grows the reach marks to hold n entries and zeroes the first n.
+  void PrepareMarks(uint32_t n);
 
   std::vector<uint8_t> fwd0_, bwd0_;
   std::vector<uint32_t> queue_;
+};
+
+/// Incremental 0-weight-reach maintenance on caller-owned bitmap words (one
+/// bit per local node; fwd = reached from the super-seed, bwd = reaches the
+/// root, crit = critical-set membership — the PrrEvalState layout). Boosting
+/// a node only ever opens edges (the ones pointing into it), so all three
+/// bitmaps grow monotonically as the boost set grows: a commit relaxes
+/// forward/backward from the newly boosted node instead of recomputing
+/// reachability from the super-seed, and the critical set only gains members
+/// until the graph activates. One instance per thread.
+class PrrIncrementalEvaluator {
+ public:
+  static bool TestBit(const uint64_t* words, uint32_t i) {
+    return (words[i >> 6] >> (i & 63)) & 1;
+  }
+  static void SetBit(uint64_t* words, uint32_t i) {
+    words[i >> 6] |= 1ull << (i & 63);
+  }
+
+  /// Fills fwd/bwd with the reach state at B ∩ R = ∅: a live-edge-only BFS
+  /// in both directions (boost edges all have weight 1 under the empty
+  /// set). On compressed PRR-graphs this is O(root in-degree): the
+  /// super-seed's out-edges are all boost edges and live-to-root paths were
+  /// collapsed to shortcut edges, but the BFS stays correct for hand-built
+  /// graphs that do not keep those invariants.
+  void InitEmptyReach(const PrrGraphView& g, uint64_t* fwd, uint64_t* bwd);
+
+  /// Relaxes fwd/bwd after local node `pick` entered the boost set (the
+  /// caller's `boosted_global` bitmap must already contain it). Records the
+  /// newly reached frontier for AppendNewCriticalFrontier. Returns true when
+  /// the root became fwd-reached — the graph activated and its state is
+  /// dead (callers mark it covered and never read the bits again).
+  bool RelaxCommit(const PrrGraphView& g, const uint8_t* boosted_global,
+                   uint32_t pick, uint64_t* fwd, uint64_t* bwd);
+
+  /// Appends to `out` every local node that became critical in the frontier
+  /// recorded by the last RelaxCommit — not yet flagged in `crit`, not
+  /// boosted, bwd-reached, with a boost in-edge from a fwd-reached tail —
+  /// flagging each in `crit`. Criticality is monotone, so frontier scanning
+  /// finds exactly the scratch evaluator's new members.
+  void AppendNewCriticalFrontier(const PrrGraphView& g,
+                                 const uint8_t* boosted_global,
+                                 const uint64_t* fwd, const uint64_t* bwd,
+                                 uint64_t* crit, std::vector<uint32_t>* out);
+
+  /// Full-rebuild variants (stale-state fallback and test cross-checks):
+  /// recompute fwd/bwd under `boosted_global` from scratch; returns f_R(B).
+  bool RebuildReach(const PrrGraphView& g, const uint8_t* boosted_global,
+                    uint64_t* fwd, uint64_t* bwd);
+  /// Scans every candidate instead of a frontier (use after RebuildReach).
+  void AppendNewCriticalFull(const PrrGraphView& g,
+                             const uint8_t* boosted_global,
+                             const uint64_t* fwd, const uint64_t* bwd,
+                             uint64_t* crit, std::vector<uint32_t>* out);
+
+ private:
+  std::vector<uint32_t> stack_;
+  std::vector<uint32_t> newly_fwd_, newly_bwd_;
+};
+
+/// Word-packed batch evaluation of one boost set against many graphs: the
+/// activation bit of graph g lands in word g/64, bit g%64. Workers own
+/// disjoint whole words (each work item is one word, i.e. 64 graphs), so
+/// packing needs no atomics, results are deterministic for every thread
+/// count, and the activated total is one popcount reduction.
+class PrrBatchEvaluator {
+ public:
+  /// Evaluates every graph of `store` under `boosted_global` on
+  /// `num_threads` workers with per-thread scratch. Returns the number of
+  /// activated graphs; when `activation_words` is non-null it receives the
+  /// packed activation bitmap (ceil(num_graphs/64) words).
+  size_t CountActivated(const PrrStore& store, const uint8_t* boosted_global,
+                        int num_threads,
+                        std::vector<uint64_t>* activation_words = nullptr);
+
+ private:
+  std::vector<PrrEvaluator> evaluators_;
+  std::vector<uint64_t> words_;
 };
 
 }  // namespace kboost

@@ -79,10 +79,13 @@ size_t PrrSampler::EnsureSamples(PrrCollection& collection, size_t target) {
         /*chunk=*/16);
 
     // Ordered merge: walk the batch in sample order, pulling each record
-    // from its owner shard. Boostable samples are bulk span copies into the
-    // collection's arena; everything else just bumps counters.
+    // from its owner shard. Non-boostable samples just bump counters;
+    // boostable samples are collected as refs and handed to the collection
+    // in ONE round call — the coverage structure grows once and the
+    // critical-set fill fans back out over the workers.
     std::vector<size_t> pos(shards_.size(), 0);       // next record per shard
     std::vector<size_t> boostable(shards_.size(), 0); // boostable ordinal
+    round_items_.clear();
     for (size_t j = 0; j < need; ++j) {
       Shard& shard = shards_[owner_[j]];
       const PrrStatus status = shard.statuses[pos[owner_[j]]++];
@@ -91,14 +94,18 @@ size_t PrrSampler::EnsureSamples(PrrCollection& collection, size_t target) {
         continue;
       }
       const size_t b = boostable[owner_[j]]++;
+      PrrCollection::BoostableSampleRef ref;
       if (lb_only_) {
-        collection.AddBoostableCriticalOnly(std::span<const NodeId>(
-            shard.crit_nodes.data() + shard.crit_offsets[b],
-            shard.crit_offsets[b + 1] - shard.crit_offsets[b]));
+        ref.critical = shard.crit_nodes.data() + shard.crit_offsets[b];
+        ref.critical_count = static_cast<uint32_t>(shard.crit_offsets[b + 1] -
+                                                   shard.crit_offsets[b]);
       } else {
-        collection.AddBoostableFromStore(shard.store, b);
+        ref.shard = &shard.store;
+        ref.shard_graph_id = static_cast<uint32_t>(b);
       }
+      round_items_.push_back(ref);
     }
+    collection.AddBoostableRound(round_items_, lb_only_, num_threads_);
     for (const Shard& shard : shards_) {
       stats_.edges_examined += shard.edges_examined;
       stats_.uncompressed_edges += shard.uncompressed_edges;

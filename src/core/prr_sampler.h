@@ -63,6 +63,9 @@ class PrrSampler {
   std::vector<std::unique_ptr<PrrGenerator>> generators_;  // one per thread
   std::vector<Shard> shards_;                              // one per thread
   std::vector<uint8_t> owner_;  // batch-local: sample index -> worker
+  // Batch-local boostable refs in sample order, handed to
+  // PrrCollection::AddBoostableRound (capacity reused across batches).
+  std::vector<PrrCollection::BoostableSampleRef> round_items_;
 };
 
 }  // namespace kboost

@@ -65,6 +65,8 @@ size_t PrrStore::Append(std::span<const NodeId> global_ids,
   AppendSpan(critical_, critical_locals);
 
   meta_.push_back(meta);
+  max_num_nodes_ = std::max(max_num_nodes_, meta.num_nodes);
+  ++generation_;
   return meta_.size() - 1;
 }
 
@@ -228,6 +230,10 @@ bool PrrStore::Deserialize(std::istream& in) {
       if (critical_[m.critical_begin + c] >= m.num_nodes) return false;
     }
   }
+  for (const Meta& m : meta_) {
+    max_num_nodes_ = std::max(max_num_nodes_, m.num_nodes);
+  }
+  ++generation_;
   return true;
 }
 
@@ -239,6 +245,28 @@ void PrrStore::Clear() {
   out_edges_.clear();
   in_edges_.clear();
   critical_.clear();
+  max_num_nodes_ = 0;
+  ++generation_;
+}
+
+void PrrEvalState::Attach(const PrrStore& store) {
+  if (store_ != &store || generation_ != store.generation()) {
+    store_ = &store;
+    generation_ = store.generation();
+    const size_t num_graphs = store.num_graphs();
+    slots_.resize(num_graphs);
+    uint64_t begin = 0;
+    for (size_t g = 0; g < num_graphs; ++g) {
+      const uint32_t n = store.num_nodes(g);
+      const uint32_t wpb = n <= kMaxStateNodes ? (n + 63) / 64 : 0;
+      slots_[g] = Slot{begin, wpb};
+      begin += 3ull * wpb;
+    }
+    words_.resize(begin);
+    init_.resize(num_graphs);
+  }
+  std::fill(words_.begin(), words_.end(), 0);
+  std::fill(init_.begin(), init_.end(), 0);
 }
 
 }  // namespace kboost

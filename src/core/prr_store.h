@@ -49,6 +49,14 @@ class PrrStore {
   size_t total_edges() const { return out_edges_.size(); }
   size_t total_nodes() const { return global_ids_.size(); }
   size_t critical_count(size_t id) const { return meta_[id].num_critical; }
+  uint32_t num_nodes(size_t id) const { return meta_[id].num_nodes; }
+  /// Largest per-graph local node count in the arena — the grow-only scratch
+  /// bound evaluators reserve once per selection run.
+  uint32_t max_num_nodes() const { return max_num_nodes_; }
+  /// Bumped on every mutation (Append/Clear/Deserialize); lets cached
+  /// per-graph evaluation state (PrrEvalState) detect resampling and
+  /// invalidate itself instead of serving bits for a different pool.
+  uint64_t generation() const { return generation_; }
 
   /// Bytes actually used by the pool (the paper's Table 2/3 "memory for
   /// boostable PRR-graphs" metric).
@@ -85,6 +93,60 @@ class PrrStore {
   std::vector<uint32_t> out_edges_;
   std::vector<uint32_t> in_edges_;
   std::vector<uint32_t> critical_;
+  uint32_t max_num_nodes_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// Per-session evaluation state for every graph of a PrrStore: three bitmaps
+/// per graph — fwd (0-weight-reached from the super-seed under the current
+/// boost set), bwd (0-weight-reaches the root) and crit (current critical-set
+/// membership) — packed as contiguous uint64 words in one arena. Small graphs
+/// need only a handful of words, so a graph's whole state usually fits in one
+/// cache line. Because boosting only ever *opens* edges, fwd/bwd/crit grow
+/// monotonically under commits, which is what makes incremental relaxation
+/// (PrrIncrementalEvaluator) exact.
+///
+/// Graphs larger than kMaxStateNodes get no slot (has_state() is false);
+/// selections fall back to the scratch evaluator for them, bounding arena
+/// memory on pathological pools.
+class PrrEvalState {
+ public:
+  static constexpr uint32_t kMaxStateNodes = 1u << 16;
+
+  /// (Re)binds to `store` and zeroes all state. Slot offsets are rebuilt
+  /// only when the store mutated since the last Attach (pointer or
+  /// generation mismatch — the resample-invalidation rule); otherwise only
+  /// the words are cleared, reusing every allocation across selection runs.
+  void Attach(const PrrStore& store);
+
+  bool has_state(size_t g) const { return slots_[g].words_per_bitmap != 0; }
+  uint64_t* fwd(size_t g) { return words_.data() + slots_[g].begin; }
+  uint64_t* bwd(size_t g) {
+    return words_.data() + slots_[g].begin + slots_[g].words_per_bitmap;
+  }
+  uint64_t* crit(size_t g) {
+    return words_.data() + slots_[g].begin + 2 * slots_[g].words_per_bitmap;
+  }
+  /// Whether graph g's bitmaps have been initialized this run (lazy
+  /// per-graph init on first touch; cleared by Attach). One byte per graph,
+  /// NOT packed bits: workers touching different graphs concurrently must
+  /// write distinct memory locations.
+  bool initialized(size_t g) const { return init_[g] != 0; }
+  void mark_initialized(size_t g) { init_[g] = 1; }
+
+  size_t total_words() const { return words_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t begin = 0;            // into words_
+    uint32_t words_per_bitmap = 0; // ceil(num_nodes/64); 0 = no cached state
+  };
+
+  const PrrStore* store_ = nullptr;
+  uint64_t generation_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<uint64_t> words_;
+  std::vector<uint8_t> init_;
 };
 
 }  // namespace kboost

@@ -20,6 +20,22 @@ void CoverageSelector::AddSet(std::span<const NodeId> nodes) {
   index_built_ = false;
 }
 
+NodeId* CoverageSelector::AppendSets(std::span<const uint32_t> sizes) {
+  size_t total = 0;
+  for (uint32_t s : sizes) total += s;
+  const size_t base = set_nodes_.size();
+  set_nodes_.resize(base + total);
+  set_offsets_.reserve(set_offsets_.size() + sizes.size());
+  size_t offset = base;
+  for (uint32_t s : sizes) {
+    offset += s;
+    set_offsets_.push_back(offset);
+  }
+  num_sets_ += sizes.size();
+  index_built_ = false;
+  return set_nodes_.data() + base;
+}
+
 void CoverageSelector::EnsureIndex() const {
   if (index_built_) return;
   node_offsets_.assign(num_nodes_ + 1, 0);

@@ -30,6 +30,15 @@ class CoverageSelector {
   /// Appends one sample set. Node ids must be < num_nodes and distinct.
   /// Invalidates the lazily-built inverted index.
   void AddSet(std::span<const NodeId> nodes);
+  /// Bulk-appends `sizes.size()` sets whose node counts the caller already
+  /// knows, growing the flat pool once, and returns the base of the reserved
+  /// node region: set i's nodes must be written at the prefix-sum offset of
+  /// `sizes[0..i)`. The spans are disjoint, so the fill may run on many
+  /// workers — this is the shard-merge path that replaces one serialized
+  /// AddSet call per sample. Equivalent to AddSet called `sizes.size()`
+  /// times in order (zero-size entries count as non-empty sets of size 0,
+  /// exactly as AddSet({}) does).
+  NodeId* AppendSets(std::span<const uint32_t> sizes);
   /// Appends an empty sample (counts toward totals only).
   void AddEmptySet() { ++num_sets_; }
   /// Appends `count` empty samples at once (pool-snapshot restore).

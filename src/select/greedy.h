@@ -18,10 +18,17 @@ namespace kboost {
 ///   stale heap entries lazily through `CurrentGain` when they surface. Sound
 ///   whenever gains are non-increasing as the selection grows (submodular
 ///   objectives — coverage over RR-sets or critical sets).
-/// - *Push*: `Commit` updates its cached gains eagerly and reports every
-///   candidate whose gain changed via `touched`; the picker re-inserts those
+/// - *Push*: `Commit` updates its cached gains eagerly and reports the
+///   candidates whose gain changed via `touched`; the picker re-inserts those
 ///   with fresh values. Required when gains can move both ways (the Δ̂
 ///   objective, whose marginal gains are not monotone in the boost set).
+///   Correctness requires every gain *increase* to be reported — an
+///   unreported increase leaves only under-valued heap entries for that
+///   candidate, so a lesser candidate could commit ahead of it. Decreases
+///   may go unreported: a stale over-valued entry surfaces, is refreshed
+///   through `CurrentGain`, and re-enters at its true value (DeltaOracle
+///   exploits this by reporting only frontier events — new criticals and
+///   per-activation debits — rather than whole critical sets).
 class SelectionOracle {
  public:
   virtual ~SelectionOracle() = default;
