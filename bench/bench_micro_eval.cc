@@ -217,7 +217,8 @@ struct Fixture {
       const auto legacy =
           LegacySelectGreedyDelta(*collection, kBudget, excluded, threads);
       const auto incremental =
-          collection->SelectGreedyDelta(kBudget, excluded, threads);
+          collection->SelectGreedyDelta(kBudget, excluded, threads,
+                                        &eval_state);
       if (legacy.nodes != incremental.nodes ||
           legacy.pick_gains != incremental.pick_gains ||
           legacy.activated_samples != incremental.activated_samples) {
@@ -241,6 +242,10 @@ struct Fixture {
   }
 
   Dataset dataset;
+  // Persistent eval-state arena: keeps the timed selection loop measuring
+  // selection (the arena is re-zeroed per run, not re-allocated), matching
+  // how the engine's serial path reuses its SolveContext across a sweep.
+  PrrEvalState eval_state;
   std::vector<NodeId> seeds;
   std::vector<uint8_t> excluded;
   std::unique_ptr<PrrCollection> collection;
@@ -270,7 +275,8 @@ void BM_DeltaSelectPhase_Incremental(benchmark::State& state) {
   Fixture& f = GetFixture();
   const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    auto result = f.collection->SelectGreedyDelta(kBudget, f.excluded, threads);
+    auto result = f.collection->SelectGreedyDelta(kBudget, f.excluded, threads,
+                                                  &f.eval_state);
     benchmark::DoNotOptimize(result);
   }
 }

@@ -1,0 +1,160 @@
+// Measures the serving layer's claim to exist: one pool prepared once inside
+// a BoostService answering a mixed (k, mode) query stream from 1, 2 and 4
+// concurrent client threads. Each request runs its selection single-worker,
+// so the client count is the only concurrency variable; throughput should
+// scale with clients on a multi-core box (on a 1-core CI container the
+// clients time-slice one core and the ratio stays ≈1×).
+//
+// Every concurrent answer is compared bit-identically against a serial
+// reference pass — the process ABORTS on divergence, which is what makes
+// this bench double as the CI regression gate for the concurrent serving
+// path (like bench_micro_eval does for the incremental engine).
+//
+// With --json=BENCH_serve.json the throughput per client count and the
+// 4-vs-1 ratio are recorded in the BENCH_*.json shape.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_flags.h"
+#include "src/core/boost_session.h"
+#include "src/expt/table_printer.h"
+#include "src/serve/boost_service.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace kboost;
+
+bool SameAnswer(const BoostResult& a, const BoostResult& b) {
+  return a.best_set == b.best_set && a.best_estimate == b.best_estimate &&
+         a.lb_set == b.lb_set && a.lb_mu_hat == b.lb_mu_hat &&
+         a.delta_set == b.delta_set && a.delta_delta_hat == b.delta_delta_hat;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBanner(
+      "Concurrent serving: BoostService query throughput at 1/2/4 clients",
+      "one immutable prepared pool serves all clients; aggregate throughput "
+      "scales with client count on multi-core hardware, and every answer is "
+      "bit-identical to the serial loop",
+      flags);
+
+  std::vector<size_t> sweep =
+      flags.ks.empty() ? std::vector<size_t>{1, 10, 50, 100} : flags.ks;
+  const size_t k_max = *std::max_element(sweep.begin(), sweep.end());
+
+  BenchInstance instance = LoadInstance("digg", SeedMode::kInfluential, flags);
+  const DirectedGraph& g = instance.dataset.graph;
+
+  StatusOr<std::unique_ptr<BoostService>> service_or =
+      BoostService::Create(g);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service_or.status().ToString().c_str());
+    return 1;
+  }
+  BoostService& service = **service_or;
+
+  WallTimer prepare_timer;
+  StatusOr<std::unique_ptr<BoostSession>> session = BoostSession::Create(
+      g, instance.seeds, MakeBoostOptions(k_max, flags));
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = service.AddPool("digg", std::move(*session)); !s.ok()) {
+    std::fprintf(stderr, "add pool: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double prepare_s = prepare_timer.Seconds();
+  const size_t theta =
+      service.GetPool("digg")->engine().collection().num_samples();
+  std::printf("pool prepared once: theta=%zu, %.3fs\n\n", theta, prepare_s);
+
+  // The query stream: budgets cycle the sweep, every other query downgrades
+  // to the O(k) cached-order answer — the cheap/expensive mix a real serving
+  // tier sees. Selection runs single-worker per request (see header).
+  const size_t num_queries = 64 * sweep.size();
+  std::vector<BoostRequest> requests(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    requests[i].pool = "digg";
+    requests[i].k = sweep[i % sweep.size()];
+    requests[i].mode = i % 2 == 1 ? SolveMode::kLbOnly : SolveMode::kAuto;
+    requests[i].num_threads = 1;
+  }
+
+  // Serial reference: the bits every concurrent answer must reproduce.
+  std::vector<BoostResult> reference(num_queries);
+  {
+    SolveContext context;
+    for (size_t i = 0; i < num_queries; ++i) {
+      StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+      if (!r.ok()) {
+        std::fprintf(stderr, "serial query %zu: %s\n", i,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      reference[i] = std::move(*r).result;
+    }
+  }
+
+  TablePrinter table({"clients", "queries/s", "wall_s", "vs_1_client"});
+  BenchJsonWriter json;
+  double qps_1 = 0.0;
+  for (size_t clients : {1u, 2u, 4u}) {
+    std::atomic<size_t> mismatches{0};
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t t = 0; t < clients; ++t) {
+      workers.emplace_back([&, t] {
+        SolveContext context;
+        for (size_t i = t; i < num_queries; i += clients) {
+          StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+          if (!r.ok() || !SameAnswer(r.value().result, reference[i])) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const double secs = timer.Seconds();
+    const double qps = static_cast<double>(num_queries) / secs;
+    if (clients == 1) qps_1 = qps;
+    if (mismatches.load() != 0) {
+      // Divergence is a correctness bug, never noise: make CI fail loudly.
+      std::fprintf(stderr,
+                   "FATAL: %zu of %zu concurrent answers diverged from the "
+                   "serial reference at %zu clients\n",
+                   mismatches.load(), num_queries, clients);
+      std::abort();
+    }
+    table.AddRow({std::to_string(clients), FormatDouble(qps),
+                  FormatDouble(secs), FormatDouble(qps / qps_1) + "x"});
+    json.Add("serve/qps_clients_" + std::to_string(clients), qps,
+             "queries/s");
+    if (clients == 4) json.Add("serve/speedup_c4_vs_c1", qps / qps_1, "x");
+  }
+  table.Print(std::cout);
+  std::printf("\nall %zu queries x {1,2,4} clients bit-identical to the "
+              "serial reference\n",
+              num_queries);
+
+  json.Add("serve/prepare_s", prepare_s, "s");
+  json.Add("serve/theta", static_cast<double>(theta), "samples");
+  json.Add("serve/queries", static_cast<double>(num_queries), "queries");
+  json.WriteTo(flags.json_path);
+  return 0;
+}

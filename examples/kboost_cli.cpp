@@ -8,6 +8,8 @@
 //                       [--k-sweep=1,10,50] [--save-pool=pool.bin]
 //                       [--load-pool=pool.bin]
 //   kboost_cli evaluate --graph=graph.txt --seeds=0,5,9 --boost=1,2,3
+//   kboost_cli serve-bench --graph=graph.txt --load-pool=pool.bin
+//                          [--clients=1,2,4] [--queries=32]
 //
 // Graphs are the text edge-list format of src/graph/graph_io.h. Pool
 // snapshots (--save-pool/--load-pool) are the binary format of
@@ -15,15 +17,20 @@
 // the same file — across processes and restarts.
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <initializer_list>
+#include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/boost_session.h"
+#include "src/serve/boost_service.h"
+#include "src/util/timer.h"
 #include "src/expt/datasets.h"
 #include "src/expt/seed_selection.h"
 #include "src/graph/graph_io.h"
@@ -117,6 +124,34 @@ bool ParseUintList(const char* text, const char* flag_name,
   return true;
 }
 
+/// Parses --threads if present: syntax errors are rejected here, the valid
+/// range is owned by BoostOptions::Validate() (the one place --threads,
+/// set_num_threads and BoostSession::Create agree on). Returns false on a
+/// syntax error; `*threads` stays 0 when the flag is absent.
+bool ParseThreadsFlag(int argc, char** argv, int* threads) {
+  *threads = 0;
+  const char* threads_s = FlagValue(argc, argv, "--threads");
+  if (threads_s == nullptr) return true;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(threads_s, &end, 10);
+  if (end == threads_s || *end != '\0') {
+    std::fprintf(stderr, "error: --threads must be an integer, got '%s'\n",
+                 threads_s);
+    return false;
+  }
+  // A strtol overflow (or a value outside int) saturates so that
+  // BoostOptions::Validate rejects it with its range message.
+  if (errno == ERANGE || value > std::numeric_limits<int>::max()) {
+    *threads = std::numeric_limits<int>::max();
+  } else if (value < std::numeric_limits<int>::min()) {
+    *threads = std::numeric_limits<int>::min();
+  } else {
+    *threads = static_cast<int>(value);
+  }
+  return true;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -135,7 +170,14 @@ int Usage() {
       "      snapshot without resampling (seeds/mode come from the file);\n"
       "      --threads runs sampling and selection on N workers\n"
       "  evaluate --graph=PATH --seeds=a,b,c --boost=x,y,z [--sims=N]\n"
-      "      Monte-Carlo estimate of the spread and boost of a given set\n");
+      "      Monte-Carlo estimate of the spread and boost of a given set\n"
+      "  serve-bench --graph=PATH (--load-pool=PATH | --seeds=a,b,c --k=N\n"
+      "        [--lb] [--epsilon=F] [--seed=N]) [--clients=1,2,4]\n"
+      "        [--queries=32] [--threads=N]\n"
+      "      register the pool in a BoostService and measure concurrent\n"
+      "      query throughput: each client count issues the same mixed\n"
+      "      (k, mode) query stream from that many threads and every\n"
+      "      answer is checked bit-identical against the serial run\n");
   return 2;
 }
 
@@ -198,23 +240,9 @@ int CmdBoost(int argc, char** argv) {
   }
   const char* path = FlagValue(argc, argv, "--graph");
   const char* k_s = FlagValue(argc, argv, "--k");
-  const char* threads_s = FlagValue(argc, argv, "--threads");
-  long threads = 0;
-  if (threads_s != nullptr) {
-    char* end = nullptr;
-    errno = 0;
-    threads = std::strtol(threads_s, &end, 10);
-    // 256 is the thread pool's worker cap; anything above it (or a strtol
-    // overflow) is rejected rather than silently wrapped or clamped.
-    if (end == threads_s || *end != '\0' || errno == ERANGE || threads <= 0 ||
-        threads > 256) {
-      std::fprintf(stderr,
-                   "error: --threads must be an integer in [1, 256], "
-                   "got '%s'\n",
-                   threads_s);
-      return 2;
-    }
-  }
+  const bool has_threads = FlagValue(argc, argv, "--threads") != nullptr;
+  int threads = 0;
+  if (!ParseThreadsFlag(argc, argv, &threads)) return 2;
   const char* load_pool = FlagValue(argc, argv, "--load-pool");
   const char* save_pool = FlagValue(argc, argv, "--save-pool");
   std::vector<size_t> sweep;
@@ -262,7 +290,12 @@ int CmdBoost(int argc, char** argv) {
       return 1;
     }
     session = std::move(loaded).value();
-    if (threads_s != nullptr) session->set_num_threads(static_cast<int>(threads));
+    if (has_threads) {
+      if (Status s = session->set_num_threads(threads); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 2;
+      }
+    }
     std::printf("loaded pool %s: budget=%zu theta=%zu mode=%s\n", load_pool,
                 session->budget(), session->engine().collection().num_samples(),
                 session->lb_only() ? "lb" : "full");
@@ -275,9 +308,15 @@ int CmdBoost(int argc, char** argv) {
     if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
     const char* seed_s = FlagValue(argc, argv, "--seed");
     if (seed_s != nullptr) options.seed = std::strtoull(seed_s, nullptr, 10);
-    if (threads_s != nullptr) options.num_threads = static_cast<int>(threads);
-    session = std::make_unique<BoostSession>(g.value(), seeds, options,
-                                             HasFlag(argc, argv, "--lb"));
+    if (has_threads) options.num_threads = threads;
+    StatusOr<std::unique_ptr<BoostSession>> created = BoostSession::Create(
+        g.value(), seeds, options, HasFlag(argc, argv, "--lb"));
+    if (!created.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   created.status().ToString().c_str());
+      return 2;
+    }
+    session = std::move(created).value();
   }
 
   if (sweep.empty()) {
@@ -351,6 +390,211 @@ int CmdEvaluate(int argc, char** argv) {
   return 0;
 }
 
+/// Bit-identity predicate for the serve-bench divergence check: the sets and
+/// estimates a query answer is made of, compared exactly (the concurrency
+/// guarantee is bit-identical results, not approximately-equal ones).
+bool SameAnswer(const BoostResult& a, const BoostResult& b) {
+  return a.best_set == b.best_set && a.best_estimate == b.best_estimate &&
+         a.lb_set == b.lb_set && a.lb_mu_hat == b.lb_mu_hat &&
+         a.delta_set == b.delta_set && a.delta_delta_hat == b.delta_delta_hat;
+}
+
+int CmdServeBench(int argc, char** argv) {
+  if (!ValidateFlags(argc, argv,
+                     {"--graph", "--load-pool", "--seeds", "--k", "--epsilon",
+                      "--seed", "--clients", "--queries", "--threads"},
+                     {"--lb"})) {
+    return 2;
+  }
+  const char* path = FlagValue(argc, argv, "--graph");
+  const char* load_pool = FlagValue(argc, argv, "--load-pool");
+  const char* k_s = FlagValue(argc, argv, "--k");
+  if (path == nullptr) return Usage();
+  if (load_pool == nullptr && k_s == nullptr) return Usage();
+  const bool has_threads = FlagValue(argc, argv, "--threads") != nullptr;
+  int threads = 0;
+  if (!ParseThreadsFlag(argc, argv, &threads)) return 2;
+  std::vector<size_t> clients;
+  if (!ParseUintList(FlagValue(argc, argv, "--clients"), "--clients",
+                     &clients)) {
+    return 2;
+  }
+  if (clients.empty()) clients = {1, 2, 4};
+  for (size_t c : clients) {
+    if (c < 1 || c > 64) {
+      std::fprintf(stderr, "error: --clients entries must be in [1, 64]\n");
+      return 2;
+    }
+  }
+  const char* queries_s = FlagValue(argc, argv, "--queries");
+  size_t num_queries = 32;
+  if (queries_s != nullptr) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(queries_s, &end, 10);
+    if (end == queries_s || *end != '\0' || errno == ERANGE || value < 1 ||
+        value > 1'000'000) {
+      std::fprintf(stderr,
+                   "error: --queries must be an integer in [1, 1000000], "
+                   "got '%s'\n",
+                   queries_s);
+      return 2;
+    }
+    num_queries = static_cast<size_t>(value);
+  }
+
+  StatusOr<DirectedGraph> g = LoadEdgeList(path);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<BoostSession> session;
+  if (load_pool != nullptr) {
+    StatusOr<std::unique_ptr<BoostSession>> loaded =
+        LoadPoolSnapshot(g.value(), load_pool);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    session = std::move(loaded).value();
+    if (has_threads) {
+      if (Status s = session->set_num_threads(threads); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 2;
+      }
+    }
+  } else {
+    std::vector<NodeId> seeds;
+    if (!ParseUintList(FlagValue(argc, argv, "--seeds"), "--seeds", &seeds)) {
+      return 2;
+    }
+    if (seeds.empty()) return Usage();
+    BoostOptions options;
+    options.k = std::strtoull(k_s, nullptr, 10);
+    const char* eps_s = FlagValue(argc, argv, "--epsilon");
+    if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
+    const char* seed_s = FlagValue(argc, argv, "--seed");
+    if (seed_s != nullptr) options.seed = std::strtoull(seed_s, nullptr, 10);
+    if (has_threads) options.num_threads = threads;
+    StatusOr<std::unique_ptr<BoostSession>> created = BoostSession::Create(
+        g.value(), std::move(seeds), options, HasFlag(argc, argv, "--lb"));
+    if (!created.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   created.status().ToString().c_str());
+      return 2;
+    }
+    session = std::move(created).value();
+  }
+
+  const bool lb = session->lb_only();
+  StatusOr<std::unique_ptr<BoostService>> service_or =
+      BoostService::Create(g.value());
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 service_or.status().ToString().c_str());
+    return 1;
+  }
+  BoostService& service = *service_or.value();
+  std::printf("preparing pool (budget %zu, %s mode)...\n", session->budget(),
+              lb ? "lb" : "full");
+  WallTimer prepare_timer;
+  const size_t budget = session->budget();
+  if (Status s = service.AddPool("pool", std::move(session)); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("prepared in %.3fs, theta=%zu\n", prepare_timer.Seconds(),
+              service.GetPool("pool")->engine().collection().num_samples());
+
+  // The mixed query stream: budgets sweep the pool range, modes alternate
+  // native/LB on full pools. Each request runs its selection single-worker
+  // so the client count is the only concurrency variable.
+  std::vector<BoostRequest> requests(num_queries);
+  const size_t k_steps[] = {1, budget / 4, budget / 2, (3 * budget) / 4,
+                            budget};
+  for (size_t i = 0; i < num_queries; ++i) {
+    requests[i].pool = "pool";
+    requests[i].k = std::max<size_t>(1, k_steps[i % 5]);
+    requests[i].mode =
+        (!lb && i % 2 == 1) ? SolveMode::kLbOnly : SolveMode::kAuto;
+    requests[i].num_threads = 1;
+  }
+
+  // Serial reference pass: every concurrent answer must match these bits.
+  std::vector<BoostResult> reference(num_queries);
+  WallTimer serial_timer;
+  {
+    SolveContext context;
+    for (size_t i = 0; i < num_queries; ++i) {
+      StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+      if (!r.ok()) {
+        std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      reference[i] = std::move(r).value().result;
+    }
+  }
+  const double serial_s = serial_timer.Seconds();
+  std::printf("serial reference: %zu queries in %.3fs (%.1f q/s)\n\n",
+              num_queries, serial_s,
+              static_cast<double>(num_queries) / serial_s);
+
+  // Measure every client count first, then print with the speedup column
+  // anchored on the 1-client run when the list has one (on the first listed
+  // count otherwise, labelled accordingly).
+  struct Row {
+    size_t clients;
+    double qps;
+    double secs;
+  };
+  std::vector<Row> rows;
+  bool diverged = false;
+  for (size_t c : clients) {
+    std::atomic<size_t> mismatches{0};
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    workers.reserve(c);
+    for (size_t t = 0; t < c; ++t) {
+      workers.emplace_back([&, t] {
+        SolveContext context;
+        for (size_t i = t; i < num_queries; i += c) {
+          StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+          if (!r.ok() || !SameAnswer(r.value().result, reference[i])) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const double secs = timer.Seconds();
+    rows.push_back({c, static_cast<double>(num_queries) / secs, secs});
+    if (mismatches.load() != 0) {
+      std::fprintf(stderr,
+                   "error: %zu of %zu concurrent answers diverged from the "
+                   "serial reference at %zu clients\n",
+                   mismatches.load(), num_queries, c);
+      diverged = true;
+    }
+  }
+  double qps_base = rows.front().qps;
+  bool base_is_one = clients.front() == 1;
+  for (const Row& row : rows) {
+    if (row.clients == 1) {
+      qps_base = row.qps;
+      base_is_one = true;
+      break;
+    }
+  }
+  std::printf("%8s %12s %10s %10s\n", "clients", "queries/s", "wall_s",
+              base_is_one ? "vs_1" : "vs_first");
+  for (const Row& row : rows) {
+    std::printf("%8zu %12.1f %10.3f %9.2fx\n", row.clients, row.qps,
+                row.secs, row.qps / qps_base);
+  }
+  return diverged ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -360,5 +604,6 @@ int main(int argc, char** argv) {
   if (cmd == "seeds") return CmdSeeds(argc, argv);
   if (cmd == "boost") return CmdBoost(argc, argv);
   if (cmd == "evaluate") return CmdEvaluate(argc, argv);
+  if (cmd == "serve-bench") return CmdServeBench(argc, argv);
   return Usage();
 }

@@ -1,10 +1,12 @@
 #ifndef KBOOST_CORE_BOOST_SESSION_H_
 #define KBOOST_CORE_BOOST_SESSION_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/prr_boost.h"
+#include "src/core/solve_context.h"
 #include "src/util/status.h"
 
 namespace kboost {
@@ -12,14 +14,27 @@ namespace kboost {
 /// The serving-layer entry point: one prepared PRR-graph pool, many budget
 /// queries. Where PrrBoost()/PrrBoostLb() sample a fresh pool per call, a
 /// BoostSession samples once at its maximum budget (`options.k`, the session
-/// budget) and then answers SolveForBudget(k) for any k ≤ budget() with
-/// selection work only:
+/// budget) and then answers any budget k ≤ budget() with selection work
+/// only:
 ///
 /// - LB mode: greedy on the submodular μ̂ yields nested solutions, so every
 ///   budget's answer is a prefix slice of one cached greedy order — O(k)
 ///   per query after the first.
 /// - Full mode: only the Δ̂ greedy re-runs per budget (its gains are not
 ///   monotone in B); the pool, the LB order and all estimators are reused.
+///
+/// Two query surfaces share that machinery:
+///
+/// - SolveForBudget(k): the serial sweep API. Samples lazily, aborts on a
+///   bad budget, reuses session-owned scratch. NOT safe to call from more
+///   than one thread.
+/// - Solve(spec): the concurrent serving API. Requires Prepare() (which
+///   freezes the pool read-only), validates the request and returns
+///   StatusOr. Any number of threads may Solve() against one prepared
+///   session simultaneously — each call brings its own SolveContext (or
+///   lets the call allocate one) — with results bit-identical to the serial
+///   loop. BoostService (src/serve) serves a registry of named prepared
+///   sessions through exactly this surface.
 ///
 /// Results answered from an existing pool carry pool_reused = true and
 /// pool_budget = budget(), recording that the sampling constants correspond
@@ -30,41 +45,70 @@ namespace kboost {
 /// warm restarts and cross-process serving against one prepared index.
 class BoostSession {
  public:
+  /// Fallible construction — the blessed path for anything driven by
+  /// external input. Validates `options` (BoostOptions::Validate), the
+  /// graph size, and that `seeds` is non-empty with every id in range;
+  /// returns InvalidArgument/OutOfRange instead of aborting.
+  static StatusOr<std::unique_ptr<BoostSession>> Create(
+      const DirectedGraph& graph, std::vector<NodeId> seeds,
+      const BoostOptions& options, bool lb_only = false);
+
+  /// Trusting constructor for in-process callers with known-good arguments;
+  /// KB_CHECKs the same predicates Create() reports as Status.
   /// `options.k` is the session budget — the largest k the session can
   /// answer. `lb_only` selects the PRR-Boost-LB pipeline (no stored graphs).
   BoostSession(const DirectedGraph& graph, std::vector<NodeId> seeds,
                const BoostOptions& options, bool lb_only = false);
 
-  /// Samples the pool at budget() via the IMM schedule. Idempotent; called
+  /// Samples the pool at budget() via the IMM schedule, warms every lazily
+  /// built read-only index and caches the LB greedy order, making the
+  /// session ready for concurrent Solve() calls. Idempotent; also called
   /// lazily by SolveForBudget — call eagerly to front-load the expensive
   /// part (e.g. at server startup or before SavePool).
   void Prepare();
 
-  /// Answers the k-boosting problem for any 1 ≤ k ≤ budget() without
-  /// resampling.
+  /// Serial sweep path: answers the k-boosting problem for any
+  /// 1 ≤ k ≤ budget() without resampling. Not thread-safe.
   BoostResult SolveForBudget(size_t k);
+
+  /// Concurrent serving path: answers `spec` against the prepared pool,
+  /// touching no session-owned mutable state. Safe to call from any number
+  /// of threads once Prepare() has run; bit-identical to SolveForBudget for
+  /// the same (k, mode). Pass a per-query `context` to keep selection
+  /// scratch warm across sequential queries; the single-argument overload
+  /// allocates one per call.
+  StatusOr<BoostResult> Solve(const SolveSpec& spec,
+                              SolveContext* context) const {
+    return engine_.Solve(spec, context);
+  }
+  StatusOr<BoostResult> Solve(const SolveSpec& spec) const {
+    return engine_.Solve(spec, nullptr);
+  }
 
   /// The largest budget this session can answer (options.k).
   size_t budget() const { return engine_.options().k; }
   bool lb_only() const { return engine_.lb_only(); }
   /// Whether the pool has been sampled (or adopted from a snapshot).
   bool prepared() const { return engine_.sampled(); }
+  /// Whether Prepare() has run — the precondition of concurrent Solve().
+  bool serving_ready() const { return engine_.serving_ready(); }
 
   const DirectedGraph& graph() const { return engine_.graph(); }
   const std::vector<NodeId>& seeds() const { return engine_.seeds(); }
   const BoostOptions& options() const { return engine_.options(); }
   /// Overrides the selection/estimator worker count (the CLI's --threads);
   /// useful for sessions restored from a snapshot, whose options come from
-  /// the file.
-  void set_num_threads(int num_threads) {
-    engine_.set_num_threads(num_threads);
+  /// the file. Validated by BoostOptions::Validate (InvalidArgument when out
+  /// of range). Not safe to call while Solve() requests are in flight.
+  Status set_num_threads(int num_threads) {
+    return engine_.set_num_threads(num_threads);
   }
   /// The wrapped engine, for pool estimators (EstimateDelta/EstimateMu) and
   /// snapshot restore.
   PrrBoostEngine& engine() { return engine_; }
   const PrrBoostEngine& engine() const { return engine_; }
 
-  /// Prepares (if needed) and snapshots the pool to `path`; convenience for
+  /// Samples (if needed) and snapshots the pool to `path`; convenience for
   /// SavePoolSnapshot (src/io/pool_io.h).
   Status SavePool(const std::string& path);
 

@@ -10,6 +10,25 @@
 
 namespace kboost {
 
+Status BoostOptions::Validate() const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0, 1), got " +
+                                   std::to_string(epsilon));
+  }
+  if (!(ell > 0.0)) {
+    return Status::InvalidArgument("ell must be > 0, got " +
+                                   std::to_string(ell));
+  }
+  if (num_threads < 1 || num_threads > ThreadPool::kMaxWorkers) {
+    return Status::InvalidArgument(
+        "num_threads (--threads) must be in [1, " +
+        std::to_string(ThreadPool::kMaxWorkers) + "], got " +
+        std::to_string(num_threads));
+  }
+  return Status::Ok();
+}
+
 PrrBoostEngine::PrrBoostEngine(const DirectedGraph& graph,
                                std::vector<NodeId> seeds,
                                const BoostOptions& options, bool lb_only)
@@ -18,7 +37,7 @@ PrrBoostEngine::PrrBoostEngine(const DirectedGraph& graph,
       options_(options),
       lb_only_(lb_only) {
   KB_CHECK(graph_.num_nodes() >= 2);
-  KB_CHECK(options_.k >= 1);
+  KB_CHECK(options_.Validate().ok()) << options_.Validate().ToString();
   KB_CHECK(!seeds_.empty()) << "the k-boosting problem requires seeds";
   excluded_ = MakeNodeBitmap(graph_.num_nodes(), seeds_);
   collection_ = std::make_unique<PrrCollection>(graph_.num_nodes());
@@ -81,36 +100,46 @@ const PrrCollection::LbResult& PrrBoostEngine::LbGreedyOrder() {
 
 BoostResult PrrBoostEngine::Run() { return SolveForBudget(options_.k); }
 
-BoostResult PrrBoostEngine::SolveForBudget(size_t k) {
-  KB_CHECK(k >= 1 && k <= options_.k)
-      << "budget " << k << " exceeds the pool's sampling budget "
-      << options_.k;
-  BoostResult result;
-  const bool had_pool = sampled_;
-  WallTimer sampling_timer;
+void PrrBoostEngine::Prepare() {
+  if (serving_ready_) return;
   EnsureSampled();
-  result.sampling_seconds = sampling_timer.Seconds();
+  // Concurrent const Solve() calls must never take a lazy-build path: warm
+  // both inverted indexes and cache the LB greedy order now, while this
+  // thread still has the engine exclusively.
+  collection_->WarmIndexes();
+  LbGreedyOrder();
+  serving_ready_ = true;
+}
+
+BoostResult PrrBoostEngine::SolvePrepared(size_t k, bool lb_answer,
+                                          int num_threads,
+                                          PrrEvalState* eval_state,
+                                          const std::atomic<bool>* cancel,
+                                          bool* cancelled) const {
+  KB_DCHECK(sampled_ && lb_order_ready_);
+  BoostResult result;
   result.pool_budget = options_.k;
-  result.pool_reused = had_pool;
 
-  WallTimer selection_timer;
-  const PrrCollection::LbResult& order = LbGreedyOrder();
-  const size_t take = std::min(k, order.nodes.size());
-  result.lb_set.assign(order.nodes.begin(), order.nodes.begin() + take);
-  result.lb_mu_hat = take > 0 ? order.prefix_mu_hat[take - 1] : 0.0;
+  const size_t take = std::min(k, lb_order_.nodes.size());
+  result.lb_set.assign(lb_order_.nodes.begin(), lb_order_.nodes.begin() + take);
+  result.lb_mu_hat = take > 0 ? lb_order_.prefix_mu_hat[take - 1] : 0.0;
 
-  if (lb_only_) {
+  if (lb_answer) {
     result.best_set = result.lb_set;
     result.best_estimate = result.lb_mu_hat;
   } else {
     // NodeSelection: greedy on Δ̂ directly, reusing the same pool. Not
     // nested in k (Δ̂ gains are non-monotone), so selection re-runs per k.
-    PrrCollection::DeltaResult dr =
-        collection_->SelectGreedyDelta(k, excluded_, options_.num_threads);
+    PrrCollection::DeltaResult dr = collection_->SelectGreedyDelta(
+        k, excluded_, num_threads, eval_state, cancel);
+    if (dr.cancelled) {
+      if (cancelled != nullptr) *cancelled = true;
+      return result;
+    }
     result.delta_set = std::move(dr.nodes);
     result.delta_delta_hat = dr.delta_hat;
     result.lb_delta_hat =
-        collection_->EstimateDelta(result.lb_set, options_.num_threads);
+        collection_->EstimateDelta(result.lb_set, num_threads);
     // Sandwich pick: the better of B_µ and B_Δ under Δ̂ (Alg. 2 line 5).
     if (result.lb_delta_hat >= result.delta_delta_hat) {
       result.best_set = result.lb_set;
@@ -120,7 +149,6 @@ BoostResult PrrBoostEngine::SolveForBudget(size_t k) {
       result.best_estimate = result.delta_delta_hat;
     }
   }
-  result.selection_seconds = selection_timer.Seconds();
 
   // Statistics.
   result.num_samples = collection_->num_samples();
@@ -143,6 +171,88 @@ BoostResult PrrBoostEngine::SolveForBudget(size_t k) {
     }
   }
   return result;
+}
+
+BoostResult PrrBoostEngine::SolveForBudget(size_t k) {
+  KB_CHECK(k >= 1 && k <= options_.k)
+      << "budget " << k << " exceeds the pool's sampling budget "
+      << options_.k;
+  const bool had_pool = sampled_;
+  WallTimer sampling_timer;
+  EnsureSampled();
+  const double sampling_seconds = sampling_timer.Seconds();
+
+  WallTimer selection_timer;
+  LbGreedyOrder();
+  BoostResult result =
+      SolvePrepared(k, lb_only_, options_.num_threads,
+                    &serial_context_.eval_state, /*cancel=*/nullptr,
+                    /*cancelled=*/nullptr);
+  result.sampling_seconds = sampling_seconds;
+  result.pool_reused = had_pool;
+  result.selection_seconds = selection_timer.Seconds();
+  return result;
+}
+
+StatusOr<BoostResult> PrrBoostEngine::Solve(const SolveSpec& spec,
+                                            SolveContext* context) const {
+  if (!serving_ready_) {
+    return Status::FailedPrecondition(
+        "pool is not prepared for serving; call Prepare() first");
+  }
+  if (spec.k < 1 || spec.k > options_.k) {
+    return Status::InvalidArgument(
+        "budget " + std::to_string(spec.k) + " outside the pool's range [1, " +
+        std::to_string(options_.k) + "]");
+  }
+  bool lb_answer = lb_only_;
+  switch (spec.mode) {
+    case SolveMode::kAuto:
+      break;
+    case SolveMode::kLbOnly:
+      lb_answer = true;
+      break;
+    case SolveMode::kFull:
+      if (lb_only_) {
+        return Status::InvalidArgument(
+            "full-mode request against an LB-only pool (Δ̂ needs stored "
+            "PRR-graphs)");
+      }
+      break;
+  }
+  const int num_threads =
+      spec.num_threads == 0 ? options_.num_threads : spec.num_threads;
+  if (num_threads < 1 || num_threads > ThreadPool::kMaxWorkers) {
+    return Status::InvalidArgument(
+        "request num_threads must be 0 (pool default) or in [1, " +
+        std::to_string(ThreadPool::kMaxWorkers) + "], got " +
+        std::to_string(spec.num_threads));
+  }
+  if (spec.cancel != nullptr &&
+      spec.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("request cancelled before selection started");
+  }
+
+  WallTimer selection_timer;
+  bool cancelled = false;
+  BoostResult result = SolvePrepared(
+      spec.k, lb_answer, num_threads,
+      context != nullptr ? &context->eval_state : nullptr, spec.cancel,
+      &cancelled);
+  if (cancelled) {
+    return Status::Cancelled("request cancelled during Δ̂ selection");
+  }
+  result.pool_reused = true;
+  result.selection_seconds = selection_timer.Seconds();
+  return result;
+}
+
+Status PrrBoostEngine::set_num_threads(int num_threads) {
+  BoostOptions probe = options_;
+  probe.num_threads = num_threads;
+  if (Status s = probe.Validate(); !s.ok()) return s;
+  options_.num_threads = num_threads;
+  return Status::Ok();
 }
 
 double PrrBoostEngine::EstimateDelta(

@@ -1,13 +1,15 @@
 #ifndef KBOOST_CORE_PRR_BOOST_H_
 #define KBOOST_CORE_PRR_BOOST_H_
 
-#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "src/core/prr_collection.h"
 #include "src/core/prr_sampler.h"
+#include "src/core/solve_context.h"
 #include "src/graph/graph.h"
+#include "src/util/status.h"
 #include "src/util/thread_pool.h"
 
 namespace kboost {
@@ -25,6 +27,37 @@ struct BoostOptions {
   /// longer formally holds, but selection quality degrades gracefully.
   /// Useful when OPT is tiny relative to n (θ = λ*/OPT explodes).
   size_t max_samples = 0;
+
+  /// The one place option validation lives: k ≥ 1, ε ∈ (0,1), ℓ > 0,
+  /// num_threads ∈ [1, ThreadPool::kMaxWorkers]. Fallible entry points
+  /// (BoostSession::Create, set_num_threads, the CLI's --threads) all defer
+  /// here; the trusting constructors KB_CHECK the same predicate.
+  Status Validate() const;
+};
+
+/// What a query wants answered from a prepared pool.
+enum class SolveMode {
+  /// The pool's native pipeline: sandwich (full pools) or LB (LB pools).
+  kAuto = 0,
+  /// Force the full sandwich answer; invalid against an LB-only pool.
+  kFull,
+  /// Answer from the cached μ̂ greedy order only — O(k) per query on any
+  /// pool, including full ones (useful for cheap/approximate traffic).
+  kLbOnly,
+};
+
+/// A single budget query against a prepared pool — the request-level knobs
+/// of the serving API.
+struct SolveSpec {
+  size_t k = 0;  ///< budget; must be in [1, pool budget]
+  SolveMode mode = SolveMode::kAuto;
+  /// Worker cap for this query's selection/estimator phases. 0 = the pool's
+  /// configured count; otherwise must be in [1, ThreadPool::kMaxWorkers].
+  int num_threads = 0;
+  /// Optional cooperative cancellation: polled between greedy rounds; when
+  /// it reads true the solve stops and reports Status::Cancelled. The flag
+  /// must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Everything Algorithm 2 produces, plus the statistics the paper reports.
@@ -83,12 +116,34 @@ class PrrBoostEngine {
   /// lazily by SolveForBudget/Run, or eagerly (BoostSession::Prepare).
   void EnsureSampled();
 
+  /// Makes the engine ready for concurrent const Solve() calls: samples the
+  /// pool (if needed), builds every lazily-constructed read-only index, and
+  /// caches the LB greedy order. Idempotent. After Prepare() the engine's
+  /// query surface is strictly read-only, which is the thread-safety
+  /// contract Solve() relies on.
+  void Prepare();
+  /// Whether Prepare() has run (a snapshot-adopted pool still needs it).
+  bool serving_ready() const { return serving_ready_; }
+
   /// Answers the k-boosting problem for any budget k ≤ options.k on the
   /// already-sampled pool — selection only, no resampling. LB answers are
   /// prefix slices of one cached greedy order (greedy on the submodular μ̂
   /// yields nested solutions); full mode re-runs only the Δ̂ selection.
   /// The returned result carries pool_budget/pool_reused provenance.
+  /// Serial convenience path: samples lazily, KB_CHECKs the budget, and
+  /// reuses engine-owned scratch — NOT safe to call concurrently.
   BoostResult SolveForBudget(size_t k);
+
+  /// The concurrent serving path: answers `spec` against the prepared pool
+  /// without touching any engine-owned mutable state — all scratch lives in
+  /// `context` (one per in-flight query; null uses call-local scratch). Any
+  /// number of threads may call Solve() simultaneously on one prepared
+  /// engine, with results bit-identical to the serial SolveForBudget loop.
+  /// Fails with FailedPrecondition before Prepare(), InvalidArgument for an
+  /// out-of-range budget/thread count or a full-mode request against an LB
+  /// pool, and Cancelled when spec.cancel was raised mid-selection.
+  StatusOr<BoostResult> Solve(const SolveSpec& spec,
+                              SolveContext* context = nullptr) const;
 
   /// The sampled pool (valid after Run()).
   const PrrCollection& collection() const { return *collection_; }
@@ -103,9 +158,9 @@ class PrrBoostEngine {
   /// Overrides the worker count for subsequent selection and estimator
   /// calls (the CLI's --threads). Sampling keeps the count the engine was
   /// built with — pools are bit-identical for every thread count anyway.
-  void set_num_threads(int num_threads) {
-    options_.num_threads = std::max(1, num_threads);
-  }
+  /// Validated by BoostOptions::Validate (InvalidArgument when out of
+  /// range). Not safe to call while Solve() requests are in flight.
+  Status set_num_threads(int num_threads);
   bool lb_only() const { return lb_only_; }
   bool sampled() const { return sampled_; }
   bool samples_capped() const { return samples_capped_; }
@@ -123,6 +178,16 @@ class PrrBoostEngine {
   /// smaller budget's LB answer is a prefix of it.
   const PrrCollection::LbResult& LbGreedyOrder();
 
+  /// The one selection core both solve paths share. Requires a sampled pool
+  /// and a cached LB order; reads them const. `lb_answer` selects the
+  /// LB-slice answer (LB pools, or SolveMode::kLbOnly on a full pool).
+  /// Reports cancellation through `cancelled` (may be null) and leaves
+  /// timing/provenance fields for the caller.
+  BoostResult SolvePrepared(size_t k, bool lb_answer, int num_threads,
+                            PrrEvalState* eval_state,
+                            const std::atomic<bool>* cancel,
+                            bool* cancelled) const;
+
   const DirectedGraph& graph_;
   std::vector<NodeId> seeds_;
   BoostOptions options_;
@@ -132,9 +197,13 @@ class PrrBoostEngine {
   std::unique_ptr<PrrSampler> sampler_;
   bool sampled_ = false;
   bool samples_capped_ = false;
+  bool serving_ready_ = false;
   PrrSamplerStats stats_;
   bool lb_order_ready_ = false;
   PrrCollection::LbResult lb_order_;  // greedy order at options_.k
+  // Scratch for the serial SolveForBudget path (kept warm across a sweep);
+  // concurrent Solve() calls bring their own SolveContext instead.
+  SolveContext serial_context_;
 };
 
 /// PRR-Boost (Algorithm 2): sandwich approximation over {B_µ, B_Δ}.

@@ -380,16 +380,29 @@ class DeltaOracle final : public SelectionOracle {
 }  // namespace
 
 PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
-    size_t k, const std::vector<uint8_t>& excluded, int num_threads) const {
+    size_t k, const std::vector<uint8_t>& excluded, int num_threads,
+    PrrEvalState* eval_state, const std::atomic<bool>* cancel) const {
   DeltaResult result;
   if (k == 0 || num_samples() == 0) return result;
   EnsureGraphIndex();
 
-  DeltaOracle oracle(*this, excluded, num_threads, &eval_state_);
-  GreedyResult greedy = RunLazyGreedy(oracle, k, &excluded);
+  // Callers that serve queries concurrently pass per-query eval state (from
+  // their SolveContext); the call-local fallback keeps one-shot callers
+  // correct at the cost of rebuilding the bitmap arena.
+  PrrEvalState local_state;
+  DeltaOracle oracle(*this, excluded, num_threads,
+                     eval_state != nullptr ? eval_state : &local_state);
+  GreedyResult greedy = RunLazyGreedy(oracle, k, &excluded, cancel);
   result.nodes = std::move(greedy.selected);
   result.pick_gains = std::move(greedy.gains);
   result.activated_samples = oracle.activated();
+  result.cancelled = greedy.cancelled;
+  if (result.cancelled) {
+    result.delta_hat = static_cast<double>(num_graph_nodes_) *
+                       static_cast<double>(result.activated_samples) /
+                       static_cast<double>(num_samples());
+    return result;
+  }
 
   // Budget left but no single-node gains: fall back to PRR-occurrence
   // counts (nodes present in many boostable PRR-graphs are the best

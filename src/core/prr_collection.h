@@ -1,6 +1,7 @@
 #ifndef KBOOST_CORE_PRR_COLLECTION_H_
 #define KBOOST_CORE_PRR_COLLECTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
@@ -98,8 +99,15 @@ class PrrCollection {
   /// so the selected set is identical for every thread count. If gains hit
   /// zero before k picks (no single node helps), remaining slots are filled
   /// by PRR-occurrence counts so the budget is never silently wasted.
-  /// Not safe to call concurrently on one collection (the evaluation-state
-  /// arena and the lazily-built index are shared).
+  ///
+  /// Concurrency: all query-time mutable state is oracle-local or lives in
+  /// the caller-supplied `eval_state`, so concurrent calls on one collection
+  /// are safe — and bit-identical to the serial loop — provided each call
+  /// brings its own eval state and the lazily-built indexes were warmed
+  /// first (WarmIndexes(), done by BoostSession::Prepare). A null
+  /// `eval_state` uses call-local state (correct, but re-allocates the
+  /// bitmap arena every call). `cancel`, if non-null, is polled between
+  /// greedy rounds; on cancellation the partial result carries `cancelled`.
   struct DeltaResult {
     std::vector<NodeId> nodes;
     /// Marginal Δ̂ gain (in covered samples) of each greedy pick, in
@@ -107,9 +115,13 @@ class PrrCollection {
     std::vector<uint64_t> pick_gains;
     size_t activated_samples = 0;
     double delta_hat = 0.0;
+    bool cancelled = false;
   };
   DeltaResult SelectGreedyDelta(size_t k, const std::vector<uint8_t>& excluded,
-                                int num_threads = 1) const;
+                                int num_threads = 1,
+                                PrrEvalState* eval_state = nullptr,
+                                const std::atomic<bool>* cancel = nullptr)
+      const;
 
   /// Δ̂_R(B) for an arbitrary boost set (full mode only).
   double EstimateDelta(const std::vector<NodeId>& boost_set,
@@ -151,6 +163,19 @@ class PrrCollection {
     return store_.MemoryBytes() + lb_critical_bytes_;
   }
 
+  /// Builds both lazily-constructed inverted indexes (node→graphs here,
+  /// node→samples inside the coverage structure) now. The lazy builds inside
+  /// the const accessors are NOT thread-safe, so a pool that will serve
+  /// concurrent readers must be warmed once, from one thread, before serving
+  /// starts — PrrBoostEngine::Prepare does. After warming, every read-only
+  /// query path (SelectGreedyLowerBound, SelectGreedyDelta with per-call
+  /// eval state, EstimateDelta, EstimateMu, GraphsContaining) is safe to run
+  /// concurrently.
+  void WarmIndexes() const {
+    EnsureGraphIndex();
+    coverage_.WarmIndex();
+  }
+
  private:
   /// Builds the global-node → stored-graph-ids CSR (one counting-sort pass).
   void EnsureGraphIndex() const;
@@ -169,9 +194,6 @@ class PrrCollection {
   mutable std::vector<uint32_t> node_graphs_;
   mutable std::vector<uint32_t> node_graph_locals_;
   mutable bool graph_index_built_ = false;
-  // Per-session incremental evaluation state, reused (capacity kept) across
-  // SelectGreedyDelta runs; re-zeroed per run, rebuilt on resample.
-  mutable PrrEvalState eval_state_;
 };
 
 }  // namespace kboost

@@ -148,11 +148,11 @@ void PrrStore::Serialize(std::ostream& out) const {
   WriteVec(out, critical_);
 }
 
-bool PrrStore::Deserialize(std::istream& in) {
+Status PrrStore::Deserialize(std::istream& in) {
   KB_CHECK(meta_.empty()) << "Deserialize into a non-empty store";
   uint64_t num_graphs = 0;
   in.read(reinterpret_cast<char*>(&num_graphs), sizeof(num_graphs));
-  if (!in) return false;
+  if (!in) return Status::IoError("truncated arena block: missing graph count");
 
   // Every declared count must fit in the bytes actually present, so a
   // corrupt count can never drive a pathological allocation: reject any
@@ -164,11 +164,14 @@ bool PrrStore::Deserialize(std::istream& in) {
   const auto fits = [remaining](uint64_t count, size_t elem_size) {
     return count <= remaining / elem_size;
   };
-  if (!fits(num_graphs, 2 * sizeof(uint32_t))) return false;
+  const Status oversized = Status::InvalidArgument(
+      "arena block declares more data than the stream holds");
+  const Status truncated = Status::IoError("truncated arena block");
+  if (!fits(num_graphs, 2 * sizeof(uint32_t))) return oversized;
 
   std::vector<uint32_t> num_nodes, num_critical;
-  if (!ReadVec(in, &num_nodes, num_graphs)) return false;
-  if (!ReadVec(in, &num_critical, num_graphs)) return false;
+  if (!ReadVec(in, &num_nodes, num_graphs)) return truncated;
+  if (!ReadVec(in, &num_critical, num_graphs)) return truncated;
   uint64_t total_nodes = 0, total_critical = 0;
   for (size_t g = 0; g < num_graphs; ++g) {
     total_nodes += num_nodes[g];
@@ -178,11 +181,11 @@ bool PrrStore::Deserialize(std::istream& in) {
   if (!fits(total_nodes, sizeof(NodeId)) ||
       !fits(offsets_len, sizeof(uint32_t)) ||
       !fits(total_critical, sizeof(uint32_t))) {
-    return false;
+    return oversized;
   }
-  if (!ReadVec(in, &global_ids_, total_nodes)) return false;
-  if (!ReadVec(in, &out_offsets_, offsets_len)) return false;
-  if (!ReadVec(in, &in_offsets_, offsets_len)) return false;
+  if (!ReadVec(in, &global_ids_, total_nodes)) return truncated;
+  if (!ReadVec(in, &out_offsets_, offsets_len)) return truncated;
+  if (!ReadVec(in, &in_offsets_, offsets_len)) return truncated;
 
   // Rebuild the meta table by prefix sums over the per-graph sizes, checking
   // the offset pools are graph-relative, monotone and mutually consistent.
@@ -195,26 +198,30 @@ bool PrrStore::Deserialize(std::istream& in) {
     m.critical_begin = critical_begin;
     m.num_nodes = num_nodes[g];
     m.num_critical = num_critical[g];
+    const auto malformed = [g] {
+      return Status::InvalidArgument("malformed offsets in arena graph " +
+                                     std::to_string(g));
+    };
     const uint64_t off = node_begin + g;
-    if (out_offsets_[off] != 0 || in_offsets_[off] != 0) return false;
+    if (out_offsets_[off] != 0 || in_offsets_[off] != 0) return malformed();
     for (uint32_t v = 0; v < m.num_nodes; ++v) {
       if (out_offsets_[off + v] > out_offsets_[off + v + 1] ||
           in_offsets_[off + v] > in_offsets_[off + v + 1]) {
-        return false;
+        return malformed();
       }
     }
     if (out_offsets_[off + m.num_nodes] != in_offsets_[off + m.num_nodes]) {
-      return false;
+      return malformed();
     }
     meta_.push_back(m);
     node_begin += m.num_nodes;
     edge_begin += out_offsets_[off + m.num_nodes];
     critical_begin += m.num_critical;
   }
-  if (!fits(edge_begin, sizeof(uint32_t))) return false;
-  if (!ReadVec(in, &out_edges_, edge_begin)) return false;
-  if (!ReadVec(in, &in_edges_, edge_begin)) return false;
-  if (!ReadVec(in, &critical_, critical_begin)) return false;
+  if (!fits(edge_begin, sizeof(uint32_t))) return oversized;
+  if (!ReadVec(in, &out_edges_, edge_begin)) return truncated;
+  if (!ReadVec(in, &in_edges_, edge_begin)) return truncated;
+  if (!ReadVec(in, &critical_, critical_begin)) return truncated;
 
   // Every packed edge endpoint and critical id must be a valid local node.
   for (size_t g = 0; g < num_graphs; ++g) {
@@ -223,18 +230,22 @@ bool PrrStore::Deserialize(std::istream& in) {
     for (uint64_t e = 0; e < edges; ++e) {
       if (PrrGraph::EdgeNode(out_edges_[m.edge_begin + e]) >= m.num_nodes ||
           PrrGraph::EdgeNode(in_edges_[m.edge_begin + e]) >= m.num_nodes) {
-        return false;
+        return Status::OutOfRange("edge endpoint out of range in arena graph " +
+                                  std::to_string(g));
       }
     }
     for (uint32_t c = 0; c < m.num_critical; ++c) {
-      if (critical_[m.critical_begin + c] >= m.num_nodes) return false;
+      if (critical_[m.critical_begin + c] >= m.num_nodes) {
+        return Status::OutOfRange("critical id out of range in arena graph " +
+                                  std::to_string(g));
+      }
     }
   }
   for (const Meta& m : meta_) {
     max_num_nodes_ = std::max(max_num_nodes_, m.num_nodes);
   }
   ++generation_;
-  return true;
+  return Status::Ok();
 }
 
 void PrrStore::Clear() {

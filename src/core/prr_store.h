@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/core/prr_graph.h"
+#include "src/util/status.h"
 
 namespace kboost {
 
@@ -72,8 +73,9 @@ class PrrStore {
   void Serialize(std::ostream& out) const;
   /// Restores an arena written by Serialize into this (empty) store,
   /// verifying structural consistency (counts, offset monotonicity, edge
-  /// targets and critical ids in range). Returns false on malformed input.
-  bool Deserialize(std::istream& in);
+  /// targets and critical ids in range). Returns a descriptive
+  /// InvalidArgument/IoError status on malformed or truncated input.
+  Status Deserialize(std::istream& in);
 
  private:
   struct Meta {

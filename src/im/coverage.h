@@ -73,6 +73,12 @@ class CoverageSelector {
   Result SelectGreedy(size_t k, const std::vector<uint8_t>* excluded = nullptr)
       const;
 
+  /// Builds the node→samples CSR now if it is stale. The lazy build inside
+  /// the const accessors is NOT thread-safe, so anything that hands this
+  /// selector to concurrent readers (a prepared serving pool) must warm the
+  /// index first — PrrCollection::WarmIndexes / BoostSession::Prepare do.
+  void WarmIndex() const { EnsureIndex(); }
+
   /// Number of samples that contain node v (i.e. singleton coverage).
   size_t SetCount(NodeId v) const {
     EnsureIndex();

@@ -235,9 +235,9 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
     pool->AddNonBoostableCounts(h.num_activated, h.num_hopeless);
   } else {
     PrrStore store;
-    if (!store.Deserialize(in)) {
-      return Status::InvalidArgument("corrupt PRR-graph arena in snapshot: " +
-                                     path);
+    if (Status arena = store.Deserialize(in); !arena.ok()) {
+      return Status::InvalidArgument("corrupt PRR-graph arena in snapshot " +
+                                     path + ": " + arena.ToString());
     }
     if (store.num_graphs() != h.num_boostable) {
       return Status::InvalidArgument(

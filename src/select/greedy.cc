@@ -27,7 +27,8 @@ struct EntryLess {
 }  // namespace
 
 GreedyResult RunLazyGreedy(SelectionOracle& oracle, size_t k,
-                           const std::vector<uint8_t>* excluded) {
+                           const std::vector<uint8_t>* excluded,
+                           const std::atomic<bool>* cancel) {
   GreedyResult result;
   const size_t n = oracle.num_candidates();
   if (k == 0 || n == 0) return result;
@@ -44,6 +45,10 @@ GreedyResult RunLazyGreedy(SelectionOracle& oracle, size_t k,
   std::vector<uint8_t> chosen(n, 0);
   std::vector<NodeId> touched;
   while (result.selected.size() < k && !heap.empty()) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      break;
+    }
     const Entry top = heap.top();
     heap.pop();
     if (chosen[top.node]) continue;

@@ -1,6 +1,7 @@
 #ifndef KBOOST_SELECT_GREEDY_H_
 #define KBOOST_SELECT_GREEDY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -54,6 +55,9 @@ struct GreedyResult {
   std::vector<NodeId> selected;
   std::vector<uint64_t> gains;  ///< marginal gain of each pick, same order
   uint64_t total_gain = 0;
+  /// Set when the loop stopped because `cancel` was raised; `selected` holds
+  /// the picks committed before the flag was observed.
+  bool cancelled = false;
 };
 
 /// The one lazy-greedy (CELF) selection loop: up to k rounds, each committing
@@ -62,9 +66,12 @@ struct GreedyResult {
 /// heap insertion order (and hence of oracle-internal thread counts).
 /// Candidates flagged in `excluded` (n-sized bitmap, may be null) and
 /// candidates with zero gain are never picked; the loop stops early when no
-/// positive-gain candidate remains.
+/// positive-gain candidate remains. `cancel`, if non-null, is polled each
+/// loop iteration (the request-cancellation hook of the serving layer); when
+/// it reads true the loop returns the partial result with `cancelled` set.
 GreedyResult RunLazyGreedy(SelectionOracle& oracle, size_t k,
-                           const std::vector<uint8_t>* excluded = nullptr);
+                           const std::vector<uint8_t>* excluded = nullptr,
+                           const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace kboost
 

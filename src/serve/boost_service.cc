@@ -1,0 +1,128 @@
+#include "src/serve/boost_service.h"
+
+#include <mutex>
+#include <utility>
+
+#include "src/io/pool_io.h"
+#include "src/util/timer.h"
+
+namespace kboost {
+
+StatusOr<std::unique_ptr<BoostService>> BoostService::Create(
+    const DirectedGraph& graph, const Options& options) {
+  if (options.num_threads != 0) {
+    BoostOptions probe;
+    probe.num_threads = options.num_threads;
+    if (Status s = probe.Validate(); !s.ok()) return s;
+  }
+  std::unique_ptr<BoostService> service(
+      new BoostService(graph, options.num_threads));
+  for (const PoolSpec& spec : options.warm_pools) {
+    if (Status s = service->LoadPool(spec.name, spec.snapshot_path); !s.ok()) {
+      return Status::InvalidArgument("warm-start pool '" + spec.name + "': " +
+                                     s.ToString());
+    }
+  }
+  return service;
+}
+
+Status BoostService::LoadPool(const std::string& name,
+                              const std::string& snapshot_path) {
+  StatusOr<std::unique_ptr<BoostSession>> loaded =
+      LoadPoolSnapshot(graph_, snapshot_path);
+  if (!loaded.ok()) return loaded.status();
+  std::unique_ptr<BoostSession> session = std::move(loaded).value();
+  if (default_num_threads_ != 0) {
+    if (Status s = session->set_num_threads(default_num_threads_); !s.ok()) {
+      return s;
+    }
+  }
+  return AddPool(name, std::move(session));
+}
+
+Status BoostService::AddPool(const std::string& name,
+                             std::unique_ptr<BoostSession> session) {
+  if (name.empty()) {
+    return Status::InvalidArgument("pool name must be non-empty");
+  }
+  if (session == nullptr) {
+    return Status::InvalidArgument("pool session must be non-null");
+  }
+  if (session->graph().num_nodes() != graph_.num_nodes()) {
+    return Status::InvalidArgument(
+        "pool '" + name + "' was built against a graph with " +
+        std::to_string(session->graph().num_nodes()) + " nodes, not " +
+        std::to_string(graph_.num_nodes()));
+  }
+  {
+    // Fail fast on a duplicate before doing the expensive preparation.
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (pools_.count(name) != 0) {
+      return Status::InvalidArgument("pool '" + name +
+                                     "' is already registered");
+    }
+  }
+  // Sampling + index warm-up runs outside any lock: queries against other
+  // pools are never blocked behind a registration.
+  session->Prepare();
+  std::shared_ptr<const BoostSession> shared = std::move(session);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!pools_.emplace(name, std::move(shared)).second) {
+    return Status::InvalidArgument("pool '" + name + "' is already registered");
+  }
+  return Status::Ok();
+}
+
+Status BoostService::RemovePool(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (pools_.erase(name) == 0) {
+    return Status::NotFound("no pool named '" + name + "'");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> BoostService::PoolNames() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(pools_.size());
+  for (const auto& [name, pool] : pools_) names.push_back(name);
+  return names;
+}
+
+size_t BoostService::num_pools() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return pools_.size();
+}
+
+std::shared_ptr<const BoostSession> BoostService::GetPool(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = pools_.find(name);
+  return it == pools_.end() ? nullptr : it->second;
+}
+
+StatusOr<BoostResponse> BoostService::Solve(const BoostRequest& request,
+                                            SolveContext* context) const {
+  std::shared_ptr<const BoostSession> pool = GetPool(request.pool);
+  if (pool == nullptr) {
+    return Status::NotFound("no pool named '" + request.pool + "' (" +
+                            std::to_string(num_pools()) + " registered)");
+  }
+  SolveSpec spec;
+  spec.k = request.k;
+  spec.mode = request.mode;
+  spec.num_threads = request.num_threads;
+  spec.cancel = request.cancel;
+
+  WallTimer timer;
+  StatusOr<BoostResult> solved = pool->Solve(spec, context);
+  if (!solved.ok()) return solved.status();
+
+  BoostResponse response;
+  response.pool = request.pool;
+  response.result = std::move(solved).value();
+  response.solve_seconds = timer.Seconds();
+  return response;
+}
+
+}  // namespace kboost

@@ -1,0 +1,131 @@
+#ifndef KBOOST_SERVE_BOOST_SERVICE_H_
+#define KBOOST_SERVE_BOOST_SERVICE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/boost_session.h"
+#include "src/core/solve_context.h"
+#include "src/util/status.h"
+
+namespace kboost {
+
+/// One boost query against a named pool of a BoostService — the typed
+/// request of the serving API. Everything a client may vary per query lives
+/// here; everything else (the graph, the seed set, ε/ℓ, the sampled pool)
+/// is fixed per pool at registration time, which is what makes the answer
+/// path read-only and therefore concurrent.
+struct BoostRequest {
+  std::string pool;  ///< registered pool name
+  size_t k = 0;      ///< budget; must be in [1, pool budget]
+  /// kAuto answers with the pool's native pipeline; kLbOnly downgrades a
+  /// full pool to the O(k) cached-order answer; kFull is rejected against
+  /// LB-only pools. (SolveMode/SolveSpec are defined in src/core.)
+  SolveMode mode = SolveMode::kAuto;
+  /// Worker cap for this query's selection/estimator phases; 0 = the pool's
+  /// configured count.
+  int num_threads = 0;
+  /// Optional cooperative cancellation; polled between greedy rounds. Must
+  /// outlive the Solve() call.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// A solved request: the full BoostResult (best set, estimates, pool
+/// provenance and sampling statistics) plus which pool answered and how
+/// long the solve took.
+struct BoostResponse {
+  std::string pool;
+  BoostResult result;
+  double solve_seconds = 0.0;
+};
+
+/// A thread-safe registry of named, immutable prepared pools answering
+/// typed BoostRequest → StatusOr<BoostResponse> queries concurrently.
+///
+/// The service exploits the paper's core asymmetry: sampling a PRR-graph
+/// pool is expensive, answering a budget query against it is cheap — a
+/// read-mostly serving workload. Pools are prepared (sampled + indexes
+/// warmed + LB order cached) BEFORE registration and held as
+/// shared_ptr<const BoostSession>, so the query path holds the registry
+/// lock only for the name lookup; the solve itself runs lock-free on the
+/// shared pool with per-query SolveContext scratch. N clients solving
+/// mixed budgets/modes against one pool get results bit-identical to the
+/// same queries issued serially.
+///
+/// Registry mutations (LoadPool/AddPool/RemovePool) take the writer lock
+/// only around the map update; preparing a pool happens outside any lock.
+/// Removing a pool never invalidates in-flight queries — they hold the
+/// shared_ptr until they finish.
+class BoostService {
+ public:
+  /// A snapshot to load at construction (warm start).
+  struct PoolSpec {
+    std::string name;
+    std::string snapshot_path;  ///< a SavePoolSnapshot file (src/io/pool_io)
+  };
+  struct Options {
+    /// Pools registered before Create() returns; any load failure fails
+    /// construction with that pool's error.
+    std::vector<PoolSpec> warm_pools;
+    /// Overrides every loaded pool's worker count (snapshots carry the
+    /// count they were built with); 0 keeps the stored counts.
+    int num_threads = 0;
+  };
+
+  /// Builds a service over `graph` (which must outlive it) and warm-starts
+  /// every pool in `options.warm_pools` from its snapshot.
+  static StatusOr<std::unique_ptr<BoostService>> Create(
+      const DirectedGraph& graph, const Options& options);
+  static StatusOr<std::unique_ptr<BoostService>> Create(
+      const DirectedGraph& graph) {
+    return Create(graph, Options());
+  }
+
+  /// Loads a pool snapshot, prepares it for serving and registers it under
+  /// `name`. InvalidArgument on a duplicate name or corrupt snapshot.
+  Status LoadPool(const std::string& name, const std::string& snapshot_path);
+
+  /// Prepares `session` for serving (sampling now if it never ran) and
+  /// registers it under `name`. The service takes ownership; after
+  /// registration the pool is immutable.
+  Status AddPool(const std::string& name,
+                 std::unique_ptr<BoostSession> session);
+
+  /// Unregisters a pool. In-flight queries against it finish normally.
+  Status RemovePool(const std::string& name);
+
+  /// Registered pool names, sorted.
+  std::vector<std::string> PoolNames() const;
+  size_t num_pools() const;
+
+  /// The named pool, or null when absent — for estimator access and tests.
+  std::shared_ptr<const BoostSession> GetPool(const std::string& name) const;
+
+  /// Answers one request. Thread-safe; any number of concurrent callers.
+  /// NotFound for an unknown pool name; otherwise exactly the statuses of
+  /// BoostSession::Solve (InvalidArgument, Cancelled). The overload taking a
+  /// SolveContext lets a client thread keep selection scratch warm across
+  /// its queries; contexts must not be shared between in-flight calls.
+  StatusOr<BoostResponse> Solve(const BoostRequest& request) const {
+    return Solve(request, nullptr);
+  }
+  StatusOr<BoostResponse> Solve(const BoostRequest& request,
+                                SolveContext* context) const;
+
+ private:
+  BoostService(const DirectedGraph& graph, int default_num_threads)
+      : graph_(graph), default_num_threads_(default_num_threads) {}
+
+  const DirectedGraph& graph_;
+  const int default_num_threads_;
+  mutable std::shared_mutex mutex_;  // guards pools_ (the map only)
+  std::map<std::string, std::shared_ptr<const BoostSession>> pools_;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_SERVE_BOOST_SERVICE_H_

@@ -16,6 +16,8 @@ enum class StatusCode {
   kOutOfRange = 3,
   kInternal = 4,
   kIoError = 5,
+  kFailedPrecondition = 6,
+  kCancelled = 7,
 };
 
 /// A lightweight success-or-error result, in the style of database engines
@@ -40,6 +42,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -81,6 +89,26 @@ class StatusOr {
   T&& value() && {
     AbortIfNotOk();
     return std::move(value_);
+  }
+
+  /// Dereference sugar, mirroring absl::StatusOr: same abort-on-error
+  /// contract as value().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const {
+    AbortIfNotOk();
+    return &value_;
+  }
+  T* operator->() {
+    AbortIfNotOk();
+    return &value_;
+  }
+
+  /// The value, or `fallback` when this holds an error (never aborts).
+  T value_or(T fallback) const& { return ok() ? value_ : std::move(fallback); }
+  T value_or(T fallback) && {
+    return ok() ? std::move(value_) : std::move(fallback);
   }
 
  private:

@@ -12,7 +12,9 @@ thread_local bool tls_in_pool_worker = false;
 
 int DefaultThreadCount() {
   unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
+  if (hc == 0) return 1;
+  // Clamp to the pool cap so default-built BoostOptions always validate.
+  return std::min(static_cast<int>(hc), ThreadPool::kMaxWorkers);
 }
 
 ThreadPool& ThreadPool::Global() {

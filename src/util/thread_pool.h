@@ -26,6 +26,11 @@ int DefaultThreadCount();
 /// parallelism never deadlocks and never oversubscribes.
 class ThreadPool {
  public:
+  /// Hard cap on pool workers — the one place the valid --threads /
+  /// BoostOptions::num_threads range [1, kMaxWorkers] is defined
+  /// (BoostOptions::Validate enforces it).
+  static constexpr int kMaxWorkers = 256;
+
   ThreadPool() = default;
   ~ThreadPool();
 
@@ -47,8 +52,6 @@ class ThreadPool {
   int num_started() const;
 
  private:
-  static constexpr int kMaxWorkers = 256;
-
   struct Job {
     const std::function<void(int)>* body = nullptr;
     std::atomic<int> next_index{0};

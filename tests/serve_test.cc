@@ -1,0 +1,374 @@
+// The serving-layer contract: BoostOptions::Validate as the one validation
+// choke point, BoostSession::Create/Solve as the fallible concurrent query
+// surface, and BoostService as the thread-safe registry of named immutable
+// pools. The centerpiece is the concurrency suite: N threads issuing mixed
+// (k, mode, worker-count) queries against one shared prepared pool must
+// produce answers bit-identical to the same queries issued serially — this
+// file runs under the ASan/UBSan job and the TSan job in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/boost_session.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/io/pool_io.h"
+#include "src/serve/boost_service.h"
+#include "src/util/rng.h"
+
+namespace kboost {
+namespace {
+
+DirectedGraph MakeTestGraph(uint64_t seed = 7) {
+  Rng rng(seed);
+  GraphBuilder b = BuildErdosRenyi(80, 500, rng);
+  b.AssignConstantProbability(0.12);
+  b.SetBoostWithBeta(2.0);
+  return std::move(b).Build();
+}
+
+BoostOptions MakeOptions(size_t k) {
+  BoostOptions options;
+  options.k = k;
+  options.seed = 11;
+  options.num_threads = 2;
+  return options;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Exact equality of everything a query answer is made of. The serving
+/// guarantee is bit-identical results, so doubles are compared with ==.
+void ExpectSameAnswer(const BoostResult& a, const BoostResult& b) {
+  EXPECT_EQ(a.best_set, b.best_set);
+  EXPECT_EQ(a.best_estimate, b.best_estimate);
+  EXPECT_EQ(a.lb_set, b.lb_set);
+  EXPECT_EQ(a.lb_mu_hat, b.lb_mu_hat);
+  EXPECT_EQ(a.delta_set, b.delta_set);
+  EXPECT_EQ(a.delta_delta_hat, b.delta_delta_hat);
+  EXPECT_EQ(a.lb_delta_hat, b.lb_delta_hat);
+  EXPECT_EQ(a.num_samples, b.num_samples);
+  EXPECT_EQ(a.pool_budget, b.pool_budget);
+}
+
+TEST(BoostOptionsTest, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(BoostOptions().Validate().ok());
+}
+
+TEST(BoostOptionsTest, ValidateRejectsEachBadField) {
+  BoostOptions o;
+  o.k = 0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  o = BoostOptions();
+  o.epsilon = 0.0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.epsilon = 1.0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  o = BoostOptions();
+  o.ell = 0.0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  o = BoostOptions();
+  o.num_threads = 0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.num_threads = -3;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.num_threads = ThreadPool::kMaxWorkers + 1;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.num_threads = ThreadPool::kMaxWorkers;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(BoostSessionCreateTest, RejectsInvalidArguments) {
+  DirectedGraph g = MakeTestGraph();
+
+  BoostOptions bad = MakeOptions(5);
+  bad.num_threads = 0;
+  EXPECT_EQ(BoostSession::Create(g, {0}, bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(BoostSession::Create(g, {}, MakeOptions(5)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(
+      BoostSession::Create(g, {0, 99999}, MakeOptions(5)).status().code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST(BoostSessionCreateTest, CreatedSessionAnswersLikeConstructed) {
+  DirectedGraph g = MakeTestGraph();
+  StatusOr<std::unique_ptr<BoostSession>> created =
+      BoostSession::Create(g, {0, 1}, MakeOptions(8));
+  ASSERT_TRUE(created.ok());
+  BoostResult via_create = (*created)->SolveForBudget(8);
+
+  BoostSession constructed(g, {0, 1}, MakeOptions(8));
+  ExpectSameAnswer(via_create, constructed.SolveForBudget(8));
+}
+
+TEST(BoostSessionTest, SetNumThreadsValidatesThroughOptions) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(5));
+  EXPECT_EQ(session.set_num_threads(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.set_num_threads(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.set_num_threads(ThreadPool::kMaxWorkers + 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(session.set_num_threads(4).ok());
+  EXPECT_EQ(session.options().num_threads, 4);
+}
+
+TEST(BoostSessionSolveTest, RequiresPrepare) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(5));
+  SolveSpec spec;
+  spec.k = 3;
+  EXPECT_EQ(session.Solve(spec).status().code(),
+            StatusCode::kFailedPrecondition);
+  session.Prepare();
+  EXPECT_TRUE(session.serving_ready());
+  EXPECT_TRUE(session.Solve(spec).ok());
+}
+
+TEST(BoostSessionSolveTest, ValidatesRequests) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(5));
+  session.Prepare();
+
+  SolveSpec spec;
+  spec.k = 0;
+  EXPECT_EQ(session.Solve(spec).status().code(), StatusCode::kInvalidArgument);
+  spec.k = 6;  // above the pool budget
+  EXPECT_EQ(session.Solve(spec).status().code(), StatusCode::kInvalidArgument);
+  spec.k = 3;
+  spec.num_threads = -1;
+  EXPECT_EQ(session.Solve(spec).status().code(), StatusCode::kInvalidArgument);
+  spec.num_threads = ThreadPool::kMaxWorkers + 1;
+  EXPECT_EQ(session.Solve(spec).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BoostSessionSolveTest, FullModeRejectedOnLbPool) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(5), /*lb_only=*/true);
+  session.Prepare();
+  SolveSpec spec;
+  spec.k = 3;
+  spec.mode = SolveMode::kFull;
+  EXPECT_EQ(session.Solve(spec).status().code(), StatusCode::kInvalidArgument);
+  spec.mode = SolveMode::kLbOnly;
+  EXPECT_TRUE(session.Solve(spec).ok());
+}
+
+TEST(BoostSessionSolveTest, MatchesSerialSolveForBudget) {
+  DirectedGraph g = MakeTestGraph();
+  for (bool lb_only : {false, true}) {
+    BoostSession session(g, {0, 1, 2}, MakeOptions(12), lb_only);
+    session.Prepare();
+    SolveContext context;
+    for (size_t k : {1, 4, 9, 12}) {
+      BoostResult serial = session.SolveForBudget(k);
+      SolveSpec spec;
+      spec.k = k;
+      StatusOr<BoostResult> served = session.Solve(spec, &context);
+      ASSERT_TRUE(served.ok());
+      ExpectSameAnswer(serial, *served);
+      EXPECT_TRUE(served->pool_reused);
+    }
+  }
+}
+
+TEST(BoostSessionSolveTest, LbOnlyModeOnFullPoolSlicesTheCachedOrder) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession full(g, {0, 1}, MakeOptions(10));
+  full.Prepare();
+  SolveSpec lb_spec;
+  lb_spec.k = 6;
+  lb_spec.mode = SolveMode::kLbOnly;
+  StatusOr<BoostResult> fast = full.Solve(lb_spec);
+  ASSERT_TRUE(fast.ok());
+  // The LB-only answer of a full pool is its own cached μ̂ order: best set
+  // and estimate come from the LB slice, and no Δ̂ selection ran.
+  SolveSpec native_spec;
+  native_spec.k = 6;
+  StatusOr<BoostResult> native = full.Solve(native_spec);
+  ASSERT_TRUE(native.ok());
+  EXPECT_EQ(fast->best_set, native->lb_set);
+  EXPECT_EQ(fast->best_estimate, native->lb_mu_hat);
+  EXPECT_TRUE(fast->delta_set.empty());
+}
+
+TEST(BoostSessionSolveTest, CancelFlagShortCircuits) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(8));
+  session.Prepare();
+  std::atomic<bool> cancel{true};
+  SolveSpec spec;
+  spec.k = 8;
+  spec.cancel = &cancel;
+  EXPECT_EQ(session.Solve(spec).status().code(), StatusCode::kCancelled);
+  cancel.store(false);
+  EXPECT_TRUE(session.Solve(spec).ok());
+}
+
+TEST(BoostServiceTest, RegistryLifecycle) {
+  DirectedGraph g = MakeTestGraph();
+  StatusOr<std::unique_ptr<BoostService>> service_or = BoostService::Create(g);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+
+  EXPECT_EQ(service.AddPool("", nullptr).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(service
+                  .AddPool("a", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0}, MakeOptions(4)))
+                  .ok());
+  EXPECT_EQ(service
+                .AddPool("a", std::make_unique<BoostSession>(
+                                  g, std::vector<NodeId>{0}, MakeOptions(4)))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.num_pools(), 1u);
+  EXPECT_EQ(service.PoolNames(), std::vector<std::string>{"a"});
+  ASSERT_NE(service.GetPool("a"), nullptr);
+  EXPECT_TRUE(service.GetPool("a")->serving_ready());
+
+  BoostRequest request;
+  request.pool = "missing";
+  request.k = 2;
+  EXPECT_EQ(service.Solve(request).status().code(), StatusCode::kNotFound);
+  request.pool = "a";
+  StatusOr<BoostResponse> response = service.Solve(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->pool, "a");
+  EXPECT_TRUE(response->result.pool_reused);
+
+  // Removal never invalidates a handle already held.
+  std::shared_ptr<const BoostSession> held = service.GetPool("a");
+  EXPECT_TRUE(service.RemovePool("a").ok());
+  EXPECT_EQ(service.RemovePool("a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.num_pools(), 0u);
+  SolveSpec spec;
+  spec.k = 2;
+  EXPECT_TRUE(held->Solve(spec).ok());
+}
+
+TEST(BoostServiceTest, WarmStartFromSnapshotsAnswersIdentically) {
+  DirectedGraph g = MakeTestGraph();
+  const std::string full_path = TempPath("kboost_serve_full.pool");
+  const std::string lb_path = TempPath("kboost_serve_lb.pool");
+
+  BoostSession full(g, {0, 1, 2}, MakeOptions(10));
+  ASSERT_TRUE(full.SavePool(full_path).ok());
+  BoostSession lb(g, {0, 1, 2}, MakeOptions(10), /*lb_only=*/true);
+  ASSERT_TRUE(lb.SavePool(lb_path).ok());
+
+  BoostService::Options options;
+  options.warm_pools = {{"full", full_path}, {"lb", lb_path}};
+  StatusOr<std::unique_ptr<BoostService>> service_or =
+      BoostService::Create(g, options);
+  ASSERT_TRUE(service_or.ok()) << service_or.status().ToString();
+  BoostService& service = **service_or;
+  EXPECT_EQ(service.num_pools(), 2u);
+
+  for (size_t k : {1, 5, 10}) {
+    BoostRequest request;
+    request.pool = "full";
+    request.k = k;
+    StatusOr<BoostResponse> served = service.Solve(request);
+    ASSERT_TRUE(served.ok());
+    ExpectSameAnswer(full.SolveForBudget(k), served->result);
+
+    request.pool = "lb";
+    served = service.Solve(request);
+    ASSERT_TRUE(served.ok());
+    ExpectSameAnswer(lb.SolveForBudget(k), served->result);
+  }
+
+  BoostService::Options missing;
+  missing.warm_pools = {{"nope", TempPath("kboost_serve_missing.pool")}};
+  EXPECT_FALSE(BoostService::Create(g, missing).ok());
+
+  std::remove(full_path.c_str());
+  std::remove(lb_path.c_str());
+}
+
+/// The acceptance-criterion test: pools prepared once, mixed-budget
+/// mixed-mode mixed-worker-count queries from N ≥ 4 threads, every answer
+/// bit-identical to the serial loop. Runs under ASan/UBSan and TSan in CI.
+TEST(BoostServiceConcurrencyTest, MixedQueriesFromManyThreadsAreBitIdentical) {
+  DirectedGraph g = MakeTestGraph();
+  StatusOr<std::unique_ptr<BoostService>> service_or = BoostService::Create(g);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+  ASSERT_TRUE(service
+                  .AddPool("full", std::make_unique<BoostSession>(
+                                       g, std::vector<NodeId>{0, 1, 2},
+                                       MakeOptions(16)))
+                  .ok());
+  ASSERT_TRUE(service
+                  .AddPool("lb", std::make_unique<BoostSession>(
+                                     g, std::vector<NodeId>{0, 1, 2},
+                                     MakeOptions(16), /*lb_only=*/true))
+                  .ok());
+
+  // 32 queries cycling budgets 1..16, pools, modes and worker counts.
+  std::vector<BoostRequest> requests;
+  for (size_t i = 0; i < 32; ++i) {
+    BoostRequest r;
+    r.k = 1 + (i * 5) % 16;
+    r.pool = (i % 3 == 0) ? "lb" : "full";
+    r.mode = (r.pool == "full" && i % 4 == 1) ? SolveMode::kLbOnly
+                                              : SolveMode::kAuto;
+    r.num_threads = (i % 2 == 0) ? 1 : 2;
+    requests.push_back(std::move(r));
+  }
+
+  std::vector<BoostResult> reference(requests.size());
+  {
+    SolveContext context;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      reference[i] = std::move(*r).result;
+    }
+  }
+
+  constexpr size_t kThreads = 6;
+  std::atomic<size_t> failures{0};
+  std::vector<std::vector<BoostResult>> answers(kThreads);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      SolveContext context;
+      for (size_t i = t; i < requests.size(); i += kThreads) {
+        StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          answers[t].emplace_back();
+        } else {
+          answers[t].push_back(std::move(*r).result);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_EQ(failures.load(), 0u);
+  for (size_t t = 0; t < kThreads; ++t) {
+    size_t slot = 0;
+    for (size_t i = t; i < requests.size(); i += kThreads, ++slot) {
+      ExpectSameAnswer(reference[i], answers[t][slot]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kboost

@@ -45,6 +45,37 @@ TEST(StatusOrTest, HoldsError) {
   EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
 }
 
+TEST(StatusTest, ServingCodesRender) {
+  EXPECT_EQ(Status::FailedPrecondition("not prepared").ToString(),
+            "FAILED_PRECONDITION: not prepared");
+  EXPECT_EQ(Status::Cancelled("client went away").code(),
+            StatusCode::kCancelled);
+}
+
+TEST(StatusOrTest, DereferenceSugar) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 3u);
+  EXPECT_EQ((*v)[1], 2);
+  (*v).push_back(4);
+  EXPECT_EQ(v->back(), 4);
+  // Rvalue dereference moves the payload out.
+  std::vector<int> taken = *std::move(v);
+  EXPECT_EQ(taken.size(), 4u);
+}
+
+TEST(StatusOrTest, ValueOrNeverAborts) {
+  StatusOr<int> err = Status::IoError("disk gone");
+  EXPECT_EQ(err.value_or(-1), -1);
+  StatusOr<int> fine = 7;
+  EXPECT_EQ(fine.value_or(-1), 7);
+}
+
+TEST(StatusOrTest, ValueOnErrorDies) {
+  StatusOr<int> err = Status::Internal("broken");
+  EXPECT_DEATH(err.value(), "broken");
+}
+
 TEST(RngTest, DeterministicGivenSeed) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
