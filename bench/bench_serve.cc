@@ -8,13 +8,17 @@
 // Every concurrent answer is compared bit-identically against a serial
 // reference pass — the process ABORTS on divergence, which is what makes
 // this bench double as the CI regression gate for the concurrent serving
-// path (like bench_micro_eval does for the incremental engine).
+// path (like bench_micro_eval does for the incremental engine). A final
+// refresh-under-load scenario hot-swaps the pool (RefreshPool) beneath 4
+// live client threads and aborts on any NotFound, divergence or version
+// regression.
 //
 // With --json=BENCH_serve.json the throughput per client count and the
 // 4-vs-1 ratio are recorded in the BENCH_*.json shape.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -151,6 +155,124 @@ int main(int argc, char** argv) {
   std::printf("\nall %zu queries x {1,2,4} clients bit-identical to the "
               "serial reference\n",
               num_queries);
+
+  // Refresh-under-load: 4 client threads hammer the pool while the main
+  // thread rebuilds a session with the SAME options and hot-swaps it in via
+  // RefreshPool. The replacement samples with the same rng seed, so its
+  // answers are bit-identical to the original pool's — every answer, before
+  // or after the swap, must still match the serial reference, and the pool
+  // name must never come back NotFound. Both violations ABORT, making this
+  // the CI regression gate for the hot-swap path.
+  {
+    const uint64_t version_before = service.PoolVersion("digg");
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> refresh_errors{0};
+    std::atomic<size_t> refresh_mismatches{0};
+    std::atomic<size_t> refresh_queries{0};
+    WallTimer refresh_timer;
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < 4; ++t) {
+      clients.emplace_back([&, t] {
+        SolveContext context;
+        // Each client cycles the WHOLE mixed stream (phase-shifted per
+        // thread), so cheap LB slices and heavy full-mode solves both hit
+        // the pool while it is being swapped.
+        size_t i = t * (num_queries / 4);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const size_t q = i % num_queries;
+          StatusOr<BoostResponse> r = service.Solve(requests[q], &context);
+          if (!r.ok()) {
+            refresh_errors.fetch_add(1, std::memory_order_relaxed);
+          } else if (!SameAnswer(r.value().result, reference[q])) {
+            refresh_mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          refresh_queries.fetch_add(1, std::memory_order_relaxed);
+          ++i;
+        }
+      });
+    }
+    WallTimer rebuild_timer;
+    StatusOr<std::unique_ptr<BoostSession>> replacement = BoostSession::Create(
+        g, instance.seeds, MakeBoostOptions(k_max, flags));
+    if (!replacement.ok()) {
+      std::fprintf(stderr, "refresh session: %s\n",
+                   replacement.status().ToString().c_str());
+      std::abort();
+    }
+    if (Status s = service.RefreshPool("digg", std::move(*replacement));
+        !s.ok()) {
+      std::fprintf(stderr, "refresh: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    const double rebuild_s = rebuild_timer.Seconds();
+    // One more full pass of load against the swapped-in pool before the
+    // clients stop, so post-swap answers are exercised under concurrency.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+    for (std::thread& c : clients) c.join();
+    const double refresh_s = refresh_timer.Seconds();
+    const uint64_t version_after = service.PoolVersion("digg");
+    if (refresh_errors.load() != 0 || refresh_mismatches.load() != 0 ||
+        version_after <= version_before) {
+      std::fprintf(stderr,
+                   "FATAL: refresh-under-load: %zu errors (NotFound during a "
+                   "refresh would land here), %zu divergent answers, version "
+                   "%llu -> %llu\n",
+                   refresh_errors.load(), refresh_mismatches.load(),
+                   static_cast<unsigned long long>(version_before),
+                   static_cast<unsigned long long>(version_after));
+      std::abort();
+    }
+    // Post-swap serial pass: the swapped-in pool must answer bit-identically
+    // to the original (same options, same rng seed -> same bits).
+    {
+      SolveContext context;
+      for (size_t i = 0; i < num_queries; ++i) {
+        StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+        if (!r.ok() || !SameAnswer(r.value().result, reference[i])) {
+          std::fprintf(stderr,
+                       "FATAL: post-swap answer %zu diverged from the "
+                       "fresh-build reference\n",
+                       i);
+          std::abort();
+        }
+        if (r.value().pool_version != version_after) {
+          std::fprintf(stderr,
+                       "FATAL: post-swap answer %zu stamped version %llu, "
+                       "expected %llu\n",
+                       i,
+                       static_cast<unsigned long long>(r.value().pool_version),
+                       static_cast<unsigned long long>(version_after));
+          std::abort();
+        }
+      }
+    }
+    const double refresh_qps =
+        static_cast<double>(refresh_queries.load()) / refresh_s;
+    std::printf("\nrefresh under load: %zu queries from 4 clients during a "
+                "%.3fs rebuild+swap (%.1f q/s), 0 errors, 0 divergent, "
+                "version %llu -> %llu\n",
+                refresh_queries.load(), refresh_s, refresh_qps,
+                static_cast<unsigned long long>(version_before),
+                static_cast<unsigned long long>(version_after));
+    json.Add("serve/refresh_under_load_qps", refresh_qps, "queries/s");
+    json.Add("serve/refresh_under_load_queries",
+             static_cast<double>(refresh_queries.load()), "queries");
+    json.Add("serve/refresh_rebuild_s", rebuild_s, "s");
+  }
+
+  // Service metrics over everything this bench issued.
+  const ServiceStatsSnapshot stats = service.Stats();
+  for (const PoolStatsSnapshot& ps : stats.pools) {
+    std::printf("service stats: pool '%s' v%llu, %llu queries, %llu errors, "
+                "latency ms mean/p50/p95 = %.3f/%.3f/%.3f\n",
+                ps.pool.c_str(), static_cast<unsigned long long>(ps.version),
+                static_cast<unsigned long long>(ps.queries),
+                static_cast<unsigned long long>(ps.errors), ps.latency_mean_ms,
+                ps.latency_p50_ms, ps.latency_p95_ms);
+    json.Add("serve/latency_p50_ms", ps.latency_p50_ms, "ms");
+    json.Add("serve/latency_p95_ms", ps.latency_p95_ms, "ms");
+  }
 
   json.Add("serve/prepare_s", prepare_s, "s");
   json.Add("serve/theta", static_cast<double>(theta), "samples");

@@ -30,6 +30,7 @@
 
 #include "src/core/boost_session.h"
 #include "src/serve/boost_service.h"
+#include "src/util/parse.h"
 #include "src/util/timer.h"
 #include "src/expt/datasets.h"
 #include "src/expt/seed_selection.h"
@@ -91,35 +92,48 @@ bool ValidateFlags(int argc, char** argv,
 
 /// Parses a comma-separated list of non-negative integers into `out`.
 /// Returns false (leaving a clear error on stderr to the caller) on any
-/// malformed input: non-numeric characters, empty elements, trailing commas.
+/// malformed input: non-numeric characters, signs, empty elements, trailing
+/// commas, or a value that does not fit T. Each element goes through the
+/// same strict kboost::ParseUint64 as the scalar flags — "--seeds=-1" is an
+/// error, never a wrapped-around node id.
 template <typename T>
 bool ParseUintList(const char* text, const char* flag_name,
                    std::vector<T>* out) {
   out->clear();
   if (text == nullptr) return true;
   const char* p = text;
-  while (*p) {
-    char* end = nullptr;
-    const uint64_t value = std::strtoull(p, &end, 10);
-    if (end == p) {
-      std::fprintf(stderr, "error: malformed %s value '%s'\n", flag_name,
+  while (true) {
+    const char* comma = std::strchr(p, ',');
+    const std::string element =
+        comma == nullptr ? std::string(p) : std::string(p, comma);
+    uint64_t value = 0;
+    if (Status s = ParseUint64(element.c_str(), flag_name, &value); !s.ok()) {
+      std::fprintf(stderr, "error: %s (in list '%s')\n", s.ToString().c_str(),
                    text);
+      return false;
+    }
+    if (value > std::numeric_limits<T>::max()) {
+      std::fprintf(stderr, "error: %s element '%s' is out of range\n",
+                   flag_name, element.c_str());
       return false;
     }
     out->push_back(static_cast<T>(value));
-    p = end;
-    if (*p == ',') {
-      ++p;
-      if (*p == '\0') {
-        std::fprintf(stderr, "error: trailing comma in %s value '%s'\n",
-                     flag_name, text);
-        return false;
-      }
-    } else if (*p != '\0') {
-      std::fprintf(stderr, "error: malformed %s value '%s'\n", flag_name,
-                   text);
-      return false;
-    }
+    if (comma == nullptr) return true;
+    p = comma + 1;
+  }
+}
+
+/// The one validated integer-flag parser: strict whole-string base-10 parse
+/// through kboost::ParseUint64 (no bare strtoull anywhere — "abc" or "12x"
+/// must be an error, not a silent 0/12). Returns false with the error on
+/// stderr. When the flag is absent, `*out` keeps its preloaded default.
+bool ParseUint64Flag(int argc, char** argv, const char* flag_name,
+                     uint64_t* out) {
+  const char* text = FlagValue(argc, argv, flag_name);
+  if (text == nullptr) return true;
+  if (Status s = ParseUint64(text, flag_name, out); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return false;
   }
   return true;
 }
@@ -217,9 +231,12 @@ int CmdSeeds(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
     return 1;
   }
-  const size_t count = std::strtoull(count_s, nullptr, 10);
-  const char* seed_s = FlagValue(argc, argv, "--seed");
-  const uint64_t seed = seed_s ? std::strtoull(seed_s, nullptr, 10) : 42;
+  uint64_t count = 0;
+  uint64_t seed = 42;
+  if (!ParseUint64Flag(argc, argv, "--count", &count) ||
+      !ParseUint64Flag(argc, argv, "--seed", &seed)) {
+    return 2;
+  }
   std::vector<NodeId> seeds =
       HasFlag(argc, argv, "--random")
           ? SelectRandomSeeds(g.value(), count, seed)
@@ -240,6 +257,8 @@ int CmdBoost(int argc, char** argv) {
   }
   const char* path = FlagValue(argc, argv, "--graph");
   const char* k_s = FlagValue(argc, argv, "--k");
+  uint64_t k_flag = 0;
+  if (!ParseUint64Flag(argc, argv, "--k", &k_flag)) return 2;
   const bool has_threads = FlagValue(argc, argv, "--threads") != nullptr;
   int threads = 0;
   if (!ParseThreadsFlag(argc, argv, &threads)) return 2;
@@ -301,13 +320,12 @@ int CmdBoost(int argc, char** argv) {
                 session->lb_only() ? "lb" : "full");
   } else {
     BoostOptions options;
-    options.k = k_s ? std::strtoull(k_s, nullptr, 10) : 0;
+    options.k = k_flag;
     for (size_t k : sweep) options.k = std::max(options.k, k);
     if (options.k == 0) return Usage();
     const char* eps_s = FlagValue(argc, argv, "--epsilon");
     if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
-    const char* seed_s = FlagValue(argc, argv, "--seed");
-    if (seed_s != nullptr) options.seed = std::strtoull(seed_s, nullptr, 10);
+    if (!ParseUint64Flag(argc, argv, "--seed", &options.seed)) return 2;
     if (has_threads) options.num_threads = threads;
     StatusOr<std::unique_ptr<BoostSession>> created = BoostSession::Create(
         g.value(), seeds, options, HasFlag(argc, argv, "--lb"));
@@ -320,8 +338,7 @@ int CmdBoost(int argc, char** argv) {
   }
 
   if (sweep.empty()) {
-    sweep.push_back(k_s ? std::strtoull(k_s, nullptr, 10)
-                        : session->budget());
+    sweep.push_back(k_s ? k_flag : session->budget());
   }
   std::sort(sweep.begin(), sweep.end());
 
@@ -379,10 +396,9 @@ int CmdEvaluate(int argc, char** argv) {
     return 1;
   }
   SimulationOptions sim;
-  const char* sims_s = FlagValue(argc, argv, "--sims");
-  if (sims_s != nullptr) {
-    sim.num_simulations = std::strtoull(sims_s, nullptr, 10);
-  }
+  uint64_t sims = sim.num_simulations;
+  if (!ParseUint64Flag(argc, argv, "--sims", &sims)) return 2;
+  sim.num_simulations = sims;
   BoostEstimate e = EstimateBoost(g.value(), seeds, boost, sim);
   std::printf("base_spread:    %.3f\n", e.base_spread);
   std::printf("boosted_spread: %.3f\n", e.boosted_spread);
@@ -426,21 +442,14 @@ int CmdServeBench(int argc, char** argv) {
       return 2;
     }
   }
-  const char* queries_s = FlagValue(argc, argv, "--queries");
-  size_t num_queries = 32;
-  if (queries_s != nullptr) {
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long value = std::strtoull(queries_s, &end, 10);
-    if (end == queries_s || *end != '\0' || errno == ERANGE || value < 1 ||
-        value > 1'000'000) {
-      std::fprintf(stderr,
-                   "error: --queries must be an integer in [1, 1000000], "
-                   "got '%s'\n",
-                   queries_s);
-      return 2;
-    }
-    num_queries = static_cast<size_t>(value);
+  uint64_t num_queries = 32;
+  if (!ParseUint64Flag(argc, argv, "--queries", &num_queries)) return 2;
+  if (num_queries < 1 || num_queries > 1'000'000) {
+    std::fprintf(stderr,
+                 "error: --queries must be an integer in [1, 1000000], "
+                 "got %llu\n",
+                 static_cast<unsigned long long>(num_queries));
+    return 2;
   }
 
   StatusOr<DirectedGraph> g = LoadEdgeList(path);
@@ -471,11 +480,12 @@ int CmdServeBench(int argc, char** argv) {
     }
     if (seeds.empty()) return Usage();
     BoostOptions options;
-    options.k = std::strtoull(k_s, nullptr, 10);
+    uint64_t k_flag = 0;
+    if (!ParseUint64Flag(argc, argv, "--k", &k_flag)) return 2;
+    options.k = k_flag;
     const char* eps_s = FlagValue(argc, argv, "--epsilon");
     if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
-    const char* seed_s = FlagValue(argc, argv, "--seed");
-    if (seed_s != nullptr) options.seed = std::strtoull(seed_s, nullptr, 10);
+    if (!ParseUint64Flag(argc, argv, "--seed", &options.seed)) return 2;
     if (has_threads) options.num_threads = threads;
     StatusOr<std::unique_ptr<BoostSession>> created = BoostSession::Create(
         g.value(), std::move(seeds), options, HasFlag(argc, argv, "--lb"));
@@ -591,6 +601,24 @@ int CmdServeBench(int argc, char** argv) {
   for (const Row& row : rows) {
     std::printf("%8zu %12.1f %10.3f %9.2fx\n", row.clients, row.qps,
                 row.secs, row.qps / qps_base);
+  }
+
+  // The service's own metrics, as an operator dashboard would read them:
+  // per-pool traffic counters and solve-latency quantiles collected on the
+  // query path (src/serve/service_stats.h).
+  const ServiceStatsSnapshot stats = service.Stats();
+  std::printf("\nservice stats (Stats()):\n");
+  for (const PoolStatsSnapshot& ps : stats.pools) {
+    std::printf("  pool '%s' v%llu: %llu queries, %llu errors, "
+                "latency ms mean/p50/p95 = %.3f/%.3f/%.3f\n",
+                ps.pool.c_str(), static_cast<unsigned long long>(ps.version),
+                static_cast<unsigned long long>(ps.queries),
+                static_cast<unsigned long long>(ps.errors), ps.latency_mean_ms,
+                ps.latency_p50_ms, ps.latency_p95_ms);
+  }
+  if (stats.not_found != 0) {
+    std::printf("  not-found requests: %llu\n",
+                static_cast<unsigned long long>(stats.not_found));
   }
   return diverged ? 1 : 0;
 }

@@ -3,7 +3,10 @@
 // from several client threads at once — the read-mostly production shape the
 // serving layer is built for. Every concurrent answer is checked against a
 // serial run of the same query: prepared pools are immutable, so results are
-// bit-identical no matter how many clients share them.
+// bit-identical no matter how many clients share them. The tail of the
+// example shows the lifecycle surface: RefreshPool hot-swaps a rebuilt pool
+// behind the live name (no query ever sees NotFound, responses carry the
+// new version) and Stats() reports the traffic the service just served.
 
 #include <atomic>
 #include <cstdio>
@@ -136,5 +139,41 @@ int main() {
   std::printf("\nall %zu concurrent answers bit-identical to the serial "
               "run\n",
               requests.size());
+
+  // ---- Lifecycle: hot-swap a rebuilt pool behind the live name -----------
+  // A production service rebuilds pools when the graph data or β changes;
+  // RefreshPool prepares the replacement outside the registry lock and
+  // swaps it atomically — in-flight queries finish on the old pool, new
+  // queries answer from the new one, and the name never goes missing.
+  const uint64_t v_before = service.PoolVersion("digg");
+  BoostOptions rebuilt_opts = opts;
+  rebuilt_opts.seed = 2026;  // e.g. fresher data or a new parameterization
+  StatusOr<std::unique_ptr<BoostSession>> rebuilt =
+      BoostSession::Create(g, seeds, rebuilt_opts);
+  if (!rebuilt.ok()) return 1;
+  if (Status s = service.RefreshPool("digg", std::move(*rebuilt)); !s.ok()) {
+    std::fprintf(stderr, "refresh failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  StatusOr<BoostResponse> after = service.Solve(requests[0]);
+  if (!after.ok()) return 1;
+  std::printf("\nhot-swapped pool 'digg': version %llu -> %llu, next answer "
+              "served from the new build (boost %.2f)\n",
+              static_cast<unsigned long long>(v_before),
+              static_cast<unsigned long long>(after->pool_version),
+              after->result.best_estimate);
+
+  // ---- Service metrics ---------------------------------------------------
+  const ServiceStatsSnapshot stats = service.Stats();
+  for (const PoolStatsSnapshot& p : stats.pools) {
+    std::printf("stats: pool '%s' v%llu: %llu queries, %llu errors, "
+                "%llu refreshes, latency ms mean/p50/p95 = "
+                "%.3f/%.3f/%.3f\n",
+                p.pool.c_str(), static_cast<unsigned long long>(p.version),
+                static_cast<unsigned long long>(p.queries),
+                static_cast<unsigned long long>(p.errors),
+                static_cast<unsigned long long>(p.refreshes),
+                p.latency_mean_ms, p.latency_p50_ms, p.latency_p95_ms);
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "src/sim/boost_model.h"
+#include "src/util/parse.h"
 #include "src/tree/dp_boost.h"
 #include "src/tree/tree_evaluator.h"
 #include "src/tree/tree_generators.h"
@@ -17,7 +18,20 @@
 
 int main(int argc, char** argv) {
   using namespace kboost;
-  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 511;
+  // atoi would turn "0x1f" into 0 and "huge garbage" into UB-adjacent
+  // nonsense; the validated parser rejects anything but a plain tree size.
+  uint64_t n64 = 511;
+  if (argc > 1) {
+    if (Status s = ParseUint64(argv[1], "tree size", &n64); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    if (n64 < 3 || n64 > 10'000'000) {
+      std::fprintf(stderr, "error: tree size must be in [3, 10000000]\n");
+      return 2;
+    }
+  }
+  const NodeId n = static_cast<NodeId>(n64);
   const size_t k = 25;
 
   Rng rng(7);

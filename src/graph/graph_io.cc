@@ -51,12 +51,36 @@ StatusOr<DirectedGraph> LoadEdgeList(const std::string& path) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     uint64_t from, to;
-    double p = 0.0, pb = -1.0;
+    double p = 0.0, pb = 0.0;
+    bool pb_given = false;
     if (!(ls >> from >> to)) {
       return Status::InvalidArgument("bad edge line: " + line);
     }
-    ls >> p >> pb;
-    if (pb < 0.0) pb = p;
+    // The probability tokens are optional (p defaults to 0, p_boost to p),
+    // but a token that is PRESENT must parse: `ls >> p` failing on "foo"
+    // would otherwise leave p at 0.0, pass the range check below and
+    // silently load a corrupted graph. Same for p_boost, and anything after
+    // the fourth token is rejected as trailing garbage. Presence is tracked
+    // with a bool — not a negative sentinel — so an explicitly negative
+    // p_boost reaches the range check below instead of being coerced to p.
+    if (ls >> std::ws; !ls.eof()) {
+      if (!(ls >> p)) {
+        return Status::InvalidArgument("unparseable probability on edge line: " +
+                                       line);
+      }
+      if (ls >> std::ws; !ls.eof()) {
+        if (!(ls >> pb)) {
+          return Status::InvalidArgument(
+              "unparseable boost probability on edge line: " + line);
+        }
+        pb_given = true;
+        if (ls >> std::ws; !ls.eof()) {
+          return Status::InvalidArgument("trailing garbage on edge line: " +
+                                         line);
+        }
+      }
+    }
+    if (!pb_given) pb = p;
     if (from >= n || to >= n) {
       return Status::OutOfRange("edge endpoint out of range: " + line);
     }

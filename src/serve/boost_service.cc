@@ -1,5 +1,6 @@
 #include "src/serve/boost_service.h"
 
+#include <chrono>
 #include <mutex>
 #include <utility>
 
@@ -7,6 +8,19 @@
 #include "src/util/timer.h"
 
 namespace kboost {
+
+namespace {
+
+/// Wall-clock seconds since the Unix epoch — the lifecycle timestamps
+/// reported by Stats(). steady_clock would survive clock steps but is
+/// meaningless to an operator reading a dashboard.
+double NowEpochSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<BoostService>> BoostService::Create(
     const DirectedGraph& graph, const Options& options) {
@@ -31,17 +45,11 @@ Status BoostService::LoadPool(const std::string& name,
   StatusOr<std::unique_ptr<BoostSession>> loaded =
       LoadPoolSnapshot(graph_, snapshot_path);
   if (!loaded.ok()) return loaded.status();
-  std::unique_ptr<BoostSession> session = std::move(loaded).value();
-  if (default_num_threads_ != 0) {
-    if (Status s = session->set_num_threads(default_num_threads_); !s.ok()) {
-      return s;
-    }
-  }
-  return AddPool(name, std::move(session));
+  return AddPool(name, std::move(loaded).value());
 }
 
-Status BoostService::AddPool(const std::string& name,
-                             std::unique_ptr<BoostSession> session) {
+Status BoostService::CheckAndAdoptSession(const std::string& name,
+                                          BoostSession* session) {
   if (name.empty()) {
     return Status::InvalidArgument("pool name must be non-empty");
   }
@@ -54,6 +62,21 @@ Status BoostService::AddPool(const std::string& name,
         std::to_string(session->graph().num_nodes()) + " nodes, not " +
         std::to_string(graph_.num_nodes()));
   }
+  // The service-wide worker-count override applies on EVERY registration
+  // path — snapshot loads, direct AddPool registrations and RefreshPool
+  // replacements — so a pool's thread count never depends on how it entered
+  // the registry.
+  if (default_num_threads_ != 0) {
+    if (Status s = session->set_num_threads(default_num_threads_); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BoostService::AddPool(const std::string& name,
+                             std::unique_ptr<BoostSession> session) {
+  if (Status s = CheckAndAdoptSession(name, session.get()); !s.ok()) return s;
   {
     // Fail fast on a duplicate before doing the expensive preparation.
     std::shared_lock<std::shared_mutex> lock(mutex_);
@@ -65,18 +88,82 @@ Status BoostService::AddPool(const std::string& name,
   // Sampling + index warm-up runs outside any lock: queries against other
   // pools are never blocked behind a registration.
   session->Prepare();
-  std::shared_ptr<const BoostSession> shared = std::move(session);
+  PoolEntry entry;
+  entry.session = std::move(session);
+  entry.version = next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  entry.registered_at = NowEpochSeconds();
+  entry.stats = std::make_shared<PoolStatsCollector>();
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (!pools_.emplace(name, std::move(shared)).second) {
+  if (!pools_.emplace(name, std::move(entry)).second) {
     return Status::InvalidArgument("pool '" + name + "' is already registered");
   }
   return Status::Ok();
 }
 
+Status BoostService::RefreshPool(const std::string& name,
+                                 std::unique_ptr<BoostSession> session) {
+  if (Status s = CheckAndAdoptSession(name, session.get()); !s.ok()) return s;
+  {
+    // Fail fast when the name is not registered — a refresh replaces, it
+    // never creates. A removal racing the preparation below is re-checked
+    // under the writer lock at swap time.
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (pools_.count(name) == 0) {
+      return Status::NotFound("cannot refresh: no pool named '" + name + "'");
+    }
+  }
+  // The rebuild — sampling, index warm-up, LB-order caching — runs entirely
+  // outside the registry lock, so live queries (against this pool and every
+  // other) proceed untouched while the replacement is prepared.
+  session->Prepare();
+  std::shared_ptr<const BoostSession> fresh = std::move(session);
+  // Keeps the retired session alive past the lock scope: if this was its
+  // last reference, the (potentially huge) pool arena is torn down AFTER
+  // the writer lock is released, not while every Solve() lookup is blocked.
+  std::shared_ptr<const BoostSession> retired;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = pools_.find(name);
+    if (it == pools_.end()) {
+      return Status::NotFound("pool '" + name +
+                              "' was removed while its refresh was prepared");
+    }
+    // The atomic hot-swap: one pointer assignment under the writer lock. The
+    // name never leaves the map, so a concurrent Solve() either looked up
+    // before (and finishes on the old session, kept alive by its shared_ptr)
+    // or after (and answers from the fresh one) — NotFound is impossible
+    // during a refresh. Versions are stamped from the service-wide counter,
+    // so they increase strictly across swaps.
+    retired = std::exchange(it->second.session, std::move(fresh));
+    it->second.version =
+        next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+    it->second.refreshes += 1;
+    it->second.refreshed_at = NowEpochSeconds();
+  }
+  return Status::Ok();
+}
+
+Status BoostService::RefreshPoolFromSnapshot(const std::string& name,
+                                             const std::string& snapshot_path) {
+  StatusOr<std::unique_ptr<BoostSession>> loaded =
+      LoadPoolSnapshot(graph_, snapshot_path);
+  if (!loaded.ok()) return loaded.status();
+  return RefreshPool(name, std::move(loaded).value());
+}
+
 Status BoostService::RemovePool(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (pools_.erase(name) == 0) {
-    return Status::NotFound("no pool named '" + name + "'");
+  // Moved out under the lock, destroyed after it: dropping the last
+  // reference to a removed pool frees its arena, which must not happen
+  // while the registry lock blocks every concurrent lookup.
+  PoolEntry removed;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = pools_.find(name);
+    if (it == pools_.end()) {
+      return Status::NotFound("no pool named '" + name + "'");
+    }
+    removed = std::move(it->second);
+    pools_.erase(it);
   }
   return Status::Ok();
 }
@@ -85,7 +172,7 @@ std::vector<std::string> BoostService::PoolNames() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(pools_.size());
-  for (const auto& [name, pool] : pools_) names.push_back(name);
+  for (const auto& [name, entry] : pools_) names.push_back(name);
   return names;
 }
 
@@ -98,13 +185,68 @@ std::shared_ptr<const BoostSession> BoostService::GetPool(
     const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = pools_.find(name);
-  return it == pools_.end() ? nullptr : it->second;
+  return it == pools_.end() ? nullptr : it->second.session;
+}
+
+uint64_t BoostService::PoolVersion(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = pools_.find(name);
+  return it == pools_.end() ? 0 : it->second.version;
+}
+
+ServiceStatsSnapshot BoostService::Stats() const {
+  // Copy the identity fields and collector handles under the reader lock,
+  // then let each collector fill its counters outside it (FillSnapshot
+  // takes the collector's own mutex and sorts a quantile window — no reason
+  // to hold the registry lock for that).
+  struct Pending {
+    PoolStatsSnapshot snapshot;
+    std::shared_ptr<PoolStatsCollector> stats;
+  };
+  std::vector<Pending> pending;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    pending.reserve(pools_.size());
+    for (const auto& [name, entry] : pools_) {
+      Pending p;
+      p.snapshot.pool = name;
+      p.snapshot.version = entry.version;
+      p.snapshot.refreshes = entry.refreshes;
+      p.snapshot.registered_at = entry.registered_at;
+      p.snapshot.refreshed_at = entry.refreshed_at;
+      p.stats = entry.stats;
+      pending.push_back(std::move(p));
+    }
+  }
+  ServiceStatsSnapshot result;
+  result.not_found = not_found_.load(std::memory_order_relaxed);
+  result.pools.reserve(pending.size());
+  for (Pending& p : pending) {
+    p.stats->FillSnapshot(&p.snapshot);
+    result.pools.push_back(std::move(p.snapshot));
+  }
+  return result;  // std::map iteration already sorted by name
 }
 
 StatusOr<BoostResponse> BoostService::Solve(const BoostRequest& request,
                                             SolveContext* context) const {
-  std::shared_ptr<const BoostSession> pool = GetPool(request.pool);
+  // One lookup pins everything the query needs — the session, the version
+  // it will be attributed to and the metrics collector — so a refresh or
+  // removal racing this call cannot tear them apart.
+  std::shared_ptr<const BoostSession> pool;
+  std::shared_ptr<PoolStatsCollector> stats;
+  uint64_t version = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = pools_.find(request.pool);
+    if (it != pools_.end()) {
+      pool = it->second.session;
+      stats = it->second.stats;
+      version = it->second.version;
+    }
+  }
   if (pool == nullptr) {
+    not_found_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("no pool named '" + request.pool + "' (" +
                             std::to_string(num_pools()) + " registered)");
   }
@@ -116,12 +258,18 @@ StatusOr<BoostResponse> BoostService::Solve(const BoostRequest& request,
 
   WallTimer timer;
   StatusOr<BoostResult> solved = pool->Solve(spec, context);
-  if (!solved.ok()) return solved.status();
+  if (!solved.ok()) {
+    stats->RecordError();
+    return solved.status();
+  }
+  const double solve_seconds = timer.Seconds();
+  stats->RecordQuery(solve_seconds);
 
   BoostResponse response;
   response.pool = request.pool;
+  response.pool_version = version;
   response.result = std::move(solved).value();
-  response.solve_seconds = timer.Seconds();
+  response.solve_seconds = solve_seconds;
   return response;
 }
 

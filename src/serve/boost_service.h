@@ -2,6 +2,7 @@
 #define KBOOST_SERVE_BOOST_SERVICE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -10,6 +11,7 @@
 
 #include "src/core/boost_session.h"
 #include "src/core/solve_context.h"
+#include "src/serve/service_stats.h"
 #include "src/util/status.h"
 
 namespace kboost {
@@ -35,10 +37,15 @@ struct BoostRequest {
 };
 
 /// A solved request: the full BoostResult (best set, estimates, pool
-/// provenance and sampling statistics) plus which pool answered and how
-/// long the solve took.
+/// provenance and sampling statistics) plus which pool (and which version
+/// of it) answered and how long the solve took.
 struct BoostResponse {
   std::string pool;
+  /// The version of the pool that answered — provenance for hot-swapped
+  /// pools. Versions are service-wide monotonic: every registration and
+  /// every RefreshPool swap stamps a strictly larger value, so a client
+  /// comparing two responses can tell which pool build answered each.
+  uint64_t pool_version = 0;
   BoostResult result;
   double solve_seconds = 0.0;
 };
@@ -56,10 +63,18 @@ struct BoostResponse {
 /// mixed budgets/modes against one pool get results bit-identical to the
 /// same queries issued serially.
 ///
-/// Registry mutations (LoadPool/AddPool/RemovePool) take the writer lock
-/// only around the map update; preparing a pool happens outside any lock.
-/// Removing a pool never invalidates in-flight queries — they hold the
-/// shared_ptr until they finish.
+/// Registry mutations (LoadPool/AddPool/RefreshPool/RemovePool) take the
+/// writer lock only around the map update; preparing a pool happens outside
+/// any lock. Removing or refreshing a pool never invalidates in-flight
+/// queries — they hold the shared_ptr until they finish.
+///
+/// Pool lifecycle: a registered name carries a monotonically increasing
+/// `version` plus registration/refresh timestamps, and RefreshPool
+/// hot-swaps the session behind a live name (see below) — the building
+/// block for serving over graph data or a boosting parameter β that
+/// changes while queries are in flight. Per-pool traffic metrics (query
+/// and error counts, solve-latency p50/p95) are collected on the query
+/// path and exposed by Stats().
 class BoostService {
  public:
   /// A snapshot to load at construction (warm start).
@@ -71,8 +86,10 @@ class BoostService {
     /// Pools registered before Create() returns; any load failure fails
     /// construction with that pool's error.
     std::vector<PoolSpec> warm_pools;
-    /// Overrides every loaded pool's worker count (snapshots carry the
-    /// count they were built with); 0 keeps the stored counts.
+    /// Overrides every registered pool's worker count — applied uniformly
+    /// on BOTH registration paths (LoadPool snapshots, which carry the
+    /// count they were built with, and directly AddPool-ed sessions) and on
+    /// RefreshPool replacements; 0 keeps each session's own count.
     int num_threads = 0;
   };
 
@@ -95,6 +112,25 @@ class BoostService {
   Status AddPool(const std::string& name,
                  std::unique_ptr<BoostSession> session);
 
+  /// Hot-swaps the pool behind a live name: prepares `session` (sampling,
+  /// index warm-up — the expensive part) entirely OUTSIDE the registry
+  /// lock, then atomically replaces the published shared_ptr. The name
+  /// stays registered throughout, so concurrent Solve() calls never observe
+  /// NotFound during a refresh: queries that looked the pool up before the
+  /// swap finish on the old session (their shared_ptr keeps it alive),
+  /// queries that look up after the swap answer from the new one — there is
+  /// no in-between. The entry's version is bumped (strictly increasing) and
+  /// refreshed_at is stamped; traffic metrics for the name are kept.
+  /// NotFound when `name` is not registered (also when it was removed while
+  /// the replacement was being prepared); InvalidArgument for a null
+  /// session or a graph-size mismatch.
+  Status RefreshPool(const std::string& name,
+                     std::unique_ptr<BoostSession> session);
+
+  /// RefreshPool from a snapshot file, mirroring LoadPool.
+  Status RefreshPoolFromSnapshot(const std::string& name,
+                                 const std::string& snapshot_path);
+
   /// Unregisters a pool. In-flight queries against it finish normally.
   Status RemovePool(const std::string& name);
 
@@ -104,6 +140,15 @@ class BoostService {
 
   /// The named pool, or null when absent — for estimator access and tests.
   std::shared_ptr<const BoostSession> GetPool(const std::string& name) const;
+
+  /// The named pool's current version, or 0 when absent.
+  uint64_t PoolVersion(const std::string& name) const;
+
+  /// Point-in-time service metrics: per-pool query/error counts and
+  /// solve-latency p50/p95 (collected on the query path), version and
+  /// lifecycle timestamps, plus the NotFound count. Thread-safe; cheap
+  /// enough to poll.
+  ServiceStatsSnapshot Stats() const;
 
   /// Answers one request. Thread-safe; any number of concurrent callers.
   /// NotFound for an unknown pool name; otherwise exactly the statuses of
@@ -117,13 +162,37 @@ class BoostService {
                                 SolveContext* context) const;
 
  private:
+  /// What the registry maps a name to: the published session plus the
+  /// lifecycle/metrics state that belongs to the NAME and survives
+  /// hot-swaps of the session behind it.
+  struct PoolEntry {
+    std::shared_ptr<const BoostSession> session;
+    uint64_t version = 0;
+    uint64_t refreshes = 0;
+    double registered_at = 0.0;  ///< seconds since epoch
+    double refreshed_at = 0.0;   ///< seconds since epoch; 0 = never swapped
+    /// shared_ptr so a query that loses a race with RemovePool can still
+    /// record its outcome after the entry is gone.
+    std::shared_ptr<PoolStatsCollector> stats;
+  };
+
   BoostService(const DirectedGraph& graph, int default_num_threads)
       : graph_(graph), default_num_threads_(default_num_threads) {}
 
+  /// Shared validation + service-default thread override for every
+  /// registration path (AddPool and RefreshPool).
+  Status CheckAndAdoptSession(const std::string& name, BoostSession* session);
+
   const DirectedGraph& graph_;
   const int default_num_threads_;
+  /// Source of pool versions: every registration/refresh stamps
+  /// ++next_version_, so versions are unique and strictly increasing across
+  /// the whole service lifetime (re-registering a removed name never reuses
+  /// an old version).
+  std::atomic<uint64_t> next_version_{0};
+  mutable std::atomic<uint64_t> not_found_{0};
   mutable std::shared_mutex mutex_;  // guards pools_ (the map only)
-  std::map<std::string, std::shared_ptr<const BoostSession>> pools_;
+  std::map<std::string, PoolEntry> pools_;
 };
 
 }  // namespace kboost

@@ -1,0 +1,39 @@
+#include "src/serve/service_stats.h"
+
+namespace kboost {
+
+void PoolStatsCollector::RecordQuery(double latency_seconds) {
+  const double ms = latency_seconds * 1e3;
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_ms_.Add(ms);
+  if (window_ms_.size() < kWindow) {
+    window_ms_.push_back(ms);
+  } else {
+    window_ms_[window_next_] = ms;
+  }
+  window_next_ = (window_next_ + 1) % kWindow;
+}
+
+void PoolStatsCollector::RecordError() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++errors_;
+}
+
+void PoolStatsCollector::FillSnapshot(PoolStatsSnapshot* out) const {
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out->queries = latency_ms_.count();
+    out->errors = errors_;
+    out->latency_mean_ms = latency_ms_.mean();
+    window = window_ms_;
+  }
+  // Quantile sorts a copy; done outside the lock so a slow snapshot never
+  // stalls the query path.
+  if (!window.empty()) {
+    out->latency_p50_ms = Quantile(window, 0.50);
+    out->latency_p95_ms = Quantile(std::move(window), 0.95);
+  }
+}
+
+}  // namespace kboost

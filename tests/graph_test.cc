@@ -174,6 +174,43 @@ TEST(GraphIoTest, LoadToleratesCrlfLineEndings) {
   std::filesystem::remove(path);
 }
 
+TEST(GraphIoTest, LoadRejectsUnparseableProbabilityToken) {
+  // Regression: `ls >> p` failing on a non-numeric token used to leave p at
+  // 0.0, which passed the range check and silently loaded a corrupt graph.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kboost_badtok.txt").string();
+  for (const char* body : {"2 1\n0 1 foo\n",         // unparseable p
+                           "2 1\n0 1 0.5 bar\n",     // unparseable p_boost
+                           "2 1\n0 1foo\n",          // garbage glued to `to`
+                           "2 1\n0 1 0.5 0.7 9\n",   // trailing garbage
+                           "2 1\n0 1 0.5 0.7 x\n",   // trailing garbage
+                           "2 1\n0 1 0.5 -0.2\n"}) {  // explicit negative pb
+    FILE* f = fopen(path.c_str(), "w");
+    fputs(body, f);
+    fclose(f);
+    StatusOr<DirectedGraph> r = LoadEdgeList(path);
+    EXPECT_FALSE(r.ok()) << body;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << body;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoTest, LoadStillAcceptsOmittedProbabilities) {
+  // The probability tokens stay optional: `u v` (p = 0) and `u v p`
+  // (p_boost = p) both remain valid, including with trailing whitespace.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kboost_opt.txt").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("3 2\n0 1\n1 2 0.25 \n", f);
+  fclose(f);
+  StatusOr<DirectedGraph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NEAR(loaded->OutEdges(0)[0].p, 0.0, 1e-12);
+  EXPECT_NEAR(loaded->OutEdges(1)[0].p, 0.25, 1e-6);
+  EXPECT_NEAR(loaded->OutEdges(1)[0].p_boost, 0.25, 1e-6);
+  std::filesystem::remove(path);
+}
+
 TEST(GraphIoTest, LoadRejectsMissingFile) {
   StatusOr<DirectedGraph> r = LoadEdgeList("/nonexistent/zzz.txt");
   EXPECT_FALSE(r.ok());

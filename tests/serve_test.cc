@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -299,6 +301,320 @@ TEST(BoostServiceTest, WarmStartFromSnapshotsAnswersIdentically) {
 
   std::remove(full_path.c_str());
   std::remove(lb_path.c_str());
+}
+
+TEST(BoostServiceTest, AddPoolAppliesServiceThreadDefault) {
+  // Regression: AddPool used to skip the default_num_threads_ override that
+  // LoadPool applied, so directly-registered sessions ignored
+  // Options::num_threads. All three registration paths must apply it.
+  DirectedGraph g = MakeTestGraph();
+  BoostService::Options options;
+  options.num_threads = 3;
+  StatusOr<std::unique_ptr<BoostService>> service_or =
+      BoostService::Create(g, options);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+
+  // MakeOptions builds sessions with num_threads = 2; the service default
+  // must win on AddPool...
+  ASSERT_TRUE(service
+                  .AddPool("a", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0, 1},
+                                    MakeOptions(4)))
+                  .ok());
+  EXPECT_EQ(service.GetPool("a")->options().num_threads, 3);
+  // ...and on RefreshPool replacements.
+  ASSERT_TRUE(service
+                  .RefreshPool("a", std::make_unique<BoostSession>(
+                                        g, std::vector<NodeId>{0, 1},
+                                        MakeOptions(4)))
+                  .ok());
+  EXPECT_EQ(service.GetPool("a")->options().num_threads, 3);
+
+  // LoadPool keeps applying it (it always did).
+  const std::string path = TempPath("kboost_serve_threads.pool");
+  BoostSession to_save(g, {0, 1}, MakeOptions(4));
+  ASSERT_TRUE(to_save.SavePool(path).ok());
+  ASSERT_TRUE(service.LoadPool("b", path).ok());
+  EXPECT_EQ(service.GetPool("b")->options().num_threads, 3);
+  std::remove(path.c_str());
+}
+
+TEST(BoostServiceLifecycleTest, RefreshPoolValidatesItsArguments) {
+  DirectedGraph g = MakeTestGraph();
+  StatusOr<std::unique_ptr<BoostService>> service_or = BoostService::Create(g);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+
+  // A refresh replaces; it never creates.
+  EXPECT_EQ(service
+                .RefreshPool("absent", std::make_unique<BoostSession>(
+                                           g, std::vector<NodeId>{0},
+                                           MakeOptions(4)))
+                .code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(service
+                  .AddPool("a", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0}, MakeOptions(4)))
+                  .ok());
+  EXPECT_EQ(service.RefreshPool("a", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.RefreshPoolFromSnapshot("a", TempPath("kboost_nope.pool"))
+                .code(),
+            StatusCode::kIoError);
+  // A failed refresh leaves the registered pool untouched.
+  EXPECT_NE(service.GetPool("a"), nullptr);
+  BoostRequest request;
+  request.pool = "a";
+  request.k = 2;
+  EXPECT_TRUE(service.Solve(request).ok());
+}
+
+TEST(BoostServiceLifecycleTest, RefreshSwapIsBitIdenticalToFreshService) {
+  // The acceptance criterion: after RefreshPool, answers must be
+  // bit-identical to a service freshly built with the replacement session's
+  // options — a hot-swap is indistinguishable from a cold start.
+  DirectedGraph g = MakeTestGraph();
+  BoostOptions fresh_options = MakeOptions(10);
+  fresh_options.seed = 77;  // the replacement pool differs from the original
+
+  StatusOr<std::unique_ptr<BoostService>> refreshed_or =
+      BoostService::Create(g);
+  ASSERT_TRUE(refreshed_or.ok());
+  BoostService& refreshed = **refreshed_or;
+  ASSERT_TRUE(refreshed
+                  .AddPool("p", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0, 1, 2},
+                                    MakeOptions(10)))
+                  .ok());
+  const uint64_t version_before = refreshed.PoolVersion("p");
+  ASSERT_TRUE(refreshed
+                  .RefreshPool("p", std::make_unique<BoostSession>(
+                                        g, std::vector<NodeId>{0, 1, 2},
+                                        fresh_options))
+                  .ok());
+  EXPECT_GT(refreshed.PoolVersion("p"), version_before);
+
+  StatusOr<std::unique_ptr<BoostService>> cold_or = BoostService::Create(g);
+  ASSERT_TRUE(cold_or.ok());
+  BoostService& cold = **cold_or;
+  ASSERT_TRUE(cold.AddPool("p", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0, 1, 2},
+                                    fresh_options))
+                  .ok());
+
+  for (size_t k : {1, 4, 10}) {
+    BoostRequest request;
+    request.pool = "p";
+    request.k = k;
+    StatusOr<BoostResponse> a = refreshed.Solve(request);
+    StatusOr<BoostResponse> b = cold.Solve(request);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameAnswer(a->result, b->result);
+  }
+}
+
+TEST(BoostServiceLifecycleTest, ResponsesCarryMonotonicVersions) {
+  DirectedGraph g = MakeTestGraph();
+  StatusOr<std::unique_ptr<BoostService>> service_or = BoostService::Create(g);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+  EXPECT_EQ(service.PoolVersion("p"), 0u);
+  ASSERT_TRUE(service
+                  .AddPool("p", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0}, MakeOptions(4)))
+                  .ok());
+
+  BoostRequest request;
+  request.pool = "p";
+  request.k = 2;
+  uint64_t last = 0;
+  for (int round = 0; round < 3; ++round) {
+    StatusOr<BoostResponse> r = service.Solve(request);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->pool_version, service.PoolVersion("p"));
+    EXPECT_GT(r->pool_version, last);
+    last = r->pool_version;
+    ASSERT_TRUE(service
+                    .RefreshPool("p", std::make_unique<BoostSession>(
+                                          g, std::vector<NodeId>{0},
+                                          MakeOptions(4)))
+                    .ok());
+  }
+  // Re-registering a removed name keeps versions strictly increasing (the
+  // counter is service-wide, never per-name).
+  ASSERT_TRUE(service.RemovePool("p").ok());
+  ASSERT_TRUE(service
+                  .AddPool("p", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0}, MakeOptions(4)))
+                  .ok());
+  EXPECT_GT(service.PoolVersion("p"), last);
+}
+
+TEST(BoostServiceLifecycleTest, StatsReportTrafficVersionsAndTimestamps) {
+  DirectedGraph g = MakeTestGraph();
+  StatusOr<std::unique_ptr<BoostService>> service_or = BoostService::Create(g);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+  ASSERT_TRUE(service
+                  .AddPool("p", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0, 1},
+                                    MakeOptions(6)))
+                  .ok());
+
+  BoostRequest good;
+  good.pool = "p";
+  good.k = 3;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(service.Solve(good).ok());
+  BoostRequest bad = good;
+  bad.k = 99;  // above the pool budget -> InvalidArgument, counted per-pool
+  EXPECT_FALSE(service.Solve(bad).ok());
+  BoostRequest missing = good;
+  missing.pool = "nope";  // NotFound, counted service-wide
+  EXPECT_FALSE(service.Solve(missing).ok());
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.not_found, 1u);
+  ASSERT_EQ(stats.pools.size(), 1u);
+  const PoolStatsSnapshot p = stats.pools[0];  // copy: stats is reassigned
+  EXPECT_EQ(p.pool, "p");
+  EXPECT_EQ(p.queries, 5u);
+  EXPECT_EQ(p.errors, 1u);
+  EXPECT_EQ(p.refreshes, 0u);
+  EXPECT_GT(p.version, 0u);
+  EXPECT_GT(p.registered_at, 0.0);
+  EXPECT_EQ(p.refreshed_at, 0.0);
+  EXPECT_GT(p.latency_mean_ms, 0.0);
+  EXPECT_GT(p.latency_p50_ms, 0.0);
+  EXPECT_GE(p.latency_p95_ms, p.latency_p50_ms);
+
+  ASSERT_TRUE(service
+                  .RefreshPool("p", std::make_unique<BoostSession>(
+                                        g, std::vector<NodeId>{0, 1},
+                                        MakeOptions(6)))
+                  .ok());
+  stats = service.Stats();
+  ASSERT_EQ(stats.pools.size(), 1u);
+  // Traffic history belongs to the NAME: a refresh keeps the counters.
+  EXPECT_EQ(stats.pools[0].queries, 5u);
+  EXPECT_EQ(stats.pools[0].refreshes, 1u);
+  EXPECT_GT(stats.pools[0].refreshed_at, 0.0);
+  EXPECT_GT(stats.pools[0].version, p.version);
+}
+
+/// The lifecycle acceptance-criterion test: 4 client threads solve against
+/// a pool being hot-swapped (and other pools being added/removed) and must
+/// never observe NotFound, a version that goes backward, or an answer that
+/// is not bit-identical to the build its stamped version names. Runs under
+/// ASan/UBSan and TSan in CI.
+TEST(BoostServiceLifecycleTest, RefreshUnderConcurrentSolvesNeverNotFound) {
+  DirectedGraph g = MakeTestGraph();
+  StatusOr<std::unique_ptr<BoostService>> service_or = BoostService::Create(g);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+
+  // Two alternating pool builds; different rng seeds give different pools,
+  // so an answer reveals which build produced it.
+  const std::vector<NodeId> seeds = {0, 1};
+  BoostOptions opts_a = MakeOptions(8);
+  BoostOptions opts_b = MakeOptions(8);
+  opts_b.seed = 99;
+
+  // Per-build reference answers, solved serially on private sessions.
+  BoostSession ref_a(g, seeds, opts_a);
+  BoostSession ref_b(g, seeds, opts_b);
+  const BoostResult expect_a = ref_a.SolveForBudget(3);
+  const BoostResult expect_b = ref_b.SolveForBudget(3);
+  const auto same_bits = [](const BoostResult& x, const BoostResult& y) {
+    return x.best_set == y.best_set && x.best_estimate == y.best_estimate &&
+           x.lb_set == y.lb_set && x.lb_mu_hat == y.lb_mu_hat &&
+           x.delta_set == y.delta_set &&
+           x.delta_delta_hat == y.delta_delta_hat;
+  };
+
+  ASSERT_TRUE(service
+                  .AddPool("hot", std::make_unique<BoostSession>(g, seeds,
+                                                                 opts_a))
+                  .ok());
+  // version -> was that build opts_b? Written only by this (main) thread,
+  // read by everyone after the join.
+  std::map<uint64_t, bool> version_is_b;
+  version_is_b[service.PoolVersion("hot")] = false;
+
+  struct Observation {
+    uint64_t version;
+    bool matched_a;
+    bool matched_b;
+  };
+  constexpr size_t kClients = 4;
+  std::vector<std::vector<Observation>> observed(kClients);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> not_found{0};
+  std::atomic<size_t> other_failures{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      SolveContext context;
+      BoostRequest request;
+      request.pool = "hot";
+      request.k = 3;
+      while (!stop.load(std::memory_order_relaxed)) {
+        StatusOr<BoostResponse> r = service.Solve(request, &context);
+        if (!r.ok()) {
+          (r.status().code() == StatusCode::kNotFound ? not_found
+                                                      : other_failures)
+              .fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        observed[t].push_back({r->pool_version,
+                               same_bits(r->result, expect_a),
+                               same_bits(r->result, expect_b)});
+      }
+    });
+  }
+
+  // The lifecycle churn, all from this thread: the hot pool is refreshed 4
+  // times (alternating builds) while unrelated pools are added, queried and
+  // removed — AddPool/RefreshPool/RemovePool racing live Solve() traffic.
+  for (int round = 0; round < 4; ++round) {
+    const bool use_b = (round % 2 == 0);
+    ASSERT_TRUE(service
+                    .AddPool("churn", std::make_unique<BoostSession>(
+                                          g, seeds, MakeOptions(4)))
+                    .ok());
+    ASSERT_TRUE(service
+                    .RefreshPool("hot", std::make_unique<BoostSession>(
+                                            g, seeds, use_b ? opts_b : opts_a))
+                    .ok());
+    version_is_b[service.PoolVersion("hot")] = use_b;
+    ASSERT_TRUE(service.RemovePool("churn").ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& c : clients) c.join();
+
+  // The swap guarantee: the name never came back NotFound and nothing else
+  // failed either.
+  EXPECT_EQ(not_found.load(), 0u);
+  EXPECT_EQ(other_failures.load(), 0u);
+
+  size_t total = 0;
+  for (size_t t = 0; t < kClients; ++t) {
+    uint64_t last_version = 0;
+    for (const Observation& o : observed[t]) {
+      // Versions a single client observes never go backward.
+      EXPECT_GE(o.version, last_version);
+      last_version = o.version;
+      // Every answer is bit-identical to the build its version names.
+      auto it = version_is_b.find(o.version);
+      ASSERT_NE(it, version_is_b.end()) << "unknown version " << o.version;
+      EXPECT_TRUE(it->second ? o.matched_b : o.matched_a)
+          << "version " << o.version << " answered with the wrong pool bits";
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 0u);
 }
 
 /// The acceptance-criterion test: pools prepared once, mixed-budget

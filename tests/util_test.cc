@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/util/bounds.h"
+#include "src/util/parse.h"
 #include "src/util/ring_deque.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -74,6 +75,35 @@ TEST(StatusOrTest, ValueOrNeverAborts) {
 TEST(StatusOrTest, ValueOnErrorDies) {
   StatusOr<int> err = Status::Internal("broken");
   EXPECT_DEATH(err.value(), "broken");
+}
+
+TEST(ParseUint64Test, AcceptsPlainIntegers) {
+  uint64_t v = 7;
+  EXPECT_TRUE(ParseUint64("0", "x", &v).ok());
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("42", "x", &v).ok());
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", "x", &v).ok());
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsEverythingStrtoullSilentlyAccepts) {
+  // Regression for the CLI flag sites: bare strtoull turned each of these
+  // into a silent 0 (or a wrapped/saturated value) instead of an error.
+  uint64_t v = 7;
+  for (const char* bad : {"", "abc", "12x", "1.5", " 12", "12 ", "+3", "-3",
+                          "0x10", "k=5"}) {
+    Status s = ParseUint64(bad, "--k", &v);
+    EXPECT_FALSE(s.ok()) << "'" << bad << "'";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "'" << bad << "'";
+    EXPECT_NE(s.message().find("--k"), std::string::npos);
+  }
+  EXPECT_EQ(ParseUint64(nullptr, "--k", &v).code(),
+            StatusCode::kInvalidArgument);
+  // Overflow is an error, not modular wraparound.
+  EXPECT_EQ(ParseUint64("18446744073709551616", "--k", &v).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(v, 7u) << "failed parses must not clobber the output";
 }
 
 TEST(RngTest, DeterministicGivenSeed) {
@@ -294,7 +324,9 @@ TEST(RingDequeTest, MatchesDequeSemantics) {
     }
     ASSERT_EQ(ring.size(), ref.size());
     ASSERT_EQ(ring.empty(), ref.empty());
-    if (!ref.empty()) ASSERT_EQ(ring.front(), ref.front());
+    if (!ref.empty()) {
+      ASSERT_EQ(ring.front(), ref.front());
+    }
   }
 }
 
