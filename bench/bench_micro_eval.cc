@@ -239,16 +239,49 @@ struct Fixture {
         std::abort();
       }
     }
+
+    // Shard-invariance gate: the same pool sampled into S = 4 arenas must
+    // select and estimate exactly what the monolithic S = 1 pool does —
+    // sample→shard assignment is a pure function of the global sample index,
+    // so the partition must be invisible in every answer.
+    sharded_collection =
+        std::make_unique<PrrCollection>(dataset.graph.num_nodes(), 4);
+    PrrSampler sharded_sampler(dataset.graph, seeds, kBudget,
+                               /*lb_only=*/false, /*seed=*/11,
+                               /*num_threads=*/4);
+    sharded_sampler.EnsureSamples(*sharded_collection, kSamples);
+    for (int threads : {1, 4}) {
+      const auto mono = collection->SelectGreedyDelta(kBudget, excluded,
+                                                      threads, &eval_state);
+      const auto sharded = sharded_collection->SelectGreedyDelta(
+          kBudget, excluded, threads, &sharded_eval_state);
+      if (mono.nodes != sharded.nodes ||
+          mono.pick_gains != sharded.pick_gains ||
+          mono.activated_samples != sharded.activated_samples ||
+          collection->EstimateDelta(lb_set, threads) !=
+              sharded_collection->EstimateDelta(lb_set, threads) ||
+          collection->EstimateMu(lb_set) !=
+              sharded_collection->EstimateMu(lb_set)) {
+        std::fprintf(stderr,
+                     "FATAL: sharded (S=4) selection diverged from the "
+                     "monolithic pool at %d threads\n",
+                     threads);
+        std::abort();
+      }
+    }
   }
 
   Dataset dataset;
-  // Persistent eval-state arena: keeps the timed selection loop measuring
-  // selection (the arena is re-zeroed per run, not re-allocated), matching
-  // how the engine's serial path reuses its SolveContext across a sweep.
-  PrrEvalState eval_state;
+  // Persistent eval-state arenas (one PrrEvalState per pool shard): keep the
+  // timed selection loop measuring selection (the arenas are re-zeroed per
+  // run, not re-allocated), matching how the engine's serial path reuses its
+  // SolveContext across a sweep.
+  ShardedEvalState eval_state;
+  ShardedEvalState sharded_eval_state;
   std::vector<NodeId> seeds;
   std::vector<uint8_t> excluded;
   std::unique_ptr<PrrCollection> collection;
+  std::unique_ptr<PrrCollection> sharded_collection;  // same pool, S = 4
   std::vector<NodeId> lb_set;
 };
 
@@ -281,6 +314,20 @@ void BM_DeltaSelectPhase_Incremental(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeltaSelectPhase_Incremental)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same selection phase over the S = 4 sharded pool (bit-identical answers,
+// per-shard eval state, per-pick fan-out over shard index spans).
+void BM_DeltaSelectPhase_Sharded(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = f.sharded_collection->SelectGreedyDelta(
+        kBudget, f.excluded, threads, &f.sharded_eval_state);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DeltaSelectPhase_Sharded)->Arg(1)->Arg(4)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 // The sandwich spot check: Δ̂ of a fixed boost set over every stored graph.

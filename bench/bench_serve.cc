@@ -71,8 +71,13 @@ int main(int argc, char** argv) {
   BoostService& service = **service_or;
 
   WallTimer prepare_timer;
-  StatusOr<std::unique_ptr<BoostSession>> session = BoostSession::Create(
-      g, instance.seeds, MakeBoostOptions(k_max, flags));
+  // The served pool is SHARDED (S = 4): sampling, index warm-up and the
+  // later snapshot-free rebuild all fan out over 4 arenas, and every answer
+  // below must still be bit-identical to the serial reference.
+  BoostOptions pool_options = MakeBoostOptions(k_max, flags);
+  pool_options.num_shards = 4;
+  StatusOr<std::unique_ptr<BoostSession>> session =
+      BoostSession::Create(g, instance.seeds, pool_options);
   if (!session.ok()) {
     std::fprintf(stderr, "session: %s\n",
                  session.status().ToString().c_str());
@@ -83,9 +88,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   const double prepare_s = prepare_timer.Seconds();
-  const size_t theta =
-      service.GetPool("digg")->engine().collection().num_samples();
-  std::printf("pool prepared once: theta=%zu, %.3fs\n\n", theta, prepare_s);
+  size_t theta = 0;
+  size_t num_shards = 0;
+  std::vector<size_t> shard_graphs;
+  {
+    // Snapshot the shard layout now — the refresh below swaps this session
+    // out, so the reference must not be held across it.
+    const PrrCollection& pool = service.GetPool("digg")->engine().collection();
+    theta = pool.num_samples();
+    num_shards = pool.num_shards();
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_graphs.push_back(pool.shard_store(s).num_graphs());
+    }
+  }
+  std::printf("pool prepared once: theta=%zu, shards=%zu, %.3fs\n", theta,
+              num_shards, prepare_s);
+  std::printf("per-shard stored graphs:");
+  for (size_t count : shard_graphs) std::printf(" %zu", count);
+  std::printf("\n\n");
 
   // The query stream: budgets cycle the sweep, every other query downgrades
   // to the O(k) cached-order answer — the cheap/expensive mix a real serving
@@ -157,12 +177,14 @@ int main(int argc, char** argv) {
               num_queries);
 
   // Refresh-under-load: 4 client threads hammer the pool while the main
-  // thread rebuilds a session with the SAME options and hot-swaps it in via
-  // RefreshPool. The replacement samples with the same rng seed, so its
-  // answers are bit-identical to the original pool's — every answer, before
-  // or after the swap, must still match the serial reference, and the pool
-  // name must never come back NotFound. Both violations ABORT, making this
-  // the CI regression gate for the hot-swap path.
+  // thread rebuilds a session and hot-swaps it in via RefreshPool. The
+  // replacement samples with the same rng seed but a DIFFERENT shard count
+  // (S = 1 vs the served pool's S = 4), so its answers are bit-identical to
+  // the original pool's if and only if the shard partition is truly
+  // invisible — every answer, before or after the swap, must still match
+  // the serial reference, and the pool name must never come back NotFound.
+  // Both violations ABORT, making this the CI regression gate for the
+  // hot-swap path AND the sharding determinism guarantee under live load.
   {
     const uint64_t version_before = service.PoolVersion("digg");
     std::atomic<bool> stop{false};
@@ -192,8 +214,10 @@ int main(int argc, char** argv) {
       });
     }
     WallTimer rebuild_timer;
-    StatusOr<std::unique_ptr<BoostSession>> replacement = BoostSession::Create(
-        g, instance.seeds, MakeBoostOptions(k_max, flags));
+    BoostOptions replacement_options = MakeBoostOptions(k_max, flags);
+    replacement_options.num_shards = 1;  // monolithic — must answer the same
+    StatusOr<std::unique_ptr<BoostSession>> replacement =
+        BoostSession::Create(g, instance.seeds, replacement_options);
     if (!replacement.ok()) {
       std::fprintf(stderr, "refresh session: %s\n",
                    replacement.status().ToString().c_str());
@@ -261,21 +285,29 @@ int main(int argc, char** argv) {
     json.Add("serve/refresh_rebuild_s", rebuild_s, "s");
   }
 
-  // Service metrics over everything this bench issued.
+  // Service metrics over everything this bench issued. last_rebuild_ms is
+  // the refresh replacement's Prepare() wall time as the service measured it.
   const ServiceStatsSnapshot stats = service.Stats();
   for (const PoolStatsSnapshot& ps : stats.pools) {
     std::printf("service stats: pool '%s' v%llu, %llu queries, %llu errors, "
-                "latency ms mean/p50/p95 = %.3f/%.3f/%.3f\n",
+                "latency ms mean/p50/p95 = %.3f/%.3f/%.3f, "
+                "last rebuild %.1f ms\n",
                 ps.pool.c_str(), static_cast<unsigned long long>(ps.version),
                 static_cast<unsigned long long>(ps.queries),
                 static_cast<unsigned long long>(ps.errors), ps.latency_mean_ms,
-                ps.latency_p50_ms, ps.latency_p95_ms);
+                ps.latency_p50_ms, ps.latency_p95_ms, ps.last_rebuild_ms);
     json.Add("serve/latency_p50_ms", ps.latency_p50_ms, "ms");
     json.Add("serve/latency_p95_ms", ps.latency_p95_ms, "ms");
+    json.Add("serve/last_rebuild_ms", ps.last_rebuild_ms, "ms");
   }
 
   json.Add("serve/prepare_s", prepare_s, "s");
   json.Add("serve/theta", static_cast<double>(theta), "samples");
+  json.Add("serve/num_shards", static_cast<double>(num_shards), "shards");
+  for (size_t s = 0; s < shard_graphs.size(); ++s) {
+    json.Add("serve/shard_" + std::to_string(s) + "_graphs",
+             static_cast<double>(shard_graphs[s]), "graphs");
+  }
   json.Add("serve/queries", static_cast<double>(num_queries), "queries");
   json.WriteTo(flags.json_path);
   return 0;

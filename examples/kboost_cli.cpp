@@ -138,32 +138,37 @@ bool ParseUint64Flag(int argc, char** argv, const char* flag_name,
   return true;
 }
 
-/// Parses --threads if present: syntax errors are rejected here, the valid
-/// range is owned by BoostOptions::Validate() (the one place --threads,
-/// set_num_threads and BoostSession::Create agree on). Returns false on a
-/// syntax error; `*threads` stays 0 when the flag is absent.
-bool ParseThreadsFlag(int argc, char** argv, int* threads) {
-  *threads = 0;
-  const char* threads_s = FlagValue(argc, argv, "--threads");
-  if (threads_s == nullptr) return true;
+/// Parses one signed integer flag (--threads, --shards) if present: syntax
+/// errors are rejected here, the valid range is owned by
+/// BoostOptions::Validate() (the one place the CLI, set_num_threads and
+/// BoostSession::Create agree on ranges). Returns false on a syntax error;
+/// `*out` stays 0 when the flag is absent.
+bool ParseIntFlag(int argc, char** argv, const char* flag_name, int* out) {
+  *out = 0;
+  const char* text = FlagValue(argc, argv, flag_name);
+  if (text == nullptr) return true;
   char* end = nullptr;
   errno = 0;
-  const long value = std::strtol(threads_s, &end, 10);
-  if (end == threads_s || *end != '\0') {
-    std::fprintf(stderr, "error: --threads must be an integer, got '%s'\n",
-                 threads_s);
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "error: %s must be an integer, got '%s'\n",
+                 flag_name, text);
     return false;
   }
   // A strtol overflow (or a value outside int) saturates so that
   // BoostOptions::Validate rejects it with its range message.
   if (errno == ERANGE || value > std::numeric_limits<int>::max()) {
-    *threads = std::numeric_limits<int>::max();
+    *out = std::numeric_limits<int>::max();
   } else if (value < std::numeric_limits<int>::min()) {
-    *threads = std::numeric_limits<int>::min();
+    *out = std::numeric_limits<int>::min();
   } else {
-    *threads = static_cast<int>(value);
+    *out = static_cast<int>(value);
   }
   return true;
+}
+
+bool ParseThreadsFlag(int argc, char** argv, int* threads) {
+  return ParseIntFlag(argc, argv, "--threads", threads);
 }
 
 int Usage() {
@@ -176,18 +181,20 @@ int Usage() {
       "      print an influential (IMM) or uniform-random seed set\n"
       "  boost --graph=PATH --seeds=a,b,c --k=N [--lb] [--epsilon=F]\n"
       "        [--seed=N] [--k-sweep=a,b,c] [--save-pool=PATH]\n"
-      "        [--load-pool=PATH] [--threads=N]\n"
+      "        [--load-pool=PATH] [--threads=N] [--shards=S]\n"
       "      run PRR-Boost (or PRR-Boost-LB with --lb); prints the boost\n"
       "      set and its Monte-Carlo-verified boost. --k-sweep answers\n"
       "      every listed budget from ONE sampled pool (a BoostSession);\n"
       "      --save-pool snapshots that pool, --load-pool serves from a\n"
       "      snapshot without resampling (seeds/mode come from the file);\n"
-      "      --threads runs sampling and selection on N workers\n"
+      "      --threads runs sampling and selection on N workers; --shards\n"
+      "      splits the pool into S arenas for parallel sampling/refresh/\n"
+      "      snapshot I/O (answers are bit-identical for every S)\n"
       "  evaluate --graph=PATH --seeds=a,b,c --boost=x,y,z [--sims=N]\n"
       "      Monte-Carlo estimate of the spread and boost of a given set\n"
       "  serve-bench --graph=PATH (--load-pool=PATH | --seeds=a,b,c --k=N\n"
-      "        [--lb] [--epsilon=F] [--seed=N]) [--clients=1,2,4]\n"
-      "        [--queries=32] [--threads=N]\n"
+      "        [--lb] [--epsilon=F] [--seed=N] [--shards=S])\n"
+      "        [--clients=1,2,4] [--queries=32] [--threads=N]\n"
       "      register the pool in a BoostService and measure concurrent\n"
       "      query throughput: each client count issues the same mixed\n"
       "      (k, mode) query stream from that many threads and every\n"
@@ -251,7 +258,8 @@ int CmdSeeds(int argc, char** argv) {
 int CmdBoost(int argc, char** argv) {
   if (!ValidateFlags(argc, argv,
                      {"--graph", "--seeds", "--k", "--k-sweep", "--epsilon",
-                      "--seed", "--save-pool", "--load-pool", "--threads"},
+                      "--seed", "--save-pool", "--load-pool", "--threads",
+                      "--shards"},
                      {"--lb"})) {
     return 2;
   }
@@ -262,6 +270,9 @@ int CmdBoost(int argc, char** argv) {
   const bool has_threads = FlagValue(argc, argv, "--threads") != nullptr;
   int threads = 0;
   if (!ParseThreadsFlag(argc, argv, &threads)) return 2;
+  const bool has_shards = FlagValue(argc, argv, "--shards") != nullptr;
+  int shards = 0;
+  if (!ParseIntFlag(argc, argv, "--shards", &shards)) return 2;
   const char* load_pool = FlagValue(argc, argv, "--load-pool");
   const char* save_pool = FlagValue(argc, argv, "--save-pool");
   std::vector<size_t> sweep;
@@ -272,9 +283,10 @@ int CmdBoost(int argc, char** argv) {
     return 2;
   }
   if (load_pool != nullptr) {
-    // Mode, sampling options and seeds come from the snapshot; accepting
-    // these flags alongside --load-pool would silently discard them.
-    for (const char* name : {"--seeds", "--epsilon", "--seed"}) {
+    // Mode, sampling options, seeds and the shard layout come from the
+    // snapshot; accepting these flags alongside --load-pool would silently
+    // discard them.
+    for (const char* name : {"--seeds", "--epsilon", "--seed", "--shards"}) {
       if (FlagValue(argc, argv, name) != nullptr) {
         std::fprintf(stderr,
                      "error: %s comes from the pool snapshot; it cannot be "
@@ -315,9 +327,11 @@ int CmdBoost(int argc, char** argv) {
         return 2;
       }
     }
-    std::printf("loaded pool %s: budget=%zu theta=%zu mode=%s\n", load_pool,
-                session->budget(), session->engine().collection().num_samples(),
-                session->lb_only() ? "lb" : "full");
+    std::printf("loaded pool %s: budget=%zu theta=%zu mode=%s shards=%zu\n",
+                load_pool, session->budget(),
+                session->engine().collection().num_samples(),
+                session->lb_only() ? "lb" : "full",
+                session->engine().collection().num_shards());
   } else {
     BoostOptions options;
     options.k = k_flag;
@@ -327,6 +341,7 @@ int CmdBoost(int argc, char** argv) {
     if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
     if (!ParseUint64Flag(argc, argv, "--seed", &options.seed)) return 2;
     if (has_threads) options.num_threads = threads;
+    if (has_shards) options.num_shards = shards;
     StatusOr<std::unique_ptr<BoostSession>> created = BoostSession::Create(
         g.value(), seeds, options, HasFlag(argc, argv, "--lb"));
     if (!created.ok()) {
@@ -418,7 +433,8 @@ bool SameAnswer(const BoostResult& a, const BoostResult& b) {
 int CmdServeBench(int argc, char** argv) {
   if (!ValidateFlags(argc, argv,
                      {"--graph", "--load-pool", "--seeds", "--k", "--epsilon",
-                      "--seed", "--clients", "--queries", "--threads"},
+                      "--seed", "--clients", "--queries", "--threads",
+                      "--shards"},
                      {"--lb"})) {
     return 2;
   }
@@ -430,6 +446,15 @@ int CmdServeBench(int argc, char** argv) {
   const bool has_threads = FlagValue(argc, argv, "--threads") != nullptr;
   int threads = 0;
   if (!ParseThreadsFlag(argc, argv, &threads)) return 2;
+  const bool has_shards = FlagValue(argc, argv, "--shards") != nullptr;
+  int shards = 0;
+  if (!ParseIntFlag(argc, argv, "--shards", &shards)) return 2;
+  if (load_pool != nullptr && has_shards) {
+    std::fprintf(stderr,
+                 "error: --shards comes from the pool snapshot; it cannot be "
+                 "combined with --load-pool\n");
+    return 2;
+  }
   std::vector<size_t> clients;
   if (!ParseUintList(FlagValue(argc, argv, "--clients"), "--clients",
                      &clients)) {
@@ -487,6 +512,7 @@ int CmdServeBench(int argc, char** argv) {
     if (eps_s != nullptr) options.epsilon = std::atof(eps_s);
     if (!ParseUint64Flag(argc, argv, "--seed", &options.seed)) return 2;
     if (has_threads) options.num_threads = threads;
+    if (has_shards) options.num_shards = shards;
     StatusOr<std::unique_ptr<BoostSession>> created = BoostSession::Create(
         g.value(), std::move(seeds), options, HasFlag(argc, argv, "--lb"));
     if (!created.ok()) {
@@ -514,8 +540,10 @@ int CmdServeBench(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("prepared in %.3fs, theta=%zu\n", prepare_timer.Seconds(),
-              service.GetPool("pool")->engine().collection().num_samples());
+  std::printf("prepared in %.3fs, theta=%zu shards=%zu\n",
+              prepare_timer.Seconds(),
+              service.GetPool("pool")->engine().collection().num_samples(),
+              service.GetPool("pool")->engine().collection().num_shards());
 
   // The mixed query stream: budgets sweep the pool range, modes alternate
   // native/LB on full pools. Each request runs its selection single-worker
@@ -610,11 +638,12 @@ int CmdServeBench(int argc, char** argv) {
   std::printf("\nservice stats (Stats()):\n");
   for (const PoolStatsSnapshot& ps : stats.pools) {
     std::printf("  pool '%s' v%llu: %llu queries, %llu errors, "
-                "latency ms mean/p50/p95 = %.3f/%.3f/%.3f\n",
+                "latency ms mean/p50/p95 = %.3f/%.3f/%.3f, "
+                "last rebuild %.1f ms\n",
                 ps.pool.c_str(), static_cast<unsigned long long>(ps.version),
                 static_cast<unsigned long long>(ps.queries),
                 static_cast<unsigned long long>(ps.errors), ps.latency_mean_ms,
-                ps.latency_p50_ms, ps.latency_p95_ms);
+                ps.latency_p50_ms, ps.latency_p95_ms, ps.last_rebuild_ms);
   }
   if (stats.not_found != 0) {
     std::printf("  not-found requests: %llu\n",

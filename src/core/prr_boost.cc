@@ -26,6 +26,12 @@ Status BoostOptions::Validate() const {
         std::to_string(ThreadPool::kMaxWorkers) + "], got " +
         std::to_string(num_threads));
   }
+  if (num_shards < 1 || num_shards > PrrCollection::kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards (--shards) must be in [1, " +
+        std::to_string(PrrCollection::kMaxShards) + "], got " +
+        std::to_string(num_shards));
+  }
   return Status::Ok();
 }
 
@@ -40,7 +46,8 @@ PrrBoostEngine::PrrBoostEngine(const DirectedGraph& graph,
   KB_CHECK(options_.Validate().ok()) << options_.Validate().ToString();
   KB_CHECK(!seeds_.empty()) << "the k-boosting problem requires seeds";
   excluded_ = MakeNodeBitmap(graph_.num_nodes(), seeds_);
-  collection_ = std::make_unique<PrrCollection>(graph_.num_nodes());
+  collection_ = std::make_unique<PrrCollection>(graph_.num_nodes(),
+                                                options_.num_shards);
   sampler_ = std::make_unique<PrrSampler>(graph_, seeds_, options_.k,
                                           lb_only_, options_.seed,
                                           options_.num_threads);
@@ -104,16 +111,17 @@ void PrrBoostEngine::Prepare() {
   if (serving_ready_) return;
   EnsureSampled();
   // Concurrent const Solve() calls must never take a lazy-build path: warm
-  // both inverted indexes and cache the LB greedy order now, while this
-  // thread still has the engine exclusively.
-  collection_->WarmIndexes();
+  // every inverted index (per-shard builds fan out over the workers) and
+  // cache the LB greedy order now, while this thread still has the engine
+  // exclusively.
+  collection_->WarmIndexes(options_.num_threads);
   LbGreedyOrder();
   serving_ready_ = true;
 }
 
 BoostResult PrrBoostEngine::SolvePrepared(size_t k, bool lb_answer,
                                           int num_threads,
-                                          PrrEvalState* eval_state,
+                                          ShardedEvalState* eval_state,
                                           const std::atomic<bool>* cancel,
                                           bool* cancelled) const {
   KB_DCHECK(sampled_ && lb_order_ready_);

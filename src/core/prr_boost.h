@@ -21,6 +21,13 @@ struct BoostOptions {
   double ell = 1.0;     ///< success probability 1 - n^-ℓ
   uint64_t seed = 42;
   int num_threads = DefaultThreadCount();
+  /// Number of independent pool shards S. Samples are assigned round-robin
+  /// by global sample index, so selections and estimates are bit-identical
+  /// for every S (and every thread count) — S only decides how wide
+  /// sampling, refresh rebuilds, snapshot I/O and the per-pick re-evaluation
+  /// scan can go. Defaults to the hardware worker count so sampling
+  /// parallelism is available out of the box.
+  int num_shards = DefaultThreadCount();
   /// Hard cap on the PRR-graph pool size θ (0 = no cap). When the IMM
   /// schedule asks for more, sampling stops at the cap and
   /// BoostResult::samples_capped is set; the (1-1/e-ε) guarantee then no
@@ -29,9 +36,10 @@ struct BoostOptions {
   size_t max_samples = 0;
 
   /// The one place option validation lives: k ≥ 1, ε ∈ (0,1), ℓ > 0,
-  /// num_threads ∈ [1, ThreadPool::kMaxWorkers]. Fallible entry points
-  /// (BoostSession::Create, set_num_threads, the CLI's --threads) all defer
-  /// here; the trusting constructors KB_CHECK the same predicate.
+  /// num_threads ∈ [1, ThreadPool::kMaxWorkers], num_shards ∈
+  /// [1, PrrCollection::kMaxShards]. Fallible entry points
+  /// (BoostSession::Create, set_num_threads, the CLI's --threads/--shards)
+  /// all defer here; the trusting constructors KB_CHECK the same predicate.
   Status Validate() const;
 };
 
@@ -184,7 +192,7 @@ class PrrBoostEngine {
   /// Reports cancellation through `cancelled` (may be null) and leaves
   /// timing/provenance fields for the caller.
   BoostResult SolvePrepared(size_t k, bool lb_answer, int num_threads,
-                            PrrEvalState* eval_state,
+                            ShardedEvalState* eval_state,
                             const std::atomic<bool>* cancel,
                             bool* cancelled) const;
 

@@ -5,17 +5,43 @@
 
 #include "src/select/greedy.h"
 #include "src/sim/boost_model.h"
-#include "src/util/logging.h"
 #include "src/util/thread_pool.h"
 
 namespace kboost {
 
-PrrCollection::PrrCollection(size_t num_graph_nodes)
-    : num_graph_nodes_(num_graph_nodes), coverage_(num_graph_nodes) {}
+PrrCollection::PrrCollection(size_t num_graph_nodes, int num_shards)
+    : num_graph_nodes_(num_graph_nodes),
+      stores_(static_cast<size_t>(std::max(1, num_shards))),
+      coverage_(num_graph_nodes) {
+  KB_CHECK(num_shards >= 1 && num_shards <= kMaxShards)
+      << "num_shards " << num_shards << " outside [1, " << kMaxShards << "]";
+}
+
+size_t PrrCollection::num_stored_graphs() const {
+  size_t total = 0;
+  for (const PrrStore& store : stores_) total += store.num_graphs();
+  return total;
+}
+
+size_t PrrCollection::StoredGraphBytes() const {
+  size_t total = lb_critical_bytes_;
+  for (const PrrStore& store : stores_) total += store.MemoryBytes();
+  return total;
+}
+
+size_t PrrCollection::OccurrenceCount(NodeId v) const {
+  EnsureGraphIndex(1);
+  size_t count = 0;
+  for (const ShardIndex& index : shard_index_) {
+    count += index.node_offsets[v + 1] - index.node_offsets[v];
+  }
+  return count;
+}
 
 void PrrCollection::AddBoostable(const PrrGraph& graph) {
-  const size_t id = store_.Add(graph);
-  const PrrGraphView view = store_.View(id);
+  PrrStore& store = stores_[NextSampleShard()];
+  const size_t id = store.Add(graph);
+  const PrrGraphView view = store.View(id);
   critical_scratch_.clear();
   for (uint32_t c : view.critical()) {
     critical_scratch_.push_back(view.global_ids[c]);
@@ -27,8 +53,9 @@ void PrrCollection::AddBoostable(const PrrGraph& graph) {
 
 void PrrCollection::AddBoostableFromStore(const PrrStore& shard,
                                           size_t shard_id) {
-  const size_t id = store_.AppendFrom(shard, shard_id);
-  const PrrGraphView view = store_.View(id);
+  PrrStore& store = stores_[NextSampleShard()];
+  const size_t id = store.AppendFrom(shard, shard_id);
+  const PrrGraphView view = store.View(id);
   critical_scratch_.clear();
   for (uint32_t c : view.critical()) {
     critical_scratch_.push_back(view.global_ids[c]);
@@ -55,34 +82,49 @@ void PrrCollection::AddNonBoostable(PrrStatus status) {
   }
 }
 
-void PrrCollection::EnsureGraphIndex() const {
+void PrrCollection::EnsureGraphIndex(int num_threads) const {
   if (graph_index_built_) return;
-  const size_t num_graphs = store_.num_graphs();
-  node_graph_offsets_.assign(num_graph_nodes_ + 1, 0);
-  // Counting-sort pass: local id 0 is the super-seed sentinel (no global
-  // identity) and is skipped consistently in both passes.
-  for (size_t g = 0; g < num_graphs; ++g) {
-    const PrrGraphView view = store_.View(g);
-    for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
-      ++node_graph_offsets_[view.global_ids[v] + 1];
-    }
-  }
-  for (size_t v = 0; v < num_graph_nodes_; ++v) {
-    node_graph_offsets_[v + 1] += node_graph_offsets_[v];
-  }
-  node_graphs_.resize(node_graph_offsets_[num_graph_nodes_]);
-  node_graph_locals_.resize(node_graph_offsets_[num_graph_nodes_]);
-  std::vector<size_t> cursor(node_graph_offsets_.begin(),
-                             node_graph_offsets_.end() - 1);
-  for (size_t g = 0; g < num_graphs; ++g) {
-    const PrrGraphView view = store_.View(g);
-    for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
-      const size_t slot = cursor[view.global_ids[v]]++;
-      node_graphs_[slot] = static_cast<uint32_t>(g);
-      node_graph_locals_[slot] = v;
-    }
-  }
+  shard_index_.resize(stores_.size());
+  // Each shard's CSR touches only that shard's arrays, so the per-shard
+  // counting-sort builds are independent work items.
+  ParallelFor(
+      stores_.size(), num_threads,
+      [&](size_t s, int /*t*/) {
+        const PrrStore& store = stores_[s];
+        ShardIndex& index = shard_index_[s];
+        const size_t num_graphs = store.num_graphs();
+        index.node_offsets.assign(num_graph_nodes_ + 1, 0);
+        // Counting-sort pass: local id 0 is the super-seed sentinel (no
+        // global identity) and is skipped consistently in both passes.
+        for (size_t g = 0; g < num_graphs; ++g) {
+          const PrrGraphView view = store.View(g);
+          for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
+            ++index.node_offsets[view.global_ids[v] + 1];
+          }
+        }
+        for (size_t v = 0; v < num_graph_nodes_; ++v) {
+          index.node_offsets[v + 1] += index.node_offsets[v];
+        }
+        index.graphs.resize(index.node_offsets[num_graph_nodes_]);
+        index.locals.resize(index.node_offsets[num_graph_nodes_]);
+        std::vector<size_t> cursor(index.node_offsets.begin(),
+                                   index.node_offsets.end() - 1);
+        for (size_t g = 0; g < num_graphs; ++g) {
+          const PrrGraphView view = store.View(g);
+          for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
+            const size_t slot = cursor[view.global_ids[v]]++;
+            index.graphs[slot] = static_cast<uint32_t>(g);
+            index.locals[slot] = v;
+          }
+        }
+      },
+      /*chunk=*/1);
   graph_index_built_ = true;
+}
+
+void PrrCollection::WarmIndexes(int num_threads) const {
+  EnsureGraphIndex(num_threads);
+  coverage_.WarmIndex();
 }
 
 void PrrCollection::AddBoostableRound(
@@ -90,7 +132,6 @@ void PrrCollection::AddBoostableRound(
   const size_t count = items.size();
   if (count == 0) return;
   std::vector<uint32_t> sizes(count);
-  std::vector<size_t> graph_ids;
   if (lb_only) {
     size_t total = 0;
     for (size_t i = 0; i < count; ++i) {
@@ -99,12 +140,12 @@ void PrrCollection::AddBoostableRound(
     }
     lb_critical_bytes_ += total * sizeof(NodeId);
   } else {
-    // Arena appends stay ordered serial span copies; only the critical-set
-    // translation below fans out.
-    graph_ids.resize(count);
+    // Graphs already sit in their shard arenas (the sampler's direct-write
+    // path); only the critical sets still need to reach the coverage
+    // structure.
     for (size_t i = 0; i < count; ++i) {
-      graph_ids[i] = store_.AppendFrom(*items[i].shard, items[i].shard_graph_id);
-      sizes[i] = static_cast<uint32_t>(store_.critical_count(graph_ids[i]));
+      sizes[i] = static_cast<uint32_t>(
+          stores_[items[i].shard].critical_count(items[i].shard_graph_id));
     }
     graph_index_built_ = false;
   }
@@ -118,7 +159,8 @@ void PrrCollection::AddBoostableRound(
         if (lb_only) {
           std::copy(items[i].critical, items[i].critical + sizes[i], dst);
         } else {
-          const PrrGraphView view = store_.View(graph_ids[i]);
+          const PrrGraphView view =
+              stores_[items[i].shard].View(items[i].shard_graph_id);
           for (uint32_t c = 0; c < sizes[i]; ++c) {
             dst[c] = view.global_ids[view.critical_locals[c]];
           }
@@ -128,26 +170,42 @@ void PrrCollection::AddBoostableRound(
   num_boostable_ += count;
 }
 
-void PrrCollection::RestoreFullPool(PrrStore&& store, size_t num_activated,
+void PrrCollection::RestoreFullPool(std::vector<PrrStore>&& stores,
+                                    size_t num_activated,
                                     size_t num_hopeless) {
   KB_CHECK(num_samples() == 0) << "snapshot restore into a non-empty pool";
-  store_ = std::move(store);
-  const size_t num_graphs = store_.num_graphs();
-  // One coverage grow for the whole pool instead of an AddSet per graph.
-  std::vector<uint32_t> sizes(num_graphs);
-  for (size_t g = 0; g < num_graphs; ++g) {
-    sizes[g] = static_cast<uint32_t>(store_.critical_count(g));
+  KB_CHECK(!stores.empty() &&
+           stores.size() <= static_cast<size_t>(kMaxShards));
+  stores_ = std::move(stores);
+  // One coverage grow for the whole pool instead of an AddSet per graph,
+  // filled in shard-major stored order (see the header note on numbering).
+  const size_t num_graphs = num_stored_graphs();
+  std::vector<uint32_t> sizes;
+  sizes.reserve(num_graphs);
+  for (const PrrStore& store : stores_) {
+    for (size_t g = 0; g < store.num_graphs(); ++g) {
+      sizes.push_back(static_cast<uint32_t>(store.critical_count(g)));
+    }
   }
   NodeId* dst = coverage_.AppendSets(sizes);
-  for (size_t g = 0; g < num_graphs; ++g) {
-    const PrrGraphView view = store_.View(g);
-    for (uint32_t c : view.critical()) {
-      *dst++ = view.global_ids[c];
+  for (const PrrStore& store : stores_) {
+    for (size_t g = 0; g < store.num_graphs(); ++g) {
+      const PrrGraphView view = store.View(g);
+      for (uint32_t c : view.critical()) {
+        *dst++ = view.global_ids[c];
+      }
     }
   }
   num_boostable_ = num_graphs;
   graph_index_built_ = false;
   AddNonBoostableCounts(num_activated, num_hopeless);
+}
+
+void PrrCollection::RestoreFullPool(PrrStore&& store, size_t num_activated,
+                                    size_t num_hopeless) {
+  std::vector<PrrStore> stores;
+  stores.push_back(std::move(store));
+  RestoreFullPool(std::move(stores), num_activated, num_hopeless);
 }
 
 void PrrCollection::AddNonBoostableCounts(size_t num_activated,
@@ -185,32 +243,35 @@ namespace {
 /// PRR-graphs containing the pick and reports every node whose gain moved.
 ///
 /// The re-evaluation runs on the incremental engine: each graph keeps
-/// fwd/bwd/crit bitmaps in a PrrEvalState arena, initialized lazily on first
-/// touch (live-edge-only reach at B ∩ R = ∅ plus the stored critical set)
-/// and relaxed forward/backward from the pick afterwards. Because boosting
-/// only opens edges, reach and criticality grow monotonically until a graph
-/// activates — so commits emit only +1 events for newly critical nodes, and
-/// -1 events for a graph's whole critical set exactly once, on activation.
-/// Graphs too large for cached state fall back to the scratch evaluator's
-/// full recompute (old-vs-new critical diff).
+/// fwd/bwd/crit bitmaps in its shard's PrrEvalState arena, initialized
+/// lazily on first touch (live-edge-only reach at B ∩ R = ∅ plus the stored
+/// critical set) and relaxed forward/backward from the pick afterwards.
+/// Because boosting only opens edges, reach and criticality grow
+/// monotonically until a graph activates — so commits emit only +1 events
+/// for newly critical nodes, and -1 events for a graph's whole critical set
+/// exactly once, on activation. Graphs too large for cached state fall back
+/// to the scratch evaluator's full recompute (old-vs-new critical diff).
 ///
+/// Sharding: graphs are addressed by flat shard-major ids (shard s's graphs
+/// occupy [base(s), base(s)+|s|)) purely for the oracle's own tables; gains
+/// settle additively from per-worker event buffers, so both the flat
+/// numbering and the shard partition are invisible in the selected set.
 /// Workers collect (node, ±1) gain events and activation counts in
-/// shard-local buffers; one serial merge per pick settles the plain (non-
+/// per-worker buffers; one serial merge per pick settles the plain (non-
 /// atomic) gain table and reports touched nodes, so the settled gains are
-/// deterministic for every thread count. Every gain *increase* is reported
-/// (required for lazy-greedy correctness); decreases ride along for free.
+/// deterministic for every thread count and every shard count. Every gain
+/// *increase* is reported (required for lazy-greedy correctness); decreases
+/// ride along for free.
 class DeltaOracle final : public SelectionOracle {
  public:
   DeltaOracle(const PrrCollection& collection,
               const std::vector<uint8_t>& excluded, int num_threads,
-              PrrEvalState* state)
+              ShardedEvalState* state)
       : collection_(collection),
         excluded_(excluded),
         threads_(std::max(1, num_threads)),
         n_(collection.num_graph_nodes()),
         boosted_(n_, 0),
-        covered_(collection.store().num_graphs(), 0),
-        critical_(collection.store().num_graphs()),
         gains_(n_, 0),
         state_(state),
         incrementals_(threads_),
@@ -218,21 +279,36 @@ class DeltaOracle final : public SelectionOracle {
         new_critical_(threads_),
         worker_events_(threads_),
         worker_activated_(threads_, 0) {
-    state_->Attach(collection.store());
-    const size_t num_graphs = collection.store().num_graphs();
-    for (size_t g = 0; g < num_graphs; ++g) {
-      const PrrGraphView view = collection.store().View(g);
-      critical_[g].reserve(view.num_critical_count);
-      for (uint32_t c : view.critical()) {
-        const NodeId global = view.global_ids[c];
-        critical_[g].push_back(global);
-        if (!excluded_[global]) ++gains_[global];
+    state_->Attach(collection.shards());
+    const size_t num_shards = collection.num_shards();
+    shard_base_.assign(num_shards + 1, 0);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_base_[s + 1] =
+          shard_base_[s] + collection.shard_store(s).num_graphs();
+    }
+    const size_t total = shard_base_[num_shards];
+    covered_.assign(total, 0);
+    critical_.resize(total);
+    uint32_t max_nodes = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const PrrStore& store = collection.shard_store(s);
+      max_nodes = std::max(max_nodes, store.max_num_nodes());
+      for (size_t g = 0; g < store.num_graphs(); ++g) {
+        const size_t flat = shard_base_[s] + g;
+        const PrrGraphView view = store.View(g);
+        critical_[flat].reserve(view.num_critical_count);
+        for (uint32_t c : view.critical()) {
+          const NodeId global = view.global_ids[c];
+          critical_[flat].push_back(global);
+          if (!excluded_[global]) ++gains_[global];
+        }
       }
     }
     // Grow-only scratch for the fallback evaluators, sized once per run.
-    for (PrrEvaluator& e : evaluators_) {
-      e.Reserve(collection.store().max_num_nodes());
-    }
+    for (PrrEvaluator& e : evaluators_) e.Reserve(max_nodes);
+    pick_graphs_.resize(num_shards);
+    pick_locals_.resize(num_shards);
+    pick_prefix_.assign(num_shards + 1, 0);
   }
 
   size_t num_candidates() const override { return n_; }
@@ -243,33 +319,42 @@ class DeltaOracle final : public SelectionOracle {
     boosted_[pick] = 1;
     gains_[pick] = 0;
     // Graphs are disjoint work items: the eval-state bitmaps and
-    // critical_[g] are per-graph, and gain events land in per-worker
-    // buffers — nothing shared is written during the scan.
-    const std::span<const uint32_t> graphs_of_pick =
-        collection_.GraphsContaining(pick);
-    const std::span<const uint32_t> locals_of_pick =
-        collection_.GraphLocalsContaining(pick);
+    // critical_[flat] are per-graph, and gain events land in per-worker
+    // buffers — nothing shared is written during the scan. One flat
+    // ParallelFor spans the pick's graphs of every shard (the per-item
+    // shard lookup walks the tiny prefix table).
+    const size_t num_shards = collection_.num_shards();
+    for (size_t s = 0; s < num_shards; ++s) {
+      pick_graphs_[s] = collection_.ShardGraphsContaining(s, pick);
+      pick_locals_[s] = collection_.ShardGraphLocalsContaining(s, pick);
+      pick_prefix_[s + 1] = pick_prefix_[s] + pick_graphs_[s].size();
+    }
     ParallelFor(
-        graphs_of_pick.size(), threads_,
+        pick_prefix_[num_shards], threads_,
         [&](size_t gi, int t) {
-          const uint32_t g = graphs_of_pick[gi];
-          if (covered_[g]) return;
+          size_t s = 0;
+          while (gi >= pick_prefix_[s + 1]) ++s;
+          const size_t i = gi - pick_prefix_[s];
+          const uint32_t g = pick_graphs_[s][i];
+          const size_t flat = shard_base_[s] + g;
+          if (covered_[flat]) return;
           std::vector<GainEvent>& events = worker_events_[t];
-          const PrrGraphView view = collection_.store().View(g);
-          if (!state_->has_state(g)) {
-            ScratchCommit(g, view, t);
+          const PrrGraphView view = collection_.shard_store(s).View(g);
+          PrrEvalState& shard_state = state_->shard(s);
+          if (!shard_state.has_state(g)) {
+            ScratchCommit(flat, view, t);
             return;
           }
-          uint64_t* fwd = state_->fwd(g);
-          uint64_t* bwd = state_->bwd(g);
-          uint64_t* crit = state_->crit(g);
+          uint64_t* fwd = shard_state.fwd(g);
+          uint64_t* bwd = shard_state.bwd(g);
+          uint64_t* crit = shard_state.crit(g);
           PrrIncrementalEvaluator& inc = incrementals_[t];
           bool activated = false;
-          if (!state_->initialized(g)) {
+          if (!shard_state.initialized(g)) {
             // First touch this run: B ∩ R = {pick} (an earlier pick inside R
             // would have touched it), so the empty-set state plus one relax
             // is exact. The stored critical set is the ∅-state membership.
-            state_->mark_initialized(g);
+            shard_state.mark_initialized(g);
             inc.InitEmptyReach(view, fwd, bwd);
             for (uint32_t c : view.critical()) {
               PrrIncrementalEvaluator::SetBit(crit, c);
@@ -279,18 +364,18 @@ class DeltaOracle final : public SelectionOracle {
           }
           if (!activated) {
             activated = inc.RelaxCommit(view, boosted_.data(),
-                                        locals_of_pick[gi], fwd, bwd);
+                                        pick_locals_[s][i], fwd, bwd);
           }
           if (activated) {
-            covered_[g] = 1;
+            covered_[flat] = 1;
             ++worker_activated_[t];
-            for (NodeId old : critical_[g]) {
+            for (NodeId old : critical_[flat]) {
               if (!boosted_[old] && !excluded_[old]) {
                 events.push_back(GainEvent{old, -1});
               }
             }
-            critical_[g].clear();
-            critical_[g].shrink_to_fit();
+            critical_[flat].clear();
+            critical_[flat].shrink_to_fit();
             return;
           }
           std::vector<uint32_t>& fresh = new_critical_[t];
@@ -299,7 +384,7 @@ class DeltaOracle final : public SelectionOracle {
                                         &fresh);
           for (uint32_t c : fresh) {
             const NodeId global = view.global_ids[c];
-            critical_[g].push_back(global);
+            critical_[flat].push_back(global);
             // Newly critical nodes are never boosted (the evaluator checks),
             // so only exclusion filters the gain event.
             if (!excluded_[global]) events.push_back(GainEvent{global, +1});
@@ -331,9 +416,9 @@ class DeltaOracle final : public SelectionOracle {
 
   /// Full-recompute fallback for graphs without cached state: diff the old
   /// and new critical sets exactly as the pre-incremental engine did.
-  void ScratchCommit(uint32_t g, const PrrGraphView& view, int t) {
+  void ScratchCommit(size_t flat, const PrrGraphView& view, int t) {
     std::vector<GainEvent>& events = worker_events_[t];
-    for (NodeId old : critical_[g]) {
+    for (NodeId old : critical_[flat]) {
       if (!boosted_[old] && !excluded_[old]) {
         events.push_back(GainEvent{old, -1});
       }
@@ -341,15 +426,15 @@ class DeltaOracle final : public SelectionOracle {
     const bool now_active =
         evaluators_[t].CriticalNodes(view, boosted_.data(), &new_critical_[t]);
     if (now_active) {
-      covered_[g] = 1;
+      covered_[flat] = 1;
       ++worker_activated_[t];
-      critical_[g].clear();
+      critical_[flat].clear();
       return;
     }
-    critical_[g].clear();
+    critical_[flat].clear();
     for (uint32_t c : new_critical_[t]) {
       const NodeId global = view.global_ids[c];
-      critical_[g].push_back(global);
+      critical_[flat].push_back(global);
       if (!boosted_[global] && !excluded_[global]) {
         events.push_back(GainEvent{global, +1});
       }
@@ -361,13 +446,21 @@ class DeltaOracle final : public SelectionOracle {
   const int threads_;
   const size_t n_;
   std::vector<uint8_t> boosted_;
+  // Flat shard-major graph numbering: shard s's graph g is
+  // shard_base_[s] + g in covered_/critical_.
+  std::vector<size_t> shard_base_;
   std::vector<uint8_t> covered_;
   // Current critical set per stored graph (global ids). May retain nodes
   // that were boosted after becoming critical; every consumer filters with
   // !boosted_, so the settled gains are unaffected.
   std::vector<std::vector<NodeId>> critical_;
   std::vector<uint32_t> gains_;
-  PrrEvalState* state_;
+  ShardedEvalState* state_;
+  // Per-pick fan-out scratch: the pick's graph/local spans per shard and
+  // their prefix counts (reused across picks).
+  std::vector<std::span<const uint32_t>> pick_graphs_;
+  std::vector<std::span<const uint32_t>> pick_locals_;
+  std::vector<size_t> pick_prefix_;
   // Per-worker scratch reused across picks.
   std::vector<PrrIncrementalEvaluator> incrementals_;
   std::vector<PrrEvaluator> evaluators_;
@@ -381,15 +474,15 @@ class DeltaOracle final : public SelectionOracle {
 
 PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
     size_t k, const std::vector<uint8_t>& excluded, int num_threads,
-    PrrEvalState* eval_state, const std::atomic<bool>* cancel) const {
+    ShardedEvalState* eval_state, const std::atomic<bool>* cancel) const {
   DeltaResult result;
   if (k == 0 || num_samples() == 0) return result;
-  EnsureGraphIndex();
+  EnsureGraphIndex(num_threads);
 
   // Callers that serve queries concurrently pass per-query eval state (from
   // their SolveContext); the call-local fallback keeps one-shot callers
-  // correct at the cost of rebuilding the bitmap arena.
-  PrrEvalState local_state;
+  // correct at the cost of rebuilding the bitmap arenas.
+  ShardedEvalState local_state;
   DeltaOracle oracle(*this, excluded, num_threads,
                      eval_state != nullptr ? eval_state : &local_state);
   GreedyResult greedy = RunLazyGreedy(oracle, k, &excluded, cancel);
@@ -406,20 +499,21 @@ PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
 
   // Budget left but no single-node gains: fall back to PRR-occurrence
   // counts (nodes present in many boostable PRR-graphs are the best
-  // remaining heuristic candidates).
+  // remaining heuristic candidates). Occurrence counts sum over shards, so
+  // the fill order is shard-count-invariant.
   if (result.nodes.size() < k) {
     std::vector<uint8_t>& boosted = oracle.boosted();
     std::vector<NodeId> order;
     order.reserve(num_graph_nodes_);
+    std::vector<size_t> occurrences(num_graph_nodes_, 0);
     for (NodeId v = 0; v < num_graph_nodes_; ++v) {
-      if (!boosted[v] && !excluded[v] && !GraphsContaining(v).empty()) {
-        order.push_back(v);
-      }
+      if (boosted[v] || excluded[v]) continue;
+      occurrences[v] = OccurrenceCount(v);
+      if (occurrences[v] > 0) order.push_back(v);
     }
     std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-      const size_t ca = GraphsContaining(a).size();
-      const size_t cb = GraphsContaining(b).size();
-      return ca > cb || (ca == cb && a < b);
+      return occurrences[a] > occurrences[b] ||
+             (occurrences[a] == occurrences[b] && a < b);
     });
     for (NodeId v : order) {
       if (result.nodes.size() >= k) break;
@@ -440,10 +534,14 @@ double PrrCollection::EstimateDelta(const std::vector<NodeId>& boost_set,
   const std::vector<uint8_t> boosted =
       MakeNodeBitmap(num_graph_nodes_, boost_set);
   // Batched evaluation: activation bits for 64 graphs land in one word per
-  // worker-owned chunk; the count is a popcount reduction, no atomics.
+  // worker-owned chunk; the count is a popcount reduction, no atomics. The
+  // per-shard counts are summed — addition makes the result shard-count-
+  // invariant.
   PrrBatchEvaluator batch;
-  const size_t activated =
-      batch.CountActivated(store_, boosted.data(), num_threads);
+  size_t activated = 0;
+  for (const PrrStore& store : stores_) {
+    activated += batch.CountActivated(store, boosted.data(), num_threads);
+  }
   return static_cast<double>(num_graph_nodes_) *
          static_cast<double>(activated) /
          static_cast<double>(num_samples());

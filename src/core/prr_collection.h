@@ -11,6 +11,7 @@
 #include "src/core/prr_store.h"
 #include "src/graph/graph.h"
 #include "src/im/coverage.h"
+#include "src/util/logging.h"
 
 namespace kboost {
 
@@ -19,42 +20,58 @@ namespace kboost {
 ///   μ̂_R(B) = n/θ · Σ_R 1{B ∩ C_R ≠ ∅}
 /// θ counts *all* samples — activated and hopeless PRR-graphs contribute
 /// zero terms but stay in the denominator. Full mode stores compressed
-/// graphs in a PrrStore arena; LB mode stores only critical sets (inside
+/// graphs in PrrStore arenas; LB mode stores only critical sets (inside
 /// `coverage()`).
 ///
-/// The node→graphs inverted index used by the greedy is a flat CSR built
-/// lazily in one counting-sort pass over the arena (the super-seed sentinel
-/// at local id 0 is skipped — it has no global identity). Appending samples
-/// therefore never grows per-node vectors.
+/// The pool is sharded: S independent PrrStore arenas, with samples assigned
+/// round-robin by *global sample index* (sample i lands in shard i mod S).
+/// The assignment depends on nothing but the index, so for a fixed S the
+/// shard arenas are bit-identical at every thread count, and since the
+/// estimators average over samples, every selection and estimate is
+/// bit-identical across shard counts too (the union of shards is the same
+/// multiset of samples; greedy ties break on node ids, never on sample or
+/// graph numbering). Sharding only decides how wide sampling, index builds,
+/// snapshot I/O and the per-pick re-evaluation scan can go.
+///
+/// The per-shard node→graphs inverted index used by the greedy is a flat CSR
+/// built lazily in one counting-sort pass over each arena (the super-seed
+/// sentinel at local id 0 is skipped — it has no global identity). Appending
+/// samples therefore never grows per-node vectors.
 class PrrCollection {
  public:
-  explicit PrrCollection(size_t num_graph_nodes);
+  /// Upper bound on the shard count (BoostOptions::Validate enforces the
+  /// [1, kMaxShards] range for --shards).
+  static constexpr int kMaxShards = 1024;
+
+  explicit PrrCollection(size_t num_graph_nodes, int num_shards = 1);
 
   /// Adds a boostable sample from a standalone compressed graph; critical
   /// ids are taken from it. (Compat path for tests and tools — the sampler
-  /// uses AddBoostableRound.)
+  /// writes shard arenas directly and accounts through AddBoostableRound.)
+  /// Lands in the shard the next round-robin sample index maps to.
   void AddBoostable(const PrrGraph& graph);
-  /// Adds a boostable sample by bulk-copying graph `shard_id` out of a
-  /// thread-local sampling shard arena. (Per-sample compat path; the
-  /// sampler's hot path is AddBoostableRound.)
+  /// Adds a boostable sample by bulk-copying graph `shard_id` out of an
+  /// external arena (per-sample compat path; same shard choice as
+  /// AddBoostable).
   void AddBoostableFromStore(const PrrStore& shard, size_t shard_id);
 
   /// One sampling round's boostable sample, in batch order. Full mode
-  /// references a graph inside a shard arena; LB mode references a flat
-  /// critical-set span (the span must stay alive through AddBoostableRound).
+  /// references a graph the sampler already wrote into this collection's
+  /// shard arena `shard` (via mutable_shard_store); LB mode references a
+  /// flat critical-set span (alive through AddBoostableRound).
   struct BoostableSampleRef {
-    const PrrStore* shard = nullptr;   ///< full mode: source shard arena
-    uint32_t shard_graph_id = 0;       ///< graph id within `shard`
+    uint32_t shard = 0;                ///< full mode: shard arena index
+    uint32_t shard_graph_id = 0;       ///< graph id within that arena
     const NodeId* critical = nullptr;  ///< LB mode: critical globals
     uint32_t critical_count = 0;       ///< LB mode: critical set size
   };
-  /// Bulk merge of one sampling round (shard-local coverage accumulation):
-  /// full-mode graphs are appended to the arena as ordered span copies, and
-  /// the round's critical sets land in the coverage structure through ONE
-  /// grow — the per-sample fill (critical-id translation in full mode, flat
-  /// copies in LB mode) runs on `num_threads` workers over disjoint spans.
-  /// Bit-identical to the equivalent sequence of per-sample AddBoostable*
-  /// calls for every thread count.
+  /// Accounts one sampling round: the round's critical sets land in the
+  /// coverage structure through ONE grow — the per-sample fill (critical-id
+  /// translation in full mode, flat copies in LB mode) runs on `num_threads`
+  /// workers over disjoint spans. Full-mode graphs are *not* copied here;
+  /// they were already written in place by the sampler. Bit-identical to the
+  /// equivalent sequence of per-sample AddBoostable* calls for every thread
+  /// count.
   void AddBoostableRound(std::span<const BoostableSampleRef> items,
                          bool lb_only, int num_threads);
   /// LB mode: adds a boostable sample given only its critical set.
@@ -71,8 +88,27 @@ class PrrCollection {
   size_t num_activated() const { return num_activated_; }
   size_t num_hopeless() const { return num_hopeless_; }
   size_t num_graph_nodes() const { return num_graph_nodes_; }
-  /// The arena holding all compressed PRR-graphs (full mode).
-  const PrrStore& store() const { return store_; }
+
+  size_t num_shards() const { return stores_.size(); }
+  /// Shard arena `s` (full mode).
+  const PrrStore& shard_store(size_t s) const { return stores_[s]; }
+  /// All shard arenas (snapshot I/O, eval-state attach).
+  std::span<const PrrStore> shards() const { return stores_; }
+  /// Graphs stored across all shards (== num_boostable in full mode).
+  size_t num_stored_graphs() const;
+  /// Mutable access to shard arena `s` — the sampler's direct-write path:
+  /// the shard's generation task appends graphs straight into the persistent
+  /// arena (no staging copy, no merge), then the batch is accounted through
+  /// one AddBoostableRound call. The caller must own the shard exclusively
+  /// while writing and must not interleave other mutations.
+  PrrStore* mutable_shard_store(size_t s) { return &stores_[s]; }
+
+  /// The arena holding all compressed PRR-graphs — compat accessor for
+  /// single-shard pools (tests, tools, reference implementations).
+  const PrrStore& store() const {
+    KB_DCHECK(stores_.size() == 1);
+    return stores_[0];
+  }
 
   /// Greedy max-coverage over critical sets (maximizes μ̂) — the
   /// NodeSelectionLB step. Returns the selected nodes, μ̂ of that set, and μ̂
@@ -90,24 +126,26 @@ class PrrCollection {
   /// Greedy maximization of Δ̂ (the NodeSelection step; full mode only) — a
   /// push-model oracle over the shared src/select lazy-greedy engine,
   /// backed by the incremental evaluation engine: every graph keeps a
-  /// persistent fwd/bwd/crit bitmap state (PrrEvalState, arena-backed
-  /// alongside the store), so committing a pick only relaxes reachability
-  /// forward/backward from the newly boosted node instead of recomputing
-  /// from the super-seed. The re-evaluation scan runs on `num_threads`
-  /// workers with per-thread scratch and shard-local gain-delta buffers
-  /// merged once per pick (no atomics); ties break toward smaller node ids,
-  /// so the selected set is identical for every thread count. If gains hit
-  /// zero before k picks (no single node helps), remaining slots are filled
-  /// by PRR-occurrence counts so the budget is never silently wasted.
+  /// persistent fwd/bwd/crit bitmap state (PrrEvalState, one arena per
+  /// shard), so committing a pick only relaxes reachability forward/backward
+  /// from the newly boosted node instead of recomputing from the super-seed.
+  /// The re-evaluation scan fans out over the pick's graphs across ALL
+  /// shards on `num_threads` workers with per-thread scratch and per-worker
+  /// gain-delta buffers merged once per pick (no atomics); ties break toward
+  /// smaller node ids, so the selected set is identical for every thread
+  /// count AND every shard count. If gains hit zero before k picks (no
+  /// single node helps), remaining slots are filled by PRR-occurrence counts
+  /// so the budget is never silently wasted.
   ///
   /// Concurrency: all query-time mutable state is oracle-local or lives in
-  /// the caller-supplied `eval_state`, so concurrent calls on one collection
-  /// are safe — and bit-identical to the serial loop — provided each call
-  /// brings its own eval state and the lazily-built indexes were warmed
-  /// first (WarmIndexes(), done by BoostSession::Prepare). A null
-  /// `eval_state` uses call-local state (correct, but re-allocates the
-  /// bitmap arena every call). `cancel`, if non-null, is polled between
-  /// greedy rounds; on cancellation the partial result carries `cancelled`.
+  /// the caller-supplied `eval_state` (one PrrEvalState per shard), so
+  /// concurrent calls on one collection are safe — and bit-identical to the
+  /// serial loop — provided each call brings its own eval state and the
+  /// lazily-built indexes were warmed first (WarmIndexes(), done by
+  /// BoostSession::Prepare). A null `eval_state` uses call-local state
+  /// (correct, but re-allocates the bitmap arenas every call). `cancel`, if
+  /// non-null, is polled between greedy rounds; on cancellation the partial
+  /// result carries `cancelled`.
   struct DeltaResult {
     std::vector<NodeId> nodes;
     /// Marginal Δ̂ gain (in covered samples) of each greedy pick, in
@@ -119,7 +157,7 @@ class PrrCollection {
   };
   DeltaResult SelectGreedyDelta(size_t k, const std::vector<uint8_t>& excluded,
                                 int num_threads = 1,
-                                PrrEvalState* eval_state = nullptr,
+                                ShardedEvalState* eval_state = nullptr,
                                 const std::atomic<bool>* cancel = nullptr)
       const;
 
@@ -132,25 +170,49 @@ class PrrCollection {
   /// Access to the coverage structure driving the IMM schedule.
   const CoverageSelector& coverage() const { return coverage_; }
 
-  /// Ids of the stored graphs whose compressed form contains global node v
-  /// (full mode; lazily-built CSR — call EnsureGraphIndex() via any selection
-  /// entry point, or rely on the const laziness here).
-  std::span<const uint32_t> GraphsContaining(NodeId v) const {
-    EnsureGraphIndex();
-    return {node_graphs_.data() + node_graph_offsets_[v],
-            node_graph_offsets_[v + 1] - node_graph_offsets_[v]};
+  /// Shard-local ids of the graphs in shard `s` whose compressed form
+  /// contains global node v (lazily-built per-shard CSR — warm with
+  /// WarmIndexes() before concurrent reads).
+  std::span<const uint32_t> ShardGraphsContaining(size_t s, NodeId v) const {
+    EnsureGraphIndex(1);
+    const ShardIndex& index = shard_index_[s];
+    return {index.graphs.data() + index.node_offsets[v],
+            index.node_offsets[v + 1] - index.node_offsets[v]};
   }
-  /// Local ids of v inside each graph of GraphsContaining(v) (parallel
-  /// span) — saves the incremental engine a per-commit global→local scan.
+  /// Local ids of v inside each graph of ShardGraphsContaining(s, v)
+  /// (parallel span) — saves the incremental engine a per-commit
+  /// global→local scan.
+  std::span<const uint32_t> ShardGraphLocalsContaining(size_t s,
+                                                       NodeId v) const {
+    EnsureGraphIndex(1);
+    const ShardIndex& index = shard_index_[s];
+    return {index.locals.data() + index.node_offsets[v],
+            index.node_offsets[v + 1] - index.node_offsets[v]};
+  }
+  /// Number of stored graphs (across all shards) containing global node v.
+  size_t OccurrenceCount(NodeId v) const;
+
+  /// Compat accessors for single-shard pools (reference implementations in
+  /// tests/benches).
+  std::span<const uint32_t> GraphsContaining(NodeId v) const {
+    KB_DCHECK(stores_.size() == 1);
+    return ShardGraphsContaining(0, v);
+  }
   std::span<const uint32_t> GraphLocalsContaining(NodeId v) const {
-    EnsureGraphIndex();
-    return {node_graph_locals_.data() + node_graph_offsets_[v],
-            node_graph_offsets_[v + 1] - node_graph_offsets_[v]};
+    KB_DCHECK(stores_.size() == 1);
+    return ShardGraphLocalsContaining(0, v);
   }
 
-  /// Pool-snapshot restore (full mode): adopts a deserialized arena,
-  /// re-derives every critical set from it in stored order, then accounts
-  /// the non-boostable samples. The collection must be empty.
+  /// Pool-snapshot restore (full mode): adopts deserialized shard arenas,
+  /// re-derives every critical set from them in shard-major stored order,
+  /// then accounts the non-boostable samples. Coverage numbering then
+  /// differs from a freshly-sampled pool's (shard-major vs. sample order),
+  /// but every estimator and selection depends only on set membership, never
+  /// on set numbering, so answers stay bit-identical. The collection must be
+  /// empty.
+  void RestoreFullPool(std::vector<PrrStore>&& stores, size_t num_activated,
+                       size_t num_hopeless);
+  /// Single-arena compat overload (v1 snapshots load as S=1).
   void RestoreFullPool(PrrStore&& store, size_t num_activated,
                        size_t num_hopeless);
   /// Accounts non-boostable samples in bulk (denominator only) — the
@@ -159,40 +221,46 @@ class PrrCollection {
 
   /// Bytes held by stored PRR-graphs (the paper's Table 2/3 "memory for
   /// boostable PRR-graphs").
-  size_t StoredGraphBytes() const {
-    return store_.MemoryBytes() + lb_critical_bytes_;
-  }
+  size_t StoredGraphBytes() const;
 
-  /// Builds both lazily-constructed inverted indexes (node→graphs here,
-  /// node→samples inside the coverage structure) now. The lazy builds inside
+  /// Builds every lazily-constructed inverted index (per-shard node→graphs
+  /// CSRs here, node→samples inside the coverage structure) now, fanning the
+  /// per-shard builds out over `num_threads` workers. The lazy builds inside
   /// the const accessors are NOT thread-safe, so a pool that will serve
   /// concurrent readers must be warmed once, from one thread, before serving
   /// starts — PrrBoostEngine::Prepare does. After warming, every read-only
   /// query path (SelectGreedyLowerBound, SelectGreedyDelta with per-call
-  /// eval state, EstimateDelta, EstimateMu, GraphsContaining) is safe to run
-  /// concurrently.
-  void WarmIndexes() const {
-    EnsureGraphIndex();
-    coverage_.WarmIndex();
-  }
+  /// eval state, EstimateDelta, EstimateMu, ShardGraphsContaining) is safe
+  /// to run concurrently.
+  void WarmIndexes(int num_threads = 1) const;
 
  private:
-  /// Builds the global-node → stored-graph-ids CSR (one counting-sort pass).
-  void EnsureGraphIndex() const;
+  /// Per-shard lazily-built inverted index: global node -> shard-local graph
+  /// ids whose compressed form contains it, plus v's local id inside each
+  /// (parallel arrays).
+  struct ShardIndex {
+    std::vector<size_t> node_offsets;
+    std::vector<uint32_t> graphs;
+    std::vector<uint32_t> locals;
+  };
+
+  /// Builds all per-shard node→graph CSRs (one counting-sort pass each,
+  /// shards in parallel on `num_threads` workers).
+  void EnsureGraphIndex(int num_threads) const;
+  /// The shard the next round-robin sample index maps to (compat add paths).
+  size_t NextSampleShard() const {
+    return coverage_.num_sets() % stores_.size();
+  }
 
   size_t num_graph_nodes_;
-  PrrStore store_;                 // full mode storage
+  std::vector<PrrStore> stores_;   // full-mode storage, one arena per shard
   CoverageSelector coverage_;      // critical sets, denominator = θ
   size_t num_boostable_ = 0;
   size_t num_activated_ = 0;
   size_t num_hopeless_ = 0;
   size_t lb_critical_bytes_ = 0;   // LB-mode critical-set accounting
   std::vector<NodeId> critical_scratch_;
-  // Lazily-built inverted index: global node -> stored-graph ids whose
-  // compressed form contains it, plus v's local id inside each (parallel).
-  mutable std::vector<size_t> node_graph_offsets_;
-  mutable std::vector<uint32_t> node_graphs_;
-  mutable std::vector<uint32_t> node_graph_locals_;
+  mutable std::vector<ShardIndex> shard_index_;
   mutable bool graph_index_built_ = false;
 };
 

@@ -14,8 +14,7 @@ namespace {
 constexpr size_t kBatchSize = 1 << 16;
 }  // namespace
 
-void PrrSampler::Shard::Clear() {
-  store.Clear();
+void PrrSampler::ShardBatch::Clear() {
   statuses.clear();
   crit_offsets.assign(1, 0);
   crit_nodes.clear();
@@ -32,84 +31,106 @@ PrrSampler::PrrSampler(const DirectedGraph& graph,
       k_(k),
       lb_only_(lb_only),
       seed_(seed),
-      num_threads_(std::max(1, std::min(num_threads, 255))),
-      shards_(num_threads_) {
-  generators_.reserve(num_threads_);
-  for (int t = 0; t < num_threads_; ++t) {
-    generators_.push_back(std::make_unique<PrrGenerator>(graph_, seeds_));
-  }
-}
+      num_threads_(std::max(1, std::min(num_threads, 255))) {}
 
 size_t PrrSampler::EnsureSamples(PrrCollection& collection, size_t target) {
+  // Per-shard machinery is sized to the collection (the shard count lives
+  // there); generators and record staging only ever grow, so a sampler
+  // reused across collections keeps its allocations.
+  const size_t num_shards = collection.num_shards();
+  while (generators_.size() < num_shards) {
+    generators_.push_back(std::make_unique<PrrGenerator>(graph_, seeds_));
+  }
+  if (shards_.size() < num_shards) shards_.resize(num_shards);
+
   while (collection.num_samples() < target) {
     const size_t have = collection.num_samples();
     const size_t need = std::min(kBatchSize, target - have);
 
-    for (Shard& shard : shards_) shard.Clear();
-    owner_.assign(need, 0);
+    for (size_t s = 0; s < num_shards; ++s) shards_[s].Clear();
+    // Arena sizes before the batch: this batch's b-th boostable graph of
+    // shard s gets arena id base[s] + b.
+    std::vector<uint32_t> base(num_shards, 0);
+    if (!lb_only_) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        base[s] =
+            static_cast<uint32_t>(collection.shard_store(s).num_graphs());
+      }
+    }
 
-    // Generation: each worker appends into its own shard. Within a shard
-    // samples land in ascending batch order (the ParallelFor cursor is
-    // monotone), which is what makes the ordered merge below possible.
+    // Generation: one task per shard, each writing compressed graphs
+    // directly into its persistent arena (capacity is retained across
+    // batches — no per-round reallocation, no merge copy). Shard s owns the
+    // samples with global index ≡ s (mod S), generated in ascending order;
+    // each sample's Rng is seeded by its global index, so shard contents
+    // are bit-identical for every thread count.
     ParallelFor(
-        need, num_threads_,
-        [&](size_t j, int t) {
-          Shard& shard = shards_[t];
-          uint64_t s = seed_;
-          s ^= (have + j + 1) * 0x9E3779B97F4A7C15ULL;
-          Rng rng(s);
-          const size_t edges_before = shard.store.total_edges();
-          PrrGenResult r = generators_[t]->GenerateRandomRoot(
-              k_, lb_only_, rng, lb_only_ ? nullptr : &shard.store);
-          owner_[j] = static_cast<uint8_t>(t);
-          shard.statuses.push_back(r.status);
-          shard.edges_examined += r.edges_examined;
-          if (r.status == PrrStatus::kBoostable) {
-            shard.uncompressed_edges += r.uncompressed_edges;
-            if (lb_only_) {
-              shard.crit_nodes.insert(shard.crit_nodes.end(),
-                                      r.critical_globals.begin(),
-                                      r.critical_globals.end());
-              shard.crit_offsets.push_back(shard.crit_nodes.size());
-            } else {
-              shard.compressed_edges += shard.store.total_edges() - edges_before;
+        num_shards, num_threads_,
+        [&](size_t s, int /*t*/) {
+          ShardBatch& shard = shards_[s];
+          PrrStore* sink =
+              lb_only_ ? nullptr : collection.mutable_shard_store(s);
+          const size_t first = (s + num_shards - have % num_shards) %
+                               num_shards;  // smallest j with (have+j)%S == s
+          for (size_t j = first; j < need; j += num_shards) {
+            uint64_t rs = seed_;
+            rs ^= (have + j + 1) * 0x9E3779B97F4A7C15ULL;
+            Rng rng(rs);
+            const size_t edges_before = sink ? sink->total_edges() : 0;
+            PrrGenResult r =
+                generators_[s]->GenerateRandomRoot(k_, lb_only_, rng, sink);
+            shard.statuses.push_back(r.status);
+            shard.edges_examined += r.edges_examined;
+            if (r.status == PrrStatus::kBoostable) {
+              shard.uncompressed_edges += r.uncompressed_edges;
+              if (lb_only_) {
+                shard.crit_nodes.insert(shard.crit_nodes.end(),
+                                        r.critical_globals.begin(),
+                                        r.critical_globals.end());
+                shard.crit_offsets.push_back(shard.crit_nodes.size());
+              } else {
+                shard.compressed_edges += sink->total_edges() - edges_before;
+              }
             }
           }
         },
-        /*chunk=*/16);
+        /*chunk=*/1);
 
-    // Ordered merge: walk the batch in sample order, pulling each record
-    // from its owner shard. Non-boostable samples just bump counters;
-    // boostable samples are collected as refs and handed to the collection
-    // in ONE round call — the coverage structure grows once and the
-    // critical-set fill fans back out over the workers.
-    std::vector<size_t> pos(shards_.size(), 0);       // next record per shard
-    std::vector<size_t> boostable(shards_.size(), 0); // boostable ordinal
+    // Ordered record walk: visit the batch in global sample order, pulling
+    // each status from its shard (the round-robin assignment is a pure
+    // function of the index — no owner table needed). Non-boostable samples
+    // just bump counters; boostable samples are collected as refs and handed
+    // to the collection in ONE round call — the coverage structure grows
+    // once and the critical-set fill fans back out over the workers. Graphs
+    // themselves are already in place.
+    merge_pos_.assign(num_shards, 0);
+    merge_boostable_.assign(num_shards, 0);
     round_items_.clear();
     for (size_t j = 0; j < need; ++j) {
-      Shard& shard = shards_[owner_[j]];
-      const PrrStatus status = shard.statuses[pos[owner_[j]]++];
+      const size_t s = (have + j) % num_shards;
+      ShardBatch& shard = shards_[s];
+      const PrrStatus status = shard.statuses[merge_pos_[s]++];
       if (status != PrrStatus::kBoostable) {
         collection.AddNonBoostable(status);
         continue;
       }
-      const size_t b = boostable[owner_[j]]++;
+      const size_t b = merge_boostable_[s]++;
       PrrCollection::BoostableSampleRef ref;
       if (lb_only_) {
         ref.critical = shard.crit_nodes.data() + shard.crit_offsets[b];
         ref.critical_count = static_cast<uint32_t>(shard.crit_offsets[b + 1] -
                                                    shard.crit_offsets[b]);
       } else {
-        ref.shard = &shard.store;
-        ref.shard_graph_id = static_cast<uint32_t>(b);
+        ref.shard = static_cast<uint32_t>(s);
+        ref.shard_graph_id = base[s] + static_cast<uint32_t>(b);
       }
       round_items_.push_back(ref);
     }
     collection.AddBoostableRound(round_items_, lb_only_, num_threads_);
-    for (const Shard& shard : shards_) {
-      stats_.edges_examined += shard.edges_examined;
-      stats_.uncompressed_edges += shard.uncompressed_edges;
-      stats_.compressed_edges += shard.compressed_edges;
+    for (size_t s = 0; s < num_shards; ++s) {
+      stats_.edges_examined += shards_[s].edges_examined;
+      stats_.uncompressed_edges += shards_[s].uncompressed_edges;
+      stats_.compressed_edges += shards_[s].compressed_edges;
     }
   }
   return collection.num_samples();

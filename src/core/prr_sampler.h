@@ -21,11 +21,15 @@ struct PrrSamplerStats {
 /// Parallel, deterministic PRR-graph sampler. Sample i is generated from an
 /// Rng seeded by (seed, i), so pools are identical for any thread count.
 ///
-/// Each worker accumulates its samples into a thread-local shard — compressed
-/// graphs go straight into a per-shard PrrStore arena, critical sets into a
-/// flat pool — and shards are merged into the collection in sample-index
-/// order once the batch finishes. The merge is a sequence of bulk span
-/// copies: no per-graph allocation happens anywhere on this path.
+/// Samples are assigned to the collection's shards round-robin by global
+/// sample index (sample i → shard i mod S, matching the collection's
+/// contract), and each shard's generation task writes compressed graphs
+/// *directly into the persistent shard arena* — there is no staging store
+/// and no shard→monolith merge copy. Only the tiny per-sample records
+/// (status, LB critical sets) are staged per shard and walked in global
+/// sample order afterwards, so the coverage structure grows exactly as a
+/// serial per-sample funnel would. Shard tasks fan out over the thread
+/// pool; a shard is always written by exactly one task at a time.
 class PrrSampler {
  public:
   PrrSampler(const DirectedGraph& graph, const std::vector<NodeId>& seeds,
@@ -40,10 +44,11 @@ class PrrSampler {
   const PrrSamplerStats& stats() const { return stats_; }
 
  private:
-  /// One worker's per-batch output, reused (capacity kept) across batches.
-  struct Shard {
-    PrrStore store;                    // full mode: compressed graphs
-    std::vector<PrrStatus> statuses;   // per sample handled by this worker
+  /// One shard's per-batch record staging, reused (capacity kept) across
+  /// batches. Full-mode graphs never pass through here — they land straight
+  /// in the collection's persistent shard arena.
+  struct ShardBatch {
+    std::vector<PrrStatus> statuses;      // this shard's samples, in order
     std::vector<size_t> crit_offsets{0};  // LB mode: spans into crit_nodes
     std::vector<NodeId> crit_nodes;
     size_t edges_examined = 0;
@@ -60,11 +65,12 @@ class PrrSampler {
   uint64_t seed_;
   int num_threads_;
   PrrSamplerStats stats_;
-  std::vector<std::unique_ptr<PrrGenerator>> generators_;  // one per thread
-  std::vector<Shard> shards_;                              // one per thread
-  std::vector<uint8_t> owner_;  // batch-local: sample index -> worker
-  // Batch-local boostable refs in sample order, handed to
+  std::vector<std::unique_ptr<PrrGenerator>> generators_;  // one per shard
+  std::vector<ShardBatch> shards_;                         // one per shard
+  // Batch-local cursors and boostable refs in global sample order, handed to
   // PrrCollection::AddBoostableRound (capacity reused across batches).
+  std::vector<size_t> merge_pos_;
+  std::vector<size_t> merge_boostable_;
   std::vector<PrrCollection::BoostableSampleRef> round_items_;
 };
 

@@ -130,6 +130,15 @@ size_t PrrStore::MemoryBytes() const {
              sizeof(uint32_t);
 }
 
+size_t PrrStore::AllocatedBytes() const {
+  return meta_.capacity() * sizeof(Meta) +
+         global_ids_.capacity() * sizeof(NodeId) +
+         (out_offsets_.capacity() + in_offsets_.capacity() +
+          out_edges_.capacity() + in_edges_.capacity() +
+          critical_.capacity()) *
+             sizeof(uint32_t);
+}
+
 void PrrStore::Serialize(std::ostream& out) const {
   const uint64_t num_graphs = meta_.size();
   out.write(reinterpret_cast<const char*>(&num_graphs), sizeof(num_graphs));

@@ -63,6 +63,12 @@ class PrrStore {
   /// boostable PRR-graphs" metric).
   size_t MemoryBytes() const;
 
+  /// Bytes currently *reserved* by the arena's buffers (vector capacity, not
+  /// size) — the observable side of the Clear() keep-capacity contract that
+  /// sampling batches and pool refreshes rely on: refilling a cleared arena
+  /// with comparable content must not change this.
+  size_t AllocatedBytes() const;
+
   /// Drops all graphs but keeps buffer capacity (shard reuse across batches).
   void Clear();
 
@@ -149,6 +155,32 @@ class PrrEvalState {
   std::vector<Slot> slots_;
   std::vector<uint64_t> words_;
   std::vector<uint8_t> init_;
+};
+
+/// Per-shard PrrEvalState bundle for a sharded pool: one bitmap arena per
+/// shard arena, each following the PrrEvalState attach/reuse rules (slot
+/// tables rebuilt only on generation mismatch, words re-zeroed otherwise).
+///
+/// Thread-safety model: during a selection run any worker may scan graphs of
+/// any shard, but the pick-commit fan-out assigns each graph to exactly one
+/// worker, and a graph's bitmaps live entirely inside its shard's state — so
+/// per-shard states need no synchronization beyond what PrrEvalState already
+/// guarantees (one writer per graph, byte-wide init flags).
+class ShardedEvalState {
+ public:
+  /// (Re)binds one eval state per shard arena. Safe to call with a different
+  /// shard count than last time (e.g. after a hot-swap onto a pool with
+  /// another S) — surplus states are dropped, missing ones allocated.
+  void Attach(std::span<const PrrStore> shards) {
+    states_.resize(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s) states_[s].Attach(shards[s]);
+  }
+
+  PrrEvalState& shard(size_t s) { return states_[s]; }
+  size_t num_shards() const { return states_.size(); }
+
+ private:
+  std::vector<PrrEvalState> states_;
 };
 
 }  // namespace kboost

@@ -2,18 +2,25 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "src/core/prr_collection.h"
 #include "src/core/prr_sampler.h"
 #include "src/im/coverage.h"
+#include "src/util/thread_pool.h"
 
 namespace kboost {
 
 namespace {
 
 constexpr char kMagic[8] = {'K', 'B', 'P', 'R', 'R', 'P', 'O', 'L'};
-constexpr uint32_t kVersion = 1;
+/// v1: single-arena full-mode body. v2: adds num_shards to the header and
+/// stores the full-mode body as a per-shard blob-size table followed by one
+/// independently-validated arena blob per shard (save and load both fan out
+/// over the shards). v1 snapshots still load, as S=1.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 constexpr uint32_t kFlagLbOnly = 1u << 0;
 constexpr uint32_t kFlagSamplesCapped = 1u << 1;
@@ -30,6 +37,7 @@ struct Header {
   uint64_t rng_seed = 0;
   uint64_t max_samples = 0;
   uint32_t num_threads = 0;
+  uint32_t num_shards = 1;  // v2+; implicit 1 in v1 snapshots
   uint64_t num_seeds = 0;
   uint64_t num_boostable = 0;
   uint64_t num_activated = 0;
@@ -72,6 +80,7 @@ void WriteHeader(std::ostream& out, const Header& h) {
   WritePod(out, h.rng_seed);
   WritePod(out, h.max_samples);
   WritePod(out, h.num_threads);
+  WritePod(out, h.num_shards);
   WritePod(out, h.num_seeds);
   WritePod(out, h.num_boostable);
   WritePod(out, h.num_activated);
@@ -87,21 +96,33 @@ Status ReadHeader(std::istream& in, const std::string& path, Header* h) {
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a kboost pool snapshot: " + path);
   }
-  if (!ReadPod(in, &h->version) || !ReadPod(in, &h->flags) ||
-      !ReadPod(in, &h->num_graph_nodes) || !ReadPod(in, &h->pool_budget) ||
+  if (!ReadPod(in, &h->version) || !ReadPod(in, &h->flags)) {
+    return Status::IoError("truncated pool snapshot header: " + path);
+  }
+  // Version gates the field layout, so it must be checked before the
+  // remaining fields are interpreted.
+  if (h->version < kMinVersion || h->version > kVersion) {
+    return Status::InvalidArgument(
+        "unsupported pool snapshot version " + std::to_string(h->version) +
+        " (this build reads versions " + std::to_string(kMinVersion) + ".." +
+        std::to_string(kVersion) + ")");
+  }
+  if (!ReadPod(in, &h->num_graph_nodes) || !ReadPod(in, &h->pool_budget) ||
       !ReadPod(in, &h->epsilon) || !ReadPod(in, &h->ell) ||
       !ReadPod(in, &h->rng_seed) || !ReadPod(in, &h->max_samples) ||
-      !ReadPod(in, &h->num_threads) || !ReadPod(in, &h->num_seeds) ||
-      !ReadPod(in, &h->num_boostable) || !ReadPod(in, &h->num_activated) ||
-      !ReadPod(in, &h->num_hopeless) || !ReadPod(in, &h->edges_examined) ||
+      !ReadPod(in, &h->num_threads)) {
+    return Status::IoError("truncated pool snapshot header: " + path);
+  }
+  h->num_shards = 1;  // v1 snapshots are single-arena pools
+  if (h->version >= 2 && !ReadPod(in, &h->num_shards)) {
+    return Status::IoError("truncated pool snapshot header: " + path);
+  }
+  if (!ReadPod(in, &h->num_seeds) || !ReadPod(in, &h->num_boostable) ||
+      !ReadPod(in, &h->num_activated) || !ReadPod(in, &h->num_hopeless) ||
+      !ReadPod(in, &h->edges_examined) ||
       !ReadPod(in, &h->uncompressed_edges) ||
       !ReadPod(in, &h->compressed_edges)) {
     return Status::IoError("truncated pool snapshot header: " + path);
-  }
-  if (h->version != kVersion) {
-    return Status::InvalidArgument(
-        "unsupported pool snapshot version " + std::to_string(h->version) +
-        " (this build reads version " + std::to_string(kVersion) + ")");
   }
   return Status::Ok();
 }
@@ -130,6 +151,7 @@ Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
   h.rng_seed = session.options().seed;
   h.max_samples = session.options().max_samples;
   h.num_threads = static_cast<uint32_t>(session.options().num_threads);
+  h.num_shards = static_cast<uint32_t>(pool.num_shards());
   h.num_seeds = session.seeds().size();
   h.num_boostable = pool.num_boostable();
   h.num_activated = pool.num_activated();
@@ -159,7 +181,26 @@ Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
                 static_cast<std::streamsize>(nodes.size() * sizeof(NodeId)));
     }
   } else {
-    pool.store().Serialize(out);
+    // v2 multi-shard body: per-shard blob sizes, then the blobs. Shards
+    // serialize concurrently into memory buffers; the size table is what
+    // lets the loader slice the stream and deserialize shards in parallel
+    // (and bound every per-shard allocation before it happens).
+    const size_t num_shards = pool.num_shards();
+    std::vector<std::string> blobs(num_shards);
+    ParallelFor(
+        num_shards, session.options().num_threads,
+        [&](size_t s, int /*t*/) {
+          std::ostringstream buffer(std::ios::binary);
+          pool.shard_store(s).Serialize(buffer);
+          blobs[s] = std::move(buffer).str();
+        },
+        /*chunk=*/1);
+    for (const std::string& blob : blobs) {
+      WritePod(out, static_cast<uint64_t>(blob.size()));
+    }
+    for (const std::string& blob : blobs) {
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
   }
   out.flush();
   if (!out) return Status::IoError("write failed: " + path);
@@ -181,7 +222,8 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
         std::to_string(graph.num_nodes()));
   }
   if (h.pool_budget == 0 || h.num_seeds == 0 ||
-      h.num_seeds > graph.num_nodes()) {
+      h.num_seeds > graph.num_nodes() || h.num_shards == 0 ||
+      h.num_shards > static_cast<uint32_t>(PrrCollection::kMaxShards)) {
     return Status::InvalidArgument("corrupt pool snapshot header: " + path);
   }
   const bool lb_only = (h.flags & kFlagLbOnly) != 0;
@@ -197,7 +239,8 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
     }
   }
 
-  auto pool = std::make_unique<PrrCollection>(graph.num_nodes());
+  auto pool = std::make_unique<PrrCollection>(
+      graph.num_nodes(), static_cast<int>(h.num_shards));
   if (lb_only) {
     uint64_t num_sets = 0;
     if (!ReadPod(in, &num_sets) || num_sets != h.num_boostable ||
@@ -234,29 +277,99 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
     }
     pool->AddNonBoostableCounts(h.num_activated, h.num_hopeless);
   } else {
-    PrrStore store;
-    if (Status arena = store.Deserialize(in); !arena.ok()) {
-      return Status::InvalidArgument("corrupt PRR-graph arena in snapshot " +
-                                     path + ": " + arena.ToString());
-    }
-    if (store.num_graphs() != h.num_boostable) {
-      return Status::InvalidArgument(
-          "snapshot header declares " + std::to_string(h.num_boostable) +
-          " boostable graphs but the arena has " +
-          std::to_string(store.num_graphs()));
-    }
-    // Global ids must fit the serving graph before views reach evaluators.
-    for (size_t g = 0; g < store.num_graphs(); ++g) {
-      const PrrGraphView view = store.View(g);
-      for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes(); ++v) {
-        if (view.global_ids[v] >= graph.num_nodes()) {
-          return Status::OutOfRange(
-              "snapshot PRR-graph node out of range: " +
-              std::to_string(view.global_ids[v]));
+    const size_t num_shards = h.num_shards;
+    std::vector<std::string> blobs(num_shards);
+    if (h.version >= 2) {
+      // v2 body: the blob-size table bounds every read before it happens —
+      // reject a table that promises more bytes than the stream holds.
+      std::vector<uint64_t> blob_sizes(num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (!ReadPod(in, &blob_sizes[s])) {
+          return Status::IoError("truncated shard size table: " + path);
         }
       }
+      // Per-entry then cumulative bound (the per-entry check also keeps the
+      // running total overflow-free). An absurd single entry means a corrupt
+      // table; a plausible table that sums past the stream means the file
+      // was cut short, so that case reports as truncation.
+      const uint64_t remaining = RemainingBytes(in);
+      uint64_t total_bytes = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (blob_sizes[s] > remaining) {
+          return Status::InvalidArgument(
+              "shard table declares more data than the snapshot holds: " +
+              path);
+        }
+        if (total_bytes + blob_sizes[s] > remaining) {
+          return Status::IoError("truncated shard block " +
+                                 std::to_string(s) + ": " + path);
+        }
+        total_bytes += blob_sizes[s];
+      }
+      for (size_t s = 0; s < num_shards; ++s) {
+        blobs[s].resize(blob_sizes[s]);
+        in.read(blobs[s].data(),
+                static_cast<std::streamsize>(blob_sizes[s]));
+        if (!in) {
+          return Status::IoError("truncated shard block " +
+                                 std::to_string(s) + ": " + path);
+        }
+      }
+    } else {
+      // v1 body: one arena blob spanning the rest of the stream; loads as a
+      // single-shard pool.
+      const uint64_t bytes = RemainingBytes(in);
+      blobs[0].resize(bytes);
+      in.read(blobs[0].data(), static_cast<std::streamsize>(bytes));
+      if (!in) return Status::IoError("truncated pool snapshot: " + path);
     }
-    pool->RestoreFullPool(std::move(store), h.num_activated, h.num_hopeless);
+
+    // Per-shard deserialization and structural validation fan out over the
+    // workers; every shard reports its own Status and the first failure (in
+    // shard order, for a deterministic message) wins.
+    const int load_threads =
+        std::min(std::max(1, static_cast<int>(h.num_threads)),
+                 ThreadPool::kMaxWorkers);
+    std::vector<PrrStore> stores(num_shards);
+    std::vector<Status> shard_status(num_shards, Status::Ok());
+    ParallelFor(
+        num_shards, load_threads,
+        [&](size_t s, int /*t*/) {
+          std::istringstream blob_in(blobs[s], std::ios::binary);
+          if (Status arena = stores[s].Deserialize(blob_in); !arena.ok()) {
+            shard_status[s] = Status::InvalidArgument(
+                "corrupt PRR-graph arena in shard " + std::to_string(s) +
+                " of snapshot " + path + ": " + arena.ToString());
+            return;
+          }
+          // Global ids must fit the serving graph before views reach
+          // evaluators.
+          for (size_t g = 0; g < stores[s].num_graphs(); ++g) {
+            const PrrGraphView view = stores[s].View(g);
+            for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes();
+                 ++v) {
+              if (view.global_ids[v] >= graph.num_nodes()) {
+                shard_status[s] = Status::OutOfRange(
+                    "snapshot PRR-graph node out of range: " +
+                    std::to_string(view.global_ids[v]));
+                return;
+              }
+            }
+          }
+        },
+        /*chunk=*/1);
+    for (const Status& s : shard_status) {
+      if (!s.ok()) return s;
+    }
+    size_t total_graphs = 0;
+    for (const PrrStore& store : stores) total_graphs += store.num_graphs();
+    if (total_graphs != h.num_boostable) {
+      return Status::InvalidArgument(
+          "snapshot header declares " + std::to_string(h.num_boostable) +
+          " boostable graphs but the shard arenas hold " +
+          std::to_string(total_graphs));
+    }
+    pool->RestoreFullPool(std::move(stores), h.num_activated, h.num_hopeless);
   }
 
   BoostOptions options;
@@ -266,6 +379,7 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
   options.seed = h.rng_seed;
   options.max_samples = h.max_samples;
   if (h.num_threads > 0) options.num_threads = static_cast<int>(h.num_threads);
+  options.num_shards = static_cast<int>(h.num_shards);
 
   PrrSamplerStats stats;
   stats.edges_examined = h.edges_examined;

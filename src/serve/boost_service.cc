@@ -87,8 +87,10 @@ Status BoostService::AddPool(const std::string& name,
   }
   // Sampling + index warm-up runs outside any lock: queries against other
   // pools are never blocked behind a registration.
+  WallTimer rebuild_timer;
   session->Prepare();
   PoolEntry entry;
+  entry.last_rebuild_ms = rebuild_timer.Seconds() * 1e3;
   entry.session = std::move(session);
   entry.version = next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
   entry.registered_at = NowEpochSeconds();
@@ -115,7 +117,9 @@ Status BoostService::RefreshPool(const std::string& name,
   // The rebuild — sampling, index warm-up, LB-order caching — runs entirely
   // outside the registry lock, so live queries (against this pool and every
   // other) proceed untouched while the replacement is prepared.
+  WallTimer rebuild_timer;
   session->Prepare();
+  const double rebuild_ms = rebuild_timer.Seconds() * 1e3;
   std::shared_ptr<const BoostSession> fresh = std::move(session);
   // Keeps the retired session alive past the lock scope: if this was its
   // last reference, the (potentially huge) pool arena is torn down AFTER
@@ -139,6 +143,7 @@ Status BoostService::RefreshPool(const std::string& name,
         next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
     it->second.refreshes += 1;
     it->second.refreshed_at = NowEpochSeconds();
+    it->second.last_rebuild_ms = rebuild_ms;
   }
   return Status::Ok();
 }
@@ -214,6 +219,7 @@ ServiceStatsSnapshot BoostService::Stats() const {
       p.snapshot.refreshes = entry.refreshes;
       p.snapshot.registered_at = entry.registered_at;
       p.snapshot.refreshed_at = entry.refreshed_at;
+      p.snapshot.last_rebuild_ms = entry.last_rebuild_ms;
       p.stats = entry.stats;
       pending.push_back(std::move(p));
     }

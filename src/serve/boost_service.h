@@ -171,6 +171,7 @@ class BoostService {
     uint64_t refreshes = 0;
     double registered_at = 0.0;  ///< seconds since epoch
     double refreshed_at = 0.0;   ///< seconds since epoch; 0 = never swapped
+    double last_rebuild_ms = 0.0;  ///< Prepare() wall ms of the live session
     /// shared_ptr so a query that loses a race with RemovePool can still
     /// record its outcome after the entry is gone.
     std::shared_ptr<PoolStatsCollector> stats;

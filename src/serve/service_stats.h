@@ -28,6 +28,12 @@ struct PoolStatsSnapshot {
   double latency_p95_ms = 0.0;   ///< 95th percentile over the recent window
   double registered_at = 0.0;    ///< seconds since epoch, AddPool/LoadPool
   double refreshed_at = 0.0;     ///< seconds since epoch, last swap (0 = never)
+  /// Wall milliseconds the most recent rebuild of this pool spent in
+  /// Prepare() — sampling, per-shard index warm-up and LB-order caching —
+  /// i.e. the cost of the last AddPool/LoadPool or RefreshPool, measured
+  /// outside the registry lock. What an operator watches to size refresh
+  /// cadence and judge the sharded rebuild speed-up.
+  double last_rebuild_ms = 0.0;
 };
 
 /// Everything BoostService::Stats() reports: one snapshot per registered

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -185,16 +186,16 @@ TEST(PoolIoTest, LoadRejectsMissingGarbageAndMismatchedSnapshots) {
 
 TEST(PoolIoTest, InflatedHeaderCountsAreRejectedNotAllocated) {
   // A corrupt count must produce an error Status, not a multi-gigabyte
-  // allocation. num_seeds sits at byte 68 of the v1 header (after magic,
+  // allocation. num_seeds sits at byte 72 of the v2 header (after magic,
   // version, flags, n, budget, epsilon, ell, rng seed, max_samples,
-  // num_threads).
+  // num_threads, num_shards).
   DirectedGraph g = MakeTestGraph();
   const std::string path = TempPath("kboost_pool_inflated.bin");
   BoostSession session(g, {0, 1}, MakeOptions(5));
   ASSERT_TRUE(session.SavePool(path).ok());
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
-    f.seekp(68);
+    f.seekp(72);
     const uint64_t huge = uint64_t{1} << 60;
     f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
   }
@@ -202,6 +203,206 @@ TEST(PoolIoTest, InflatedHeaderCountsAreRejectedNotAllocated) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   std::filesystem::remove(path);
+}
+
+BoostOptions MakeShardedOptions(size_t k, int num_shards) {
+  BoostOptions options = MakeOptions(k);
+  options.num_shards = num_shards;
+  return options;
+}
+
+TEST(PoolIoTest, MultiShardSnapshotRoundTripsBitIdentically) {
+  // A full-mode pool split across 3 arenas must save → load → solve
+  // bit-identically, with the shard layout preserved by the snapshot.
+  DirectedGraph g = MakeTestGraph(17);
+  const std::vector<NodeId> seeds = {0, 5};
+  const std::string path = TempPath("kboost_pool_sharded.bin");
+  BoostSession session(g, seeds, MakeShardedOptions(10, 3));
+  ASSERT_TRUE(session.SavePool(path).ok());
+
+  StatusOr<std::unique_ptr<BoostSession>> loaded = LoadPoolSnapshot(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  BoostSession& warm = *loaded.value();
+  EXPECT_EQ(warm.engine().collection().num_shards(), 3u);
+  EXPECT_EQ(warm.engine().options().num_shards, 3);
+  for (size_t k : {2, 6, 10}) {
+    BoostResult a = session.SolveForBudget(k);
+    BoostResult b = warm.SolveForBudget(k);
+    EXPECT_EQ(a.best_set, b.best_set);
+    EXPECT_EQ(a.delta_set, b.delta_set);
+    EXPECT_EQ(a.best_estimate, b.best_estimate);
+    EXPECT_EQ(a.num_samples, b.num_samples);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PoolIoTest, ShardedSnapshotMatchesMonolithicAnswers) {
+  // Snapshots taken at different shard counts answer identically: the shard
+  // layout is a storage detail, never a semantic one.
+  DirectedGraph g = MakeTestGraph(19);
+  const std::vector<NodeId> seeds = {1, 2};
+  const std::string mono_path = TempPath("kboost_pool_s1.bin");
+  const std::string sharded_path = TempPath("kboost_pool_s4.bin");
+  BoostSession mono(g, seeds, MakeShardedOptions(8, 1));
+  BoostSession sharded(g, seeds, MakeShardedOptions(8, 4));
+  ASSERT_TRUE(mono.SavePool(mono_path).ok());
+  ASSERT_TRUE(sharded.SavePool(sharded_path).ok());
+  StatusOr<std::unique_ptr<BoostSession>> a = LoadPoolSnapshot(g, mono_path);
+  StatusOr<std::unique_ptr<BoostSession>> b =
+      LoadPoolSnapshot(g, sharded_path);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t k : {3, 8}) {
+    BoostResult ra = a.value()->SolveForBudget(k);
+    BoostResult rb = b.value()->SolveForBudget(k);
+    EXPECT_EQ(ra.best_set, rb.best_set);
+    EXPECT_EQ(ra.best_estimate, rb.best_estimate);
+    EXPECT_EQ(ra.num_samples, rb.num_samples);
+  }
+  std::filesystem::remove(mono_path);
+  std::filesystem::remove(sharded_path);
+}
+
+/// Byte offset of the v2 full-mode shard size table: the 128-byte header
+/// followed by the seed list.
+size_t ShardTableOffset(size_t num_seeds) { return 128 + 4 * num_seeds; }
+
+TEST(PoolIoTest, OverstatedShardTableIsRejected) {
+  DirectedGraph g = MakeTestGraph();
+  const std::string path = TempPath("kboost_pool_badtable.bin");
+  BoostSession session(g, {0, 1}, MakeShardedOptions(5, 3));
+  ASSERT_TRUE(session.SavePool(path).ok());
+  {
+    // First size-table entry promises more bytes than the file holds.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(ShardTableOffset(2)));
+    const uint64_t huge = uint64_t{1} << 60;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  StatusOr<std::unique_ptr<BoostSession>> r = LoadPoolSnapshot(g, path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(PoolIoTest, CorruptShardBlockIsRejected) {
+  DirectedGraph g = MakeTestGraph();
+  const std::string path = TempPath("kboost_pool_badshard.bin");
+  BoostSession session(g, {0, 1}, MakeShardedOptions(5, 3));
+  ASSERT_TRUE(session.SavePool(path).ok());
+  {
+    // Clobber the first shard blob's leading counts: per-shard structural
+    // validation must reject the arena, not allocate from the corrupt value.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(ShardTableOffset(2) + 3 * 8));
+    const uint64_t huge = uint64_t{1} << 60;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  StatusOr<std::unique_ptr<BoostSession>> r = LoadPoolSnapshot(g, path);
+  EXPECT_FALSE(r.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(PoolIoTest, TruncatedShardBlockIsRejected) {
+  DirectedGraph g = MakeTestGraph();
+  const std::string path = TempPath("kboost_pool_shorttail.bin");
+  BoostSession session(g, {0, 1}, MakeShardedOptions(5, 3));
+  ASSERT_TRUE(session.SavePool(path).ok());
+  // Shave a few bytes off the last shard's blob.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 3);
+  StatusOr<std::unique_ptr<BoostSession>> r = LoadPoolSnapshot(g, path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::filesystem::remove(path);
+}
+
+TEST(PoolIoTest, LegacyV1SnapshotLoadsAsSingleShard) {
+  // Back-compat: a v1 snapshot (no num_shards field, one monolithic arena
+  // blob, no size table) must still load — as an S = 1 pool — and answer
+  // exactly like the session it was saved from. The v1 file is synthesized
+  // from a fresh S = 1 v2 snapshot by dropping the v2-only bytes.
+  DirectedGraph g = MakeTestGraph(23);
+  const std::vector<NodeId> seeds = {0, 3};
+  const std::string v2_path = TempPath("kboost_pool_v2src.bin");
+  const std::string v1_path = TempPath("kboost_pool_v1.bin");
+  BoostSession session(g, seeds, MakeShardedOptions(8, 1));
+  ASSERT_TRUE(session.SavePool(v2_path).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(v2_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  const size_t table = ShardTableOffset(seeds.size());
+  ASSERT_GT(bytes.size(), table + 8);
+  std::string v1;
+  v1.append(bytes, 0, 68);            // magic .. num_threads
+  const uint32_t version1 = 1;        // rewrite the version field
+  v1.replace(8, 4, reinterpret_cast<const char*>(&version1), 4);
+  v1.append(bytes, 72, table - 72);   // num_seeds .. seeds (skip num_shards)
+  v1.append(bytes, table + 8, std::string::npos);  // blob (skip size table)
+  {
+    std::ofstream out(v1_path, std::ios::binary | std::ios::trunc);
+    out.write(v1.data(), static_cast<std::streamsize>(v1.size()));
+  }
+
+  StatusOr<std::unique_ptr<BoostSession>> loaded =
+      LoadPoolSnapshot(g, v1_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->engine().collection().num_shards(), 1u);
+  for (size_t k : {2, 8}) {
+    BoostResult a = session.SolveForBudget(k);
+    BoostResult b = loaded.value()->SolveForBudget(k);
+    EXPECT_EQ(a.best_set, b.best_set);
+    EXPECT_EQ(a.best_estimate, b.best_estimate);
+    EXPECT_EQ(a.num_samples, b.num_samples);
+  }
+  std::filesystem::remove(v2_path);
+  std::filesystem::remove(v1_path);
+}
+
+TEST(BoostSessionTest, ShardAndThreadCombosAnswerIdentically) {
+  // Session-level fuzz over (threads, shards, k): every combination must
+  // reproduce the serial S = 1 answers bit-for-bit.
+  DirectedGraph g = MakeTestGraph(29);
+  const std::vector<NodeId> seeds = {0, 1};
+  BoostOptions reference_options = MakeOptions(10);
+  reference_options.num_threads = 1;
+  reference_options.num_shards = 1;
+  BoostSession reference(g, seeds, reference_options);
+  Rng fuzz(737373);
+  for (int combo = 0; combo < 4; ++combo) {
+    BoostOptions options = MakeOptions(10);
+    options.num_threads = 1 + static_cast<int>(fuzz.NextBounded(4));
+    options.num_shards = 2 + static_cast<int>(fuzz.NextBounded(5));
+    BoostSession session(g, seeds, options);
+    const size_t k = 1 + fuzz.NextBounded(10);
+    SCOPED_TRACE("threads=" + std::to_string(options.num_threads) +
+                 " shards=" + std::to_string(options.num_shards) +
+                 " k=" + std::to_string(k));
+    BoostResult a = reference.SolveForBudget(k);
+    BoostResult b = session.SolveForBudget(k);
+    EXPECT_EQ(a.best_set, b.best_set);
+    EXPECT_EQ(a.lb_set, b.lb_set);
+    EXPECT_EQ(a.delta_set, b.delta_set);
+    EXPECT_EQ(a.best_estimate, b.best_estimate);
+    EXPECT_EQ(a.lb_mu_hat, b.lb_mu_hat);
+    EXPECT_EQ(a.num_samples, b.num_samples);
+  }
+}
+
+TEST(BoostSessionTest, RejectsOutOfRangeShardCounts) {
+  DirectedGraph g = MakeTestGraph();
+  for (int bad : {0, -3, PrrCollection::kMaxShards + 1}) {
+    BoostOptions options = MakeOptions(5);
+    options.num_shards = bad;
+    StatusOr<std::unique_ptr<BoostSession>> r =
+        BoostSession::Create(g, {0, 1}, options, /*lb_only=*/false);
+    EXPECT_FALSE(r.ok()) << "num_shards=" << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(PoolIoTest, TruncatedSnapshotFailsCleanly) {

@@ -384,5 +384,65 @@ TEST(IncrementalEvalTest, BulkCoverageAppendMatchesPerSampleFunnel) {
   EXPECT_EQ(mu_nodes.mu_hat, mu_ref.mu_hat);
 }
 
+/// The sharding determinism guarantee, fuzzed: for random graphs and random
+/// (threads, shards, k) combinations, a pool split across S arenas must
+/// produce bit-identical answers — Δ̂ selection (nodes, per-pick gains,
+/// activated count), both estimators and the LB order — to the monolithic
+/// S = 1 pool sampled serially with the same seed.
+TEST(IncrementalEvalTest, ShardedAnswersMatchMonolithAcrossFuzzedCombos) {
+  Rng fuzz(515151);
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    const NodeId n = 50 + static_cast<NodeId>(trial) * 9;
+    DirectedGraph graph = MakeRandomGraph(7000 + trial, n, 6 * n);
+    const std::vector<NodeId> seeds = {0, 1};
+    const std::vector<uint8_t> excluded = MakeNodeBitmap(n, seeds);
+    const size_t pool_k = 8;
+    const size_t target = 600;
+
+    // Reference: monolithic pool, single worker.
+    PrrCollection mono(n);
+    {
+      PrrSampler sampler(graph, seeds, pool_k, /*lb_only=*/false,
+                         /*seed=*/5000 + trial, /*num_threads=*/1);
+      sampler.EnsureSamples(mono, target);
+    }
+    const size_t k = 1 + fuzz.NextBounded(pool_k);
+    const PrrCollection::DeltaResult ref_delta =
+        mono.SelectGreedyDelta(k, excluded, 1);
+    const PrrCollection::LbResult ref_lb =
+        mono.SelectGreedyLowerBound(pool_k, excluded);
+    const double ref_delta_hat = mono.EstimateDelta(ref_delta.nodes, 1);
+    const double ref_mu_hat = mono.EstimateMu(ref_delta.nodes);
+
+    for (int combo = 0; combo < 3; ++combo) {
+      const int shards = 2 + static_cast<int>(fuzz.NextBounded(6));
+      const int threads = 1 + static_cast<int>(fuzz.NextBounded(4));
+      SCOPED_TRACE("trial=" + std::to_string(trial) +
+                   " shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads) +
+                   " k=" + std::to_string(k));
+      PrrCollection sharded(n, shards);
+      PrrSampler sampler(graph, seeds, pool_k, /*lb_only=*/false,
+                         /*seed=*/5000 + trial, threads);
+      sampler.EnsureSamples(sharded, target);
+      ASSERT_EQ(sharded.num_samples(), mono.num_samples());
+      ASSERT_EQ(sharded.num_stored_graphs(), mono.store().num_graphs());
+
+      const PrrCollection::DeltaResult got =
+          sharded.SelectGreedyDelta(k, excluded, threads);
+      EXPECT_EQ(got.nodes, ref_delta.nodes);
+      EXPECT_EQ(got.pick_gains, ref_delta.pick_gains);
+      EXPECT_EQ(got.activated_samples, ref_delta.activated_samples);
+      EXPECT_EQ(sharded.EstimateDelta(ref_delta.nodes, threads),
+                ref_delta_hat);
+      EXPECT_EQ(sharded.EstimateMu(ref_delta.nodes), ref_mu_hat);
+      const PrrCollection::LbResult lb =
+          sharded.SelectGreedyLowerBound(pool_k, excluded);
+      EXPECT_EQ(lb.nodes, ref_lb.nodes);
+      EXPECT_EQ(lb.prefix_mu_hat, ref_lb.prefix_mu_hat);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace kboost

@@ -121,6 +121,26 @@ TEST(PrrStoreTest, ClearKeepsNothing) {
   EXPECT_TRUE(SameGraph(store.ToPrrGraph(0), graphs[0]));
 }
 
+TEST(PrrStoreTest, ClearKeepsCapacity) {
+  // The keep-capacity contract the sampler's persistent shard arenas rely
+  // on: Clear() drops contents but never releases buffers, so clearing and
+  // refilling with the same graphs must leave the reserved footprint
+  // bit-for-bit unchanged — no reallocation churn across refresh rounds.
+  std::vector<PrrGraph> graphs = SampleGraphs(20, 15);
+  PrrStore store;
+  for (const PrrGraph& g : graphs) store.Add(g);
+  const size_t allocated = store.AllocatedBytes();
+  EXPECT_GT(allocated, 0u);
+  store.Clear();
+  EXPECT_EQ(store.num_graphs(), 0u);
+  EXPECT_EQ(store.AllocatedBytes(), allocated);
+  for (const PrrGraph& g : graphs) store.Add(g);
+  EXPECT_EQ(store.AllocatedBytes(), allocated);
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    ASSERT_TRUE(SameGraph(store.ToPrrGraph(i), graphs[i])) << "graph " << i;
+  }
+}
+
 class PrrDeterminismTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -154,6 +174,51 @@ TEST_F(PrrDeterminismTest, PoolIsIdenticalForAnyThreadCount) {
                           parallel.store().ToPrrGraph(g)))
         << "graph " << g;
   }
+}
+
+TEST_F(PrrDeterminismTest, ShardedPoolIsIdenticalForAnyThreadCount) {
+  // Sample→shard assignment is a pure function of the GLOBAL sample index
+  // (sample i → shard i mod S) and each sample's Rng is seeded by that
+  // index, so every shard arena must be bit-identical no matter how many
+  // workers generated it.
+  PrrCollection serial(dataset_.graph.num_nodes(), /*num_shards=*/3);
+  PrrCollection parallel(dataset_.graph.num_nodes(), /*num_shards=*/3);
+  FillPool(serial, 1, 3000, /*lb_only=*/false);
+  FillPool(parallel, 4, 3000, /*lb_only=*/false);
+  ASSERT_EQ(serial.num_samples(), parallel.num_samples());
+  ASSERT_EQ(serial.num_boostable(), parallel.num_boostable());
+  for (size_t s = 0; s < serial.num_shards(); ++s) {
+    const PrrStore& a = serial.shard_store(s);
+    const PrrStore& b = parallel.shard_store(s);
+    ASSERT_EQ(a.num_graphs(), b.num_graphs()) << "shard " << s;
+    for (size_t g = 0; g < a.num_graphs(); ++g) {
+      ASSERT_TRUE(SameGraph(a.ToPrrGraph(g), b.ToPrrGraph(g)))
+          << "shard " << s << " graph " << g;
+    }
+  }
+}
+
+TEST_F(PrrDeterminismTest, ShardCountIsInvisibleInEveryAnswer) {
+  // Estimators are additive over samples and selection settles gains before
+  // each pick, so partitioning one pool into S arenas must not change a
+  // single bit of any answer.
+  PrrCollection mono(dataset_.graph.num_nodes());
+  PrrCollection sharded(dataset_.graph.num_nodes(), /*num_shards=*/5);
+  FillPool(mono, 2, 3000, /*lb_only=*/false);
+  FillPool(sharded, 2, 3000, /*lb_only=*/false);
+  ASSERT_EQ(mono.num_samples(), sharded.num_samples());
+  ASSERT_EQ(sharded.num_stored_graphs(), mono.store().num_graphs());
+  PrrCollection::DeltaResult dm = mono.SelectGreedyDelta(15, excluded_, 2);
+  PrrCollection::DeltaResult ds = sharded.SelectGreedyDelta(15, excluded_, 2);
+  EXPECT_EQ(dm.nodes, ds.nodes);
+  EXPECT_EQ(dm.pick_gains, ds.pick_gains);
+  EXPECT_EQ(dm.activated_samples, ds.activated_samples);
+  EXPECT_EQ(mono.EstimateDelta(dm.nodes, 2), sharded.EstimateDelta(ds.nodes, 2));
+  EXPECT_EQ(mono.EstimateMu(dm.nodes), sharded.EstimateMu(ds.nodes));
+  PrrCollection::LbResult lm = mono.SelectGreedyLowerBound(15, excluded_);
+  PrrCollection::LbResult ls = sharded.SelectGreedyLowerBound(15, excluded_);
+  EXPECT_EQ(lm.nodes, ls.nodes);
+  EXPECT_EQ(lm.mu_hat, ls.mu_hat);
 }
 
 TEST_F(PrrDeterminismTest, SelectGreedyDeltaIsThreadCountInvariant) {
