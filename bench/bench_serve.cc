@@ -8,10 +8,14 @@
 // Every concurrent answer is compared bit-identically against a serial
 // reference pass — the process ABORTS on divergence, which is what makes
 // this bench double as the CI regression gate for the concurrent serving
-// path (like bench_micro_eval does for the incremental engine). A final
+// path (like bench_micro_eval does for the incremental engine). A
 // refresh-under-load scenario hot-swaps the pool (RefreshPool) beneath 4
 // live client threads and aborts on any NotFound, divergence or version
-// regression.
+// regression; a final mmap warm-swap scenario snapshots the live pool to a
+// v3 file and RefreshPoolFromSnapshot-s it back in as a ZERO-COPY mmap-served
+// pool (the service runs with Options::mmap_pools = true) under the same
+// 4-client load and gates — plus an assert that the swapped-in arenas really
+// are externally backed.
 //
 // With --json=BENCH_serve.json the throughput per client count and the
 // 4-vs-1 ratio are recorded in the BENCH_*.json shape.
@@ -21,8 +25,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,6 +36,7 @@
 #include "bench/bench_flags.h"
 #include "src/core/boost_session.h"
 #include "src/expt/table_printer.h"
+#include "src/io/pool_io.h"
 #include "src/serve/boost_service.h"
 #include "src/util/timer.h"
 
@@ -61,8 +68,13 @@ int main(int argc, char** argv) {
   BenchInstance instance = LoadInstance("digg", SeedMode::kInfluential, flags);
   const DirectedGraph& g = instance.dataset.graph;
 
+  // mmap_pools routes every snapshot load (the mmap warm-swap scenario at
+  // the end) through the zero-copy v3 path; directly AddPool-ed sessions
+  // are unaffected.
+  BoostService::Options service_options;
+  service_options.mmap_pools = true;
   StatusOr<std::unique_ptr<BoostService>> service_or =
-      BoostService::Create(g);
+      BoostService::Create(g, service_options);
   if (!service_or.ok()) {
     std::fprintf(stderr, "service: %s\n",
                  service_or.status().ToString().c_str());
@@ -283,6 +295,122 @@ int main(int argc, char** argv) {
     json.Add("serve/refresh_under_load_queries",
              static_cast<double>(refresh_queries.load()), "queries");
     json.Add("serve/refresh_rebuild_s", rebuild_s, "s");
+  }
+
+  // Mmap warm-swap under load: snapshot the live pool to a v3 file, then
+  // RefreshPoolFromSnapshot it back in beneath the same 4-client load. With
+  // mmap_pools = true the swapped-in session serves its arenas zero-copy
+  // straight out of the mapped file, so this gates the whole mmap lifecycle
+  // under concurrency: load → hot-swap → queries on mapped memory → retired
+  // pool teardown, with the usual bit-identity / NotFound / version aborts,
+  // plus an assert that the served arenas really are externally backed.
+  {
+    const std::string snapshot_path =
+        (std::filesystem::temp_directory_path() / "kboost_serve_mmap.bin")
+            .string();
+    {
+      std::shared_ptr<const BoostSession> current = service.GetPool("digg");
+      StatusOr<PoolSaveResult> saved =
+          SavePoolSnapshot(*current, snapshot_path, PoolSaveOptions());
+      if (!saved.ok()) {
+        std::fprintf(stderr, "mmap-swap save: %s\n",
+                     saved.status().ToString().c_str());
+        std::abort();
+      }
+      std::printf("\nmmap warm-swap: saved v3 snapshot (%llu bytes, "
+                  "%.2f B/sample)\n",
+                  static_cast<unsigned long long>(saved->file_bytes),
+                  saved->bytes_per_sample);
+    }
+    const uint64_t version_before = service.PoolVersion("digg");
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> swap_errors{0};
+    std::atomic<size_t> swap_mismatches{0};
+    std::atomic<size_t> swap_queries{0};
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < 4; ++t) {
+      clients.emplace_back([&, t] {
+        SolveContext context;
+        size_t i = t * (num_queries / 4);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const size_t q = i % num_queries;
+          StatusOr<BoostResponse> r = service.Solve(requests[q], &context);
+          if (!r.ok()) {
+            swap_errors.fetch_add(1, std::memory_order_relaxed);
+          } else if (!SameAnswer(r.value().result, reference[q])) {
+            swap_mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          swap_queries.fetch_add(1, std::memory_order_relaxed);
+          ++i;
+        }
+      });
+    }
+    WallTimer swap_timer;
+    if (Status s = service.RefreshPoolFromSnapshot("digg", snapshot_path);
+        !s.ok()) {
+      std::fprintf(stderr, "mmap-swap refresh: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    const double swap_s = swap_timer.Seconds();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+    for (std::thread& c : clients) c.join();
+    const uint64_t version_after = service.PoolVersion("digg");
+    if (swap_errors.load() != 0 || swap_mismatches.load() != 0 ||
+        version_after <= version_before) {
+      std::fprintf(stderr,
+                   "FATAL: mmap warm-swap under load: %zu errors, %zu "
+                   "divergent answers, version %llu -> %llu\n",
+                   swap_errors.load(), swap_mismatches.load(),
+                   static_cast<unsigned long long>(version_before),
+                   static_cast<unsigned long long>(version_after));
+      std::abort();
+    }
+    // The swapped-in pool must actually be the zero-copy one.
+    {
+      std::shared_ptr<const BoostSession> mapped = service.GetPool("digg");
+      if (mapped == nullptr ||
+          !mapped->engine().collection().shard_store(0).external()) {
+        std::fprintf(stderr,
+                     "FATAL: mmap warm-swap installed an owned-arena pool — "
+                     "the zero-copy path was bypassed\n");
+        std::abort();
+      }
+    }
+    // Post-swap serial pass: every answer off the mapped arenas must still
+    // be bit-identical (and stamped with the new version).
+    {
+      SolveContext context;
+      for (size_t i = 0; i < num_queries; ++i) {
+        StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+        if (!r.ok() || !SameAnswer(r.value().result, reference[i])) {
+          std::fprintf(stderr,
+                       "FATAL: post-mmap-swap answer %zu diverged from the "
+                       "reference\n",
+                       i);
+          std::abort();
+        }
+        if (r.value().pool_version != version_after) {
+          std::fprintf(stderr,
+                       "FATAL: post-mmap-swap answer %zu stamped version "
+                       "%llu, expected %llu\n",
+                       i,
+                       static_cast<unsigned long long>(r.value().pool_version),
+                       static_cast<unsigned long long>(version_after));
+          std::abort();
+        }
+      }
+    }
+    std::printf("mmap warm-swap under load: %zu queries from 4 clients, "
+                "swap %.3fs, 0 errors, 0 divergent, arenas externally "
+                "backed, version %llu -> %llu\n",
+                swap_queries.load(), swap_s,
+                static_cast<unsigned long long>(version_before),
+                static_cast<unsigned long long>(version_after));
+    json.Add("serve/mmap_swap_s", swap_s, "s");
+    json.Add("serve/mmap_swap_queries",
+             static_cast<double>(swap_queries.load()), "queries");
+    std::filesystem::remove(snapshot_path);
   }
 
   // Service metrics over everything this bench issued. last_rebuild_ms is

@@ -1,10 +1,12 @@
 // Sweeps the pool shard count S over one fixed workload and measures what
-// sharding buys: prepare (sample + warm) wall time, snapshot save/load wall
-// time (both fan out over the shards), and the per-shard stored-graph
-// balance. At every S the solve answers are compared bit-identically against
-// the S = 1 monolith — the process ABORTS on divergence, so this bench
-// doubles as a Release-mode regression gate for the sharding determinism
-// guarantee (sample i → shard i mod S, answers invariant in S).
+// sharding buys: prepare (sample + warm) wall time, snapshot save wall time
+// and size (bytes + bytes/sample), and cold (owned-arena) vs mmap
+// (zero-copy v3) load wall time, plus the per-shard stored-graph balance.
+// At every S the solve answers are compared bit-identically against the
+// S = 1 monolith — the process ABORTS on divergence, so this bench doubles
+// as a Release-mode regression gate for the sharding determinism guarantee
+// (sample i → shard i mod S, answers invariant in S). Both the cold-loaded
+// and mmap-loaded sessions pass through the same gate.
 //
 // With --json=BENCH_shard_sweep.json each S's numbers land in the
 // BENCH_*.json shape.
@@ -55,7 +57,8 @@ int main(int argc, char** argv) {
   // Budgets the bit-identity gate replays at each S.
   const std::vector<size_t> budgets = {1, std::max<size_t>(1, k / 2), k};
 
-  TablePrinter table({"shards", "prepare_s", "save_ms", "load_ms",
+  TablePrinter table({"shards", "prepare_s", "save_ms", "snapshot_MB",
+                      "B_per_sample", "load_ms", "mmap_ms",
                       "shard_graphs(min..max)"});
   BenchJsonWriter json;
   std::vector<BoostResult> reference;  // S = 1 answers, filled first
@@ -77,9 +80,11 @@ int main(int argc, char** argv) {
     const double prepare_s = prepare_timer.Seconds();
 
     WallTimer save_timer;
-    if (Status s = session.SavePool(snapshot_path); !s.ok()) {
+    StatusOr<PoolSaveResult> saved =
+        SavePoolSnapshot(session, snapshot_path, PoolSaveOptions());
+    if (!saved.ok()) {
       std::fprintf(stderr, "save (S=%zu): %s\n", num_shards,
-                   s.ToString().c_str());
+                   saved.status().ToString().c_str());
       return 1;
     }
     const double save_ms = save_timer.Seconds() * 1e3;
@@ -91,6 +96,18 @@ int main(int argc, char** argv) {
     if (!loaded.ok()) {
       std::fprintf(stderr, "load (S=%zu): %s\n", num_shards,
                    loaded.status().ToString().c_str());
+      return 1;
+    }
+
+    PoolLoadOptions mmap_options;
+    mmap_options.use_mmap = true;
+    WallTimer mmap_timer;
+    StatusOr<std::unique_ptr<BoostSession>> mapped =
+        LoadPoolSnapshot(g, snapshot_path, mmap_options);
+    const double mmap_ms = mmap_timer.Seconds() * 1e3;
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "mmap load (S=%zu): %s\n", num_shards,
+                   mapped.status().ToString().c_str());
       return 1;
     }
 
@@ -115,6 +132,13 @@ int main(int argc, char** argv) {
                      num_shards, budgets[i]);
         std::abort();
       }
+      BoostResult zero_copy = mapped.value()->SolveForBudget(budgets[i]);
+      if (!SameAnswer(live, zero_copy)) {
+        std::fprintf(stderr,
+                     "FATAL: mmap-served pool diverged at S=%zu k=%zu\n",
+                     num_shards, budgets[i]);
+        std::abort();
+      }
       if (num_shards == 1) {
         reference.push_back(live);
       } else if (!SameAnswer(live, reference[i])) {
@@ -127,15 +151,25 @@ int main(int argc, char** argv) {
     }
 
     table.AddRow({std::to_string(num_shards), FormatDouble(prepare_s),
-                  FormatDouble(save_ms), FormatDouble(load_ms),
+                  FormatDouble(save_ms),
+                  FormatDouble(static_cast<double>(saved->file_bytes) / 1e6),
+                  FormatDouble(saved->bytes_per_sample),
+                  FormatDouble(load_ms), FormatDouble(mmap_ms),
                   std::to_string(min_graphs) + ".." +
                       std::to_string(max_graphs)});
     json.Add("shard_sweep/s" + std::to_string(num_shards) + "/prepare_s",
              prepare_s, "s");
     json.Add("shard_sweep/s" + std::to_string(num_shards) + "/save_ms",
              save_ms, "ms");
+    json.Add("shard_sweep/s" + std::to_string(num_shards) + "/snapshot_bytes",
+             static_cast<double>(saved->file_bytes), "bytes");
+    json.Add("shard_sweep/s" + std::to_string(num_shards) +
+                 "/bytes_per_sample",
+             saved->bytes_per_sample, "bytes");
     json.Add("shard_sweep/s" + std::to_string(num_shards) + "/load_ms",
              load_ms, "ms");
+    json.Add("shard_sweep/s" + std::to_string(num_shards) + "/mmap_load_ms",
+             mmap_ms, "ms");
     json.Add("shard_sweep/s" + std::to_string(num_shards) + "/theta",
              static_cast<double>(pool.num_samples()), "samples");
   }
@@ -143,7 +177,7 @@ int main(int argc, char** argv) {
 
   table.Print(std::cout);
   std::printf("\nall shard counts bit-identical to the S=1 monolith "
-              "(live and snapshot-restored)\n");
+              "(live, snapshot-restored and mmap-served)\n");
   json.WriteTo(flags.json_path);
   return 0;
 }

@@ -6,15 +6,19 @@
 //   kboost_cli seeds    --graph=graph.txt --count=20 [--random]
 //   kboost_cli boost    --graph=graph.txt --seeds=0,5,9 --k=50 [--lb]
 //                       [--k-sweep=1,10,50] [--save-pool=pool.bin]
-//                       [--load-pool=pool.bin]
+//                       [--codec=nop|varint] [--load-pool=pool.bin]
+//                       [--mmap-pool]
 //   kboost_cli evaluate --graph=graph.txt --seeds=0,5,9 --boost=1,2,3
 //   kboost_cli serve-bench --graph=graph.txt --load-pool=pool.bin
-//                          [--clients=1,2,4] [--queries=32]
+//                          [--mmap-pool] [--clients=1,2,4] [--queries=32]
 //
 // Graphs are the text edge-list format of src/graph/graph_io.h. Pool
 // snapshots (--save-pool/--load-pool) are the binary format of
 // src/io/pool_io.h: sample once, then serve any budget ≤ the pool's from
-// the same file — across processes and restarts.
+// the same file — across processes and restarts. --codec picks the section
+// codec written into the snapshot (varint shrinks it for cold storage);
+// --mmap-pool serves a nop-coded snapshot zero-copy from an mmap of the
+// file instead of copying it into fresh arenas.
 
 #include <algorithm>
 #include <atomic>
@@ -181,20 +185,24 @@ int Usage() {
       "      print an influential (IMM) or uniform-random seed set\n"
       "  boost --graph=PATH --seeds=a,b,c --k=N [--lb] [--epsilon=F]\n"
       "        [--seed=N] [--k-sweep=a,b,c] [--save-pool=PATH]\n"
-      "        [--load-pool=PATH] [--threads=N] [--shards=S]\n"
+      "        [--codec=nop|varint] [--load-pool=PATH] [--mmap-pool]\n"
+      "        [--threads=N] [--shards=S]\n"
       "      run PRR-Boost (or PRR-Boost-LB with --lb); prints the boost\n"
       "      set and its Monte-Carlo-verified boost. --k-sweep answers\n"
       "      every listed budget from ONE sampled pool (a BoostSession);\n"
-      "      --save-pool snapshots that pool, --load-pool serves from a\n"
-      "      snapshot without resampling (seeds/mode come from the file);\n"
-      "      --threads runs sampling and selection on N workers; --shards\n"
-      "      splits the pool into S arenas for parallel sampling/refresh/\n"
-      "      snapshot I/O (answers are bit-identical for every S)\n"
+      "      --save-pool snapshots that pool (--codec=varint delta-codes\n"
+      "      the arena sections for cold storage), --load-pool serves from\n"
+      "      a snapshot without resampling (seeds/mode come from the file)\n"
+      "      and --mmap-pool maps it zero-copy instead of copying it in\n"
+      "      (requires a nop-coded snapshot); --threads runs sampling and\n"
+      "      selection on N workers; --shards splits the pool into S arenas\n"
+      "      for parallel sampling/refresh/snapshot I/O (answers are\n"
+      "      bit-identical for every S)\n"
       "  evaluate --graph=PATH --seeds=a,b,c --boost=x,y,z [--sims=N]\n"
       "      Monte-Carlo estimate of the spread and boost of a given set\n"
-      "  serve-bench --graph=PATH (--load-pool=PATH | --seeds=a,b,c --k=N\n"
-      "        [--lb] [--epsilon=F] [--seed=N] [--shards=S])\n"
-      "        [--clients=1,2,4] [--queries=32] [--threads=N]\n"
+      "  serve-bench --graph=PATH (--load-pool=PATH [--mmap-pool] |\n"
+      "        --seeds=a,b,c --k=N [--lb] [--epsilon=F] [--seed=N]\n"
+      "        [--shards=S]) [--clients=1,2,4] [--queries=32] [--threads=N]\n"
       "      register the pool in a BoostService and measure concurrent\n"
       "      query throughput: each client count issues the same mixed\n"
       "      (k, mode) query stream from that many threads and every\n"
@@ -258,9 +266,9 @@ int CmdSeeds(int argc, char** argv) {
 int CmdBoost(int argc, char** argv) {
   if (!ValidateFlags(argc, argv,
                      {"--graph", "--seeds", "--k", "--k-sweep", "--epsilon",
-                      "--seed", "--save-pool", "--load-pool", "--threads",
-                      "--shards"},
-                     {"--lb"})) {
+                      "--seed", "--save-pool", "--load-pool", "--codec",
+                      "--threads", "--shards"},
+                     {"--lb", "--mmap-pool"})) {
     return 2;
   }
   const char* path = FlagValue(argc, argv, "--graph");
@@ -275,6 +283,26 @@ int CmdBoost(int argc, char** argv) {
   if (!ParseIntFlag(argc, argv, "--shards", &shards)) return 2;
   const char* load_pool = FlagValue(argc, argv, "--load-pool");
   const char* save_pool = FlagValue(argc, argv, "--save-pool");
+  const char* codec_s = FlagValue(argc, argv, "--codec");
+  const bool mmap_pool = HasFlag(argc, argv, "--mmap-pool");
+  if (codec_s != nullptr && save_pool == nullptr) {
+    std::fprintf(stderr, "error: --codec only applies to --save-pool\n");
+    return 2;
+  }
+  PoolSaveOptions save_options;
+  if (codec_s != nullptr) {
+    const Codec* codec = CodecByName(codec_s);
+    if (codec == nullptr) {
+      std::fprintf(stderr, "error: unknown --codec '%s' (nop|varint)\n",
+                   codec_s);
+      return 2;
+    }
+    save_options.codec = codec->id();
+  }
+  if (mmap_pool && load_pool == nullptr) {
+    std::fprintf(stderr, "error: --mmap-pool only applies to --load-pool\n");
+    return 2;
+  }
   std::vector<size_t> sweep;
   std::vector<NodeId> seeds;
   if (!ParseUintList(FlagValue(argc, argv, "--k-sweep"), "--k-sweep",
@@ -313,8 +341,10 @@ int CmdBoost(int argc, char** argv) {
 
   std::unique_ptr<BoostSession> session;
   if (load_pool != nullptr) {
+    PoolLoadOptions load_options;
+    load_options.use_mmap = mmap_pool;
     StatusOr<std::unique_ptr<BoostSession>> loaded =
-        LoadPoolSnapshot(g.value(), load_pool);
+        LoadPoolSnapshot(g.value(), load_pool, load_options);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    loaded.status().ToString().c_str());
@@ -327,11 +357,13 @@ int CmdBoost(int argc, char** argv) {
         return 2;
       }
     }
-    std::printf("loaded pool %s: budget=%zu theta=%zu mode=%s shards=%zu\n",
-                load_pool, session->budget(),
-                session->engine().collection().num_samples(),
-                session->lb_only() ? "lb" : "full",
-                session->engine().collection().num_shards());
+    std::printf(
+        "loaded pool %s: budget=%zu theta=%zu mode=%s shards=%zu%s\n",
+        load_pool, session->budget(),
+        session->engine().collection().num_samples(),
+        session->lb_only() ? "lb" : "full",
+        session->engine().collection().num_shards(),
+        mmap_pool ? " (mmap)" : "");
   } else {
     BoostOptions options;
     options.k = k_flag;
@@ -384,12 +416,19 @@ int CmdBoost(int argc, char** argv) {
   }
 
   if (save_pool != nullptr) {
-    Status s = session->SavePool(save_pool);
-    if (!s.ok()) {
-      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    session->Prepare();
+    StatusOr<PoolSaveResult> saved =
+        SavePoolSnapshot(*session, save_pool, save_options);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.status().ToString().c_str());
       return 1;
     }
-    std::printf("saved pool to %s\n", save_pool);
+    std::printf("saved pool to %s: %llu bytes, %llu samples, "
+                "%.2f bytes/sample (%s codec)\n",
+                save_pool,
+                static_cast<unsigned long long>(saved->file_bytes),
+                static_cast<unsigned long long>(saved->num_samples),
+                saved->bytes_per_sample, CodecName(save_options.codec));
   }
   return 0;
 }
@@ -435,14 +474,19 @@ int CmdServeBench(int argc, char** argv) {
                      {"--graph", "--load-pool", "--seeds", "--k", "--epsilon",
                       "--seed", "--clients", "--queries", "--threads",
                       "--shards"},
-                     {"--lb"})) {
+                     {"--lb", "--mmap-pool"})) {
     return 2;
   }
   const char* path = FlagValue(argc, argv, "--graph");
   const char* load_pool = FlagValue(argc, argv, "--load-pool");
   const char* k_s = FlagValue(argc, argv, "--k");
+  const bool mmap_pool = HasFlag(argc, argv, "--mmap-pool");
   if (path == nullptr) return Usage();
   if (load_pool == nullptr && k_s == nullptr) return Usage();
+  if (mmap_pool && load_pool == nullptr) {
+    std::fprintf(stderr, "error: --mmap-pool only applies to --load-pool\n");
+    return 2;
+  }
   const bool has_threads = FlagValue(argc, argv, "--threads") != nullptr;
   int threads = 0;
   if (!ParseThreadsFlag(argc, argv, &threads)) return 2;
@@ -485,8 +529,10 @@ int CmdServeBench(int argc, char** argv) {
 
   std::unique_ptr<BoostSession> session;
   if (load_pool != nullptr) {
+    PoolLoadOptions load_options;
+    load_options.use_mmap = mmap_pool;
     StatusOr<std::unique_ptr<BoostSession>> loaded =
-        LoadPoolSnapshot(g.value(), load_pool);
+        LoadPoolSnapshot(g.value(), load_pool, load_options);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
       return 1;

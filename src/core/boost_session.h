@@ -112,8 +112,18 @@ class BoostSession {
   /// SavePoolSnapshot (src/io/pool_io.h).
   Status SavePool(const std::string& path);
 
+  /// Pins an external resource to this session's lifetime. The mmap loader
+  /// (src/io/pool_io.h) uses this to keep the SnapshotMapping an external
+  /// pool arena aliases alive for as long as the session exists — and, since
+  /// BoostService pool entries hold the session by shared_ptr, for as long
+  /// as any in-flight request still references it.
+  void RetainResource(std::shared_ptr<const void> resource) {
+    retained_.push_back(std::move(resource));
+  }
+
  private:
   PrrBoostEngine engine_;
+  std::vector<std::shared_ptr<const void>> retained_;
 };
 
 }  // namespace kboost

@@ -187,16 +187,47 @@ void PrrCollection::RestoreFullPool(std::vector<PrrStore>&& stores,
       sizes.push_back(static_cast<uint32_t>(store.critical_count(g)));
     }
   }
+  // Translate every graph's critical locals to global ids in one flat pass
+  // per shard: the critical pool is contiguous in stored-graph order, so a
+  // single cursor walks it while a prefix sum tracks each graph's id base.
+  // (Per-graph View() materialization here dominated mmap warm-start time.)
   NodeId* dst = coverage_.AppendSets(sizes);
   for (const PrrStore& store : stores_) {
-    for (size_t g = 0; g < store.num_graphs(); ++g) {
-      const PrrGraphView view = store.View(g);
-      for (uint32_t c : view.critical()) {
-        *dst++ = view.global_ids[c];
+    const NodeId* ids = store.raw_global_ids().data();
+    const uint32_t* cursor = store.raw_critical().data();
+    const size_t store_graphs = store.num_graphs();
+    uint64_t node_begin = 0;
+    for (size_t g = 0; g < store_graphs; ++g) {
+      const NodeId* base = ids + node_begin;
+      for (const uint32_t* end = cursor + store.critical_count(g);
+           cursor != end; ++cursor) {
+        *dst++ = base[*cursor];
       }
+      node_begin += store.num_nodes(g);
     }
   }
   num_boostable_ = num_graphs;
+  graph_index_built_ = false;
+  AddNonBoostableCounts(num_activated, num_hopeless);
+}
+
+void PrrCollection::RestoreFullPool(std::vector<PrrStore>&& stores,
+                                    std::span<const uint32_t> set_sizes,
+                                    std::span<const NodeId> coverage_nodes,
+                                    size_t num_activated, size_t num_hopeless) {
+  KB_CHECK(num_samples() == 0) << "snapshot restore into a non-empty pool";
+  KB_CHECK(!stores.empty() &&
+           stores.size() <= static_cast<size_t>(kMaxShards));
+  stores_ = std::move(stores);
+  // The snapshot already carries both halves of what the owned-restore path
+  // materializes: the shard-major critical-globals pool AND the per-graph
+  // set sizes (the arenas' num_critical sections, which the caller hands
+  // through so this path never strides over the per-graph meta tables).
+  KB_CHECK(set_sizes.size() == num_stored_graphs())
+      << "coverage size table covers " << set_sizes.size() << " of "
+      << num_stored_graphs() << " stored graphs";
+  coverage_.BindExternalSets(set_sizes, coverage_nodes);
+  num_boostable_ = set_sizes.size();
   graph_index_built_ = false;
   AddNonBoostableCounts(num_activated, num_hopeless);
 }

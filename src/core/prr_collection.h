@@ -212,6 +212,23 @@ class PrrCollection {
   /// empty.
   void RestoreFullPool(std::vector<PrrStore>&& stores, size_t num_activated,
                        size_t num_hopeless);
+  /// Zero-copy restore: like RestoreFullPool, but the coverage node pool is
+  /// bound to `coverage_nodes` — a v3 snapshot's pre-translated
+  /// critical-globals section, laid out shard-major in stored-graph order —
+  /// instead of being re-gathered from the arenas, so restoring costs
+  /// O(num_graphs), not O(total_critical). `set_sizes` is the matching
+  /// per-graph critical-count table in the same order (the concatenated
+  /// num_critical arena sections; length checked against the stores, sum
+  /// checked against coverage_nodes) — handed through rather than re-read
+  /// from the arenas' meta tables, which would stride cold cache lines on
+  /// every warm start. The caller must have validated the span's ids against
+  /// the serving graph and must keep both spans' backing memory alive for
+  /// the collection's lifetime (for an mmap'd snapshot: the session retains
+  /// the SnapshotMapping; set_sizes is only read during the call).
+  void RestoreFullPool(std::vector<PrrStore>&& stores,
+                       std::span<const uint32_t> set_sizes,
+                       std::span<const NodeId> coverage_nodes,
+                       size_t num_activated, size_t num_hopeless);
   /// Single-arena compat overload (v1 snapshots load as S=1).
   void RestoreFullPool(PrrStore&& store, size_t num_activated,
                        size_t num_hopeless);

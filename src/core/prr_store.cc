@@ -16,7 +16,7 @@ void AppendSpan(std::vector<T>& pool, std::span<const T> data) {
 }
 
 template <typename T>
-void WriteVec(std::ostream& out, const std::vector<T>& v) {
+void WriteVec(std::ostream& out, std::span<const T> v) {
   const uint64_t count = v.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   out.write(reinterpret_cast<const char*>(v.data()),
@@ -45,6 +45,7 @@ size_t PrrStore::Append(std::span<const NodeId> global_ids,
                         std::span<const uint32_t> in_offsets,
                         std::span<const uint32_t> in_edges,
                         std::span<const uint32_t> critical_locals) {
+  KB_CHECK(!external_) << "Append into an external (mmap-backed) store";
   KB_DCHECK(out_offsets.size() == global_ids.size() + 1);
   KB_DCHECK(in_offsets.size() == global_ids.size() + 1);
   KB_DCHECK(out_edges.size() == in_edges.size());
@@ -79,32 +80,25 @@ size_t PrrStore::AppendFrom(const PrrStore& other, size_t id) {
   KB_DCHECK(id < other.meta_.size());
   const Meta& m = other.meta_[id];
   const uint64_t off = m.node_begin + id;
-  const uint64_t edge_count = other.out_offsets_[off + m.num_nodes];
-  return Append(
-      std::span<const NodeId>(other.global_ids_.data() + m.node_begin,
-                              m.num_nodes),
-      std::span<const uint32_t>(other.out_offsets_.data() + off,
-                                m.num_nodes + 1),
-      std::span<const uint32_t>(other.out_edges_.data() + m.edge_begin,
-                                edge_count),
-      std::span<const uint32_t>(other.in_offsets_.data() + off,
-                                m.num_nodes + 1),
-      std::span<const uint32_t>(other.in_edges_.data() + m.edge_begin,
-                                edge_count),
-      std::span<const uint32_t>(other.critical_.data() + m.critical_begin,
-                                m.num_critical));
+  const uint64_t edge_count = other.raw_out_offsets()[off + m.num_nodes];
+  return Append(other.raw_global_ids().subspan(m.node_begin, m.num_nodes),
+                other.raw_out_offsets().subspan(off, m.num_nodes + 1),
+                other.raw_out_edges().subspan(m.edge_begin, edge_count),
+                other.raw_in_offsets().subspan(off, m.num_nodes + 1),
+                other.raw_in_edges().subspan(m.edge_begin, edge_count),
+                other.raw_critical().subspan(m.critical_begin, m.num_critical));
 }
 
 PrrGraphView PrrStore::View(size_t id) const {
   KB_DCHECK(id < meta_.size());
   const Meta& m = meta_[id];
   PrrGraphView view;
-  view.global_ids = global_ids_.data() + m.node_begin;
-  view.out_offsets = out_offsets_.data() + m.node_begin + id;
-  view.in_offsets = in_offsets_.data() + m.node_begin + id;
-  view.out_edges = out_edges_.data() + m.edge_begin;
-  view.in_edges = in_edges_.data() + m.edge_begin;
-  view.critical_locals = critical_.data() + m.critical_begin;
+  view.global_ids = raw_global_ids().data() + m.node_begin;
+  view.out_offsets = raw_out_offsets().data() + m.node_begin + id;
+  view.in_offsets = raw_in_offsets().data() + m.node_begin + id;
+  view.out_edges = raw_out_edges().data() + m.edge_begin;
+  view.in_edges = raw_in_edges().data() + m.edge_begin;
+  view.critical_locals = raw_critical().data() + m.critical_begin;
   view.num_nodes_count = m.num_nodes;
   view.num_critical_count = m.num_critical;
   return view;
@@ -124,9 +118,13 @@ PrrGraph PrrStore::ToPrrGraph(size_t id) const {
 }
 
 size_t PrrStore::MemoryBytes() const {
-  return meta_.size() * sizeof(Meta) + global_ids_.size() * sizeof(NodeId) +
-         (out_offsets_.size() + in_offsets_.size() + out_edges_.size() +
-          in_edges_.size() + critical_.size()) *
+  // For an external store this counts the mapped section bytes the arena
+  // reads through — the pool's working set, whoever owns the pages.
+  return meta_.size() * sizeof(Meta) +
+         raw_global_ids().size() * sizeof(NodeId) +
+         (raw_out_offsets().size() + raw_in_offsets().size() +
+          raw_out_edges().size() + raw_in_edges().size() +
+          raw_critical().size()) *
              sizeof(uint32_t);
 }
 
@@ -147,14 +145,14 @@ void PrrStore::Serialize(std::ostream& out) const {
     num_nodes[g] = meta_[g].num_nodes;
     num_critical[g] = meta_[g].num_critical;
   }
-  WriteVec(out, num_nodes);
-  WriteVec(out, num_critical);
-  WriteVec(out, global_ids_);
-  WriteVec(out, out_offsets_);
-  WriteVec(out, in_offsets_);
-  WriteVec(out, out_edges_);
-  WriteVec(out, in_edges_);
-  WriteVec(out, critical_);
+  WriteVec(out, std::span<const uint32_t>(num_nodes));
+  WriteVec(out, std::span<const uint32_t>(num_critical));
+  WriteVec(out, raw_global_ids());
+  WriteVec(out, raw_out_offsets());
+  WriteVec(out, raw_in_offsets());
+  WriteVec(out, raw_out_edges());
+  WriteVec(out, raw_in_edges());
+  WriteVec(out, raw_critical());
 }
 
 Status PrrStore::Deserialize(std::istream& in) {
@@ -196,65 +194,187 @@ Status PrrStore::Deserialize(std::istream& in) {
   if (!ReadVec(in, &out_offsets_, offsets_len)) return truncated;
   if (!ReadVec(in, &in_offsets_, offsets_len)) return truncated;
 
+  uint64_t edge_total = 0, critical_total = 0;
+  Status meta_status =
+      BuildMetaFromSizes(num_nodes, num_critical, &edge_total, &critical_total);
+  if (!meta_status.ok()) return meta_status;
+  if (!fits(edge_total, sizeof(uint32_t))) return oversized;
+  if (!ReadVec(in, &out_edges_, edge_total)) return truncated;
+  if (!ReadVec(in, &in_edges_, edge_total)) return truncated;
+  if (!ReadVec(in, &critical_, critical_total)) return truncated;
+
+  return ValidateDeep();
+}
+
+Status PrrStore::BuildMetaFromSizes(std::span<const uint32_t> num_nodes,
+                                    std::span<const uint32_t> num_critical,
+                                    uint64_t* total_edges,
+                                    uint64_t* total_critical) {
+  const uint64_t num_graphs = num_nodes.size();
+  if (num_critical.size() != num_graphs) {
+    return Status::InvalidArgument("arena size tables disagree: " +
+                                   std::to_string(num_graphs) + " vs " +
+                                   std::to_string(num_critical.size()) +
+                                   " graphs");
+  }
+  uint64_t total_nodes = 0;
+  for (size_t g = 0; g < num_graphs; ++g) total_nodes += num_nodes[g];
+  const std::span<const NodeId> ids = raw_global_ids();
+  if (ids.size() != total_nodes ||
+      raw_out_offsets().size() != total_nodes + num_graphs ||
+      raw_in_offsets().size() != total_nodes + num_graphs) {
+    return Status::InvalidArgument(
+        "arena node/offset sections disagree with the size table");
+  }
+  const uint32_t* oo = raw_out_offsets().data();
+  const uint32_t* io = raw_in_offsets().data();
+
   // Rebuild the meta table by prefix sums over the per-graph sizes, checking
   // the offset pools are graph-relative, monotone and mutually consistent.
-  meta_.reserve(num_graphs);
+  // This is the dominant cost of binding an arena over an mmap'd snapshot
+  // (the whole file is otherwise untouched), so the per-element monotonicity
+  // check is NOT done per graph. Pass 1 touches each graph's boundary
+  // entries only (start offsets zero, out/in ends equal) while building the
+  // prefix sums; pass 2 counts non-monotone adjacent pairs across the whole
+  // flat pool in one vectorizable sweep. With every graph's start pinned to
+  // 0 by pass 1, the only legitimate descents are the boundary pairs
+  // (end_g > 0 followed by the next graph's 0), whose count pass 1 knows —
+  // any in-graph descent pushes the total strictly above it, so equality is
+  // exactly per-graph monotonicity.
+  meta_.clear();
+  meta_.reserve(num_graphs);  // push_back below: no zero-fill double write
   uint64_t node_begin = 0, edge_begin = 0, critical_begin = 0;
+  uint32_t max_nodes = max_num_nodes_;
+  uint64_t expected_descents = 0;
+  bool bounds_ok = true;
   for (size_t g = 0; g < num_graphs; ++g) {
-    Meta m;
-    m.node_begin = node_begin;
-    m.edge_begin = edge_begin;
-    m.critical_begin = critical_begin;
-    m.num_nodes = num_nodes[g];
-    m.num_critical = num_critical[g];
-    const auto malformed = [g] {
-      return Status::InvalidArgument("malformed offsets in arena graph " +
-                                     std::to_string(g));
-    };
+    const uint32_t n = num_nodes[g];
+    const uint32_t criticals = num_critical[g];
+    meta_.push_back(Meta{node_begin, edge_begin, critical_begin, n, criticals});
     const uint64_t off = node_begin + g;
-    if (out_offsets_[off] != 0 || in_offsets_[off] != 0) return malformed();
-    for (uint32_t v = 0; v < m.num_nodes; ++v) {
-      if (out_offsets_[off + v] > out_offsets_[off + v + 1] ||
-          in_offsets_[off + v] > in_offsets_[off + v + 1]) {
-        return malformed();
+    const uint32_t edges = oo[off + n];
+    bounds_ok &= oo[off] == 0 && io[off] == 0 && edges == io[off + n];
+    expected_descents += edges > 0;
+    if (n > max_nodes) max_nodes = n;
+    node_begin += n;
+    edge_begin += edges;
+    critical_begin += criticals;
+  }
+  // The last graph's end has no successor pair; it never descends.
+  if (num_graphs > 0 && oo[node_begin + num_graphs - 1] > 0) {
+    --expected_descents;
+  }
+  uint64_t oo_descents = 0, io_descents = 0;
+  const uint64_t last = num_graphs > 0 ? total_nodes + num_graphs - 1 : 0;
+  for (uint64_t j = 0; j < last; ++j) {
+    oo_descents += oo[j] > oo[j + 1];
+    io_descents += io[j] > io[j + 1];
+  }
+  if (!bounds_ok || oo_descents != expected_descents ||
+      io_descents != expected_descents) {
+    // Error path only: rescan per graph for a precise message.
+    size_t bad = 0;
+    for (size_t g = 0; g < num_graphs; ++g) {
+      const Meta& m = meta_[g];
+      const uint64_t off = m.node_begin + g;
+      bool ok = oo[off] == 0 && io[off] == 0 &&
+                oo[off + m.num_nodes] == io[off + m.num_nodes];
+      for (uint32_t v = 0; v < m.num_nodes; ++v) {
+        ok &= oo[off + v] <= oo[off + v + 1] && io[off + v] <= io[off + v + 1];
+      }
+      if (!ok) {
+        bad = g;
+        break;
       }
     }
-    if (out_offsets_[off + m.num_nodes] != in_offsets_[off + m.num_nodes]) {
-      return malformed();
-    }
-    meta_.push_back(m);
-    node_begin += m.num_nodes;
-    edge_begin += out_offsets_[off + m.num_nodes];
-    critical_begin += m.num_critical;
+    meta_.clear();
+    return Status::InvalidArgument("malformed offsets in arena graph " +
+                                   std::to_string(bad));
   }
-  if (!fits(edge_begin, sizeof(uint32_t))) return oversized;
-  if (!ReadVec(in, &out_edges_, edge_begin)) return truncated;
-  if (!ReadVec(in, &in_edges_, edge_begin)) return truncated;
-  if (!ReadVec(in, &critical_, critical_begin)) return truncated;
+  max_num_nodes_ = max_nodes;
+  ++generation_;
+  *total_edges = edge_begin;
+  *total_critical = critical_begin;
+  return Status::Ok();
+}
 
+Status PrrStore::ValidateDeep() const {
   // Every packed edge endpoint and critical id must be a valid local node.
-  for (size_t g = 0; g < num_graphs; ++g) {
+  const std::span<const uint32_t> oo = raw_out_offsets();
+  const std::span<const uint32_t> oe = raw_out_edges();
+  const std::span<const uint32_t> ie = raw_in_edges();
+  const std::span<const uint32_t> cr = raw_critical();
+  for (size_t g = 0; g < meta_.size(); ++g) {
     const Meta& m = meta_[g];
-    const uint64_t edges = out_offsets_[m.node_begin + g + m.num_nodes];
+    const uint64_t edges = oo[m.node_begin + g + m.num_nodes];
     for (uint64_t e = 0; e < edges; ++e) {
-      if (PrrGraph::EdgeNode(out_edges_[m.edge_begin + e]) >= m.num_nodes ||
-          PrrGraph::EdgeNode(in_edges_[m.edge_begin + e]) >= m.num_nodes) {
+      if (PrrGraph::EdgeNode(oe[m.edge_begin + e]) >= m.num_nodes ||
+          PrrGraph::EdgeNode(ie[m.edge_begin + e]) >= m.num_nodes) {
         return Status::OutOfRange("edge endpoint out of range in arena graph " +
                                   std::to_string(g));
       }
     }
     for (uint32_t c = 0; c < m.num_critical; ++c) {
-      if (critical_[m.critical_begin + c] >= m.num_nodes) {
+      if (cr[m.critical_begin + c] >= m.num_nodes) {
         return Status::OutOfRange("critical id out of range in arena graph " +
                                   std::to_string(g));
       }
     }
   }
-  for (const Meta& m : meta_) {
-    max_num_nodes_ = std::max(max_num_nodes_, m.num_nodes);
-  }
-  ++generation_;
   return Status::Ok();
+}
+
+Status PrrStore::AttachExternal(const ArenaSections& sections,
+                                bool deep_validate) {
+  KB_CHECK(meta_.empty()) << "AttachExternal to a non-empty store";
+  external_ = true;
+  ext_global_ids_ = sections.global_ids;
+  ext_out_offsets_ = sections.out_offsets;
+  ext_in_offsets_ = sections.in_offsets;
+  ext_out_edges_ = sections.out_edges;
+  ext_in_edges_ = sections.in_edges;
+  ext_critical_ = sections.critical;
+  uint64_t edge_total = 0, critical_total = 0;
+  Status status = BuildMetaFromSizes(sections.num_nodes, sections.num_critical,
+                                     &edge_total, &critical_total);
+  if (status.ok() && (ext_out_edges_.size() != edge_total ||
+                      ext_in_edges_.size() != edge_total ||
+                      ext_critical_.size() != critical_total)) {
+    status = Status::InvalidArgument(
+        "arena edge/critical sections disagree with the offset pools");
+  }
+  if (status.ok() && deep_validate) status = ValidateDeep();
+  if (!status.ok()) Clear();
+  return status;
+}
+
+Status PrrStore::AdoptBuffers(std::span<const uint32_t> num_nodes,
+                              std::span<const uint32_t> num_critical,
+                              std::vector<NodeId>&& global_ids,
+                              std::vector<uint32_t>&& out_offsets,
+                              std::vector<uint32_t>&& in_offsets,
+                              std::vector<uint32_t>&& out_edges,
+                              std::vector<uint32_t>&& in_edges,
+                              std::vector<uint32_t>&& critical) {
+  KB_CHECK(meta_.empty()) << "AdoptBuffers into a non-empty store";
+  global_ids_ = std::move(global_ids);
+  out_offsets_ = std::move(out_offsets);
+  in_offsets_ = std::move(in_offsets);
+  out_edges_ = std::move(out_edges);
+  in_edges_ = std::move(in_edges);
+  critical_ = std::move(critical);
+  uint64_t edge_total = 0, critical_total = 0;
+  Status status =
+      BuildMetaFromSizes(num_nodes, num_critical, &edge_total, &critical_total);
+  if (status.ok() && (out_edges_.size() != edge_total ||
+                      in_edges_.size() != edge_total ||
+                      critical_.size() != critical_total)) {
+    status = Status::InvalidArgument(
+        "arena edge/critical sections disagree with the offset pools");
+  }
+  if (status.ok()) status = ValidateDeep();
+  if (!status.ok()) Clear();
+  return status;
 }
 
 void PrrStore::Clear() {
@@ -265,6 +385,13 @@ void PrrStore::Clear() {
   out_edges_.clear();
   in_edges_.clear();
   critical_.clear();
+  external_ = false;
+  ext_global_ids_ = {};
+  ext_out_offsets_ = {};
+  ext_in_offsets_ = {};
+  ext_out_edges_ = {};
+  ext_in_edges_ = {};
+  ext_critical_ = {};
   max_num_nodes_ = 0;
   ++generation_;
 }

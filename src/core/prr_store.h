@@ -21,6 +21,15 @@ namespace kboost {
 ///
 /// Offsets are stored graph-relative (graph i's out_offsets[0] == 0), so a
 /// PrrGraphView is drop-in compatible with the former per-graph layout.
+///
+/// A store is either *owned* (the default: buffers live in its vectors and
+/// Append/Add grow them) or *external* (AttachExternal binds it over spans of
+/// memory someone else owns — an mmap'd v3 snapshot section, kept alive by
+/// whoever hands out the spans). Both modes serve the identical read API
+/// (View/num_graphs/...); an external store rejects mutation (Append aborts)
+/// and Clear() detaches back to an empty owned store. Only the per-graph meta
+/// table is materialized for an external store, so attaching is O(num_graphs)
+/// instead of O(bytes).
 class PrrStore {
  public:
   PrrStore() = default;
@@ -41,14 +50,77 @@ class PrrStore {
   /// This is the shard-merge fast path: five span copies, no re-walk.
   size_t AppendFrom(const PrrStore& other, size_t id);
 
+  /// The eight flat sections of one arena, as externally owned spans — the
+  /// in-memory shape of a v3 snapshot's per-shard region (src/io/pool_io).
+  /// `num_nodes`/`num_critical` carry one entry per graph; the rest are the
+  /// concatenated pools. The spans must stay valid for the lifetime of the
+  /// store they are attached to (for an mmap'd snapshot: as long as the
+  /// SnapshotMapping lives).
+  struct ArenaSections {
+    std::span<const uint32_t> num_nodes;
+    std::span<const uint32_t> num_critical;
+    std::span<const NodeId> global_ids;
+    std::span<const uint32_t> out_offsets;
+    std::span<const uint32_t> in_offsets;
+    std::span<const uint32_t> out_edges;
+    std::span<const uint32_t> in_edges;
+    std::span<const uint32_t> critical;
+  };
+
+  /// Binds this (empty) store over externally owned sections without copying.
+  /// Always performs the structural checks that memory safety depends on
+  /// (section lengths mutually consistent, offsets graph-relative and
+  /// monotone — evaluators index edge pools through them); `deep_validate`
+  /// additionally walks every edge endpoint and critical id (O(total_edges),
+  /// same rigor as Deserialize). On error the store is Clear()ed.
+  Status AttachExternal(const ArenaSections& sections, bool deep_validate);
+
+  /// Takes ownership of already-materialized section buffers (the codec
+  /// decode-on-load path) and validates them with full rigor — structural
+  /// checks plus the deep edge/critical walk. On error the store is
+  /// Clear()ed.
+  Status AdoptBuffers(std::span<const uint32_t> num_nodes,
+                      std::span<const uint32_t> num_critical,
+                      std::vector<NodeId>&& global_ids,
+                      std::vector<uint32_t>&& out_offsets,
+                      std::vector<uint32_t>&& in_offsets,
+                      std::vector<uint32_t>&& out_edges,
+                      std::vector<uint32_t>&& in_edges,
+                      std::vector<uint32_t>&& critical);
+
+  /// True when the arena memory is externally owned (AttachExternal).
+  bool external() const { return external_; }
+
   PrrGraphView View(size_t id) const;
 
   /// Materializes graph `id` as a standalone PrrGraph (round-trip testing).
   PrrGraph ToPrrGraph(size_t id) const;
 
+  /// Whole-arena section views, independent of ownership mode — the snapshot
+  /// writer streams these straight to disk.
+  std::span<const NodeId> raw_global_ids() const {
+    return external_ ? ext_global_ids_ : std::span<const NodeId>(global_ids_);
+  }
+  std::span<const uint32_t> raw_out_offsets() const {
+    return external_ ? ext_out_offsets_
+                     : std::span<const uint32_t>(out_offsets_);
+  }
+  std::span<const uint32_t> raw_in_offsets() const {
+    return external_ ? ext_in_offsets_ : std::span<const uint32_t>(in_offsets_);
+  }
+  std::span<const uint32_t> raw_out_edges() const {
+    return external_ ? ext_out_edges_ : std::span<const uint32_t>(out_edges_);
+  }
+  std::span<const uint32_t> raw_in_edges() const {
+    return external_ ? ext_in_edges_ : std::span<const uint32_t>(in_edges_);
+  }
+  std::span<const uint32_t> raw_critical() const {
+    return external_ ? ext_critical_ : std::span<const uint32_t>(critical_);
+  }
+
   size_t num_graphs() const { return meta_.size(); }
-  size_t total_edges() const { return out_edges_.size(); }
-  size_t total_nodes() const { return global_ids_.size(); }
+  size_t total_edges() const { return raw_out_edges().size(); }
+  size_t total_nodes() const { return raw_global_ids().size(); }
   size_t critical_count(size_t id) const { return meta_[id].num_critical; }
   uint32_t num_nodes(size_t id) const { return meta_[id].num_nodes; }
   /// Largest per-graph local node count in the arena — the grow-only scratch
@@ -69,7 +141,9 @@ class PrrStore {
   /// with comparable content must not change this.
   size_t AllocatedBytes() const;
 
-  /// Drops all graphs but keeps buffer capacity (shard reuse across batches).
+  /// Drops all graphs but keeps buffer capacity (shard reuse across
+  /// batches). On an external store this detaches the spans, leaving an
+  /// empty owned store.
   void Clear();
 
   /// Binary snapshot of the arena (pool snapshots, src/io/pool_io). The
@@ -92,6 +166,20 @@ class PrrStore {
     uint32_t num_critical = 0;
   };
 
+  /// Rebuilds the meta table by prefix sums over per-graph sizes, verifying
+  /// the node/offset sections (through the raw_* accessors, so it covers
+  /// both ownership modes): lengths consistent with the size table, offsets
+  /// graph-relative, monotone and out/in-consistent. Outputs the implied
+  /// edge-pool and critical-pool lengths; the caller checks (or reads) those
+  /// sections against them. Bumps max_num_nodes_/generation_ on success.
+  Status BuildMetaFromSizes(std::span<const uint32_t> num_nodes,
+                            std::span<const uint32_t> num_critical,
+                            uint64_t* total_edges, uint64_t* total_critical);
+
+  /// O(total_edges) walk: every packed edge endpoint and critical id must be
+  /// a valid local node of its graph. Requires a built meta table.
+  Status ValidateDeep() const;
+
   std::vector<Meta> meta_;
   std::vector<NodeId> global_ids_;
   // Graph i's offsets occupy [meta.node_begin + i, ... + num_nodes + 1):
@@ -101,6 +189,18 @@ class PrrStore {
   std::vector<uint32_t> out_edges_;
   std::vector<uint32_t> in_edges_;
   std::vector<uint32_t> critical_;
+  // External (view) mode: when external_ is set the vectors above are empty
+  // and the spans below alias memory owned elsewhere (an mmap'd snapshot).
+  // All spans are over trivially destructible data, so destruction order
+  // between a store and its backing mapping is never a correctness issue —
+  // only reads must be fenced by the mapping's lifetime.
+  bool external_ = false;
+  std::span<const NodeId> ext_global_ids_;
+  std::span<const uint32_t> ext_out_offsets_;
+  std::span<const uint32_t> ext_in_offsets_;
+  std::span<const uint32_t> ext_out_edges_;
+  std::span<const uint32_t> ext_in_edges_;
+  std::span<const uint32_t> ext_critical_;
   uint32_t max_num_nodes_ = 0;
   uint64_t generation_ = 0;
 };

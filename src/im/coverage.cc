@@ -11,6 +11,7 @@ CoverageSelector::CoverageSelector(size_t num_nodes)
     : num_nodes_(num_nodes) {}
 
 void CoverageSelector::AddSet(std::span<const NodeId> nodes) {
+  KB_CHECK(!external_) << "AddSet on an externally bound selector";
 #ifndef NDEBUG
   for (NodeId v : nodes) KB_DCHECK(v < num_nodes_);
 #endif
@@ -21,6 +22,7 @@ void CoverageSelector::AddSet(std::span<const NodeId> nodes) {
 }
 
 NodeId* CoverageSelector::AppendSets(std::span<const uint32_t> sizes) {
+  KB_CHECK(!external_) << "AppendSets on an externally bound selector";
   size_t total = 0;
   for (uint32_t s : sizes) total += s;
   const size_t base = set_nodes_.size();
@@ -36,19 +38,44 @@ NodeId* CoverageSelector::AppendSets(std::span<const uint32_t> sizes) {
   return set_nodes_.data() + base;
 }
 
+void CoverageSelector::BindExternalSets(std::span<const uint32_t> sizes,
+                                        std::span<const NodeId> nodes) {
+  KB_CHECK(set_nodes_.empty() && !external_)
+      << "BindExternalSets over existing sample storage";
+  external_ = true;
+  ext_set_nodes_ = nodes;
+  // One fused pass: prefix-sum straight into the offsets table (this runs
+  // on every mmap warm start, so no separate sum pass and no per-element
+  // push_back bookkeeping).
+  const size_t old_size = set_offsets_.size();
+  set_offsets_.resize(old_size + sizes.size());
+  size_t* out = set_offsets_.data() + old_size;
+  size_t offset = 0;
+  for (const uint32_t s : sizes) {
+    offset += s;
+    *out++ = offset;
+  }
+  KB_CHECK(offset == nodes.size())
+      << "coverage sizes sum to " << offset << " but the bound node pool holds "
+      << nodes.size();
+  num_sets_ += sizes.size();
+  index_built_ = false;
+}
+
 void CoverageSelector::EnsureIndex() const {
   if (index_built_) return;
+  const std::span<const NodeId> nodes = flat_nodes();
   node_offsets_.assign(num_nodes_ + 1, 0);
-  for (NodeId v : set_nodes_) ++node_offsets_[v + 1];
+  for (NodeId v : nodes) ++node_offsets_[v + 1];
   for (size_t v = 0; v < num_nodes_; ++v) {
     node_offsets_[v + 1] += node_offsets_[v];
   }
-  node_sets_.resize(set_nodes_.size());
+  node_sets_.resize(nodes.size());
   std::vector<size_t> cursor(node_offsets_.begin(), node_offsets_.end() - 1);
   const size_t sets = num_nonempty_sets();
   for (size_t i = 0; i < sets; ++i) {
     for (size_t s = set_offsets_[i]; s < set_offsets_[i + 1]; ++s) {
-      node_sets_[cursor[set_nodes_[s]]++] = static_cast<uint32_t>(i);
+      node_sets_[cursor[nodes[s]]++] = static_cast<uint32_t>(i);
     }
   }
   index_built_ = true;

@@ -28,7 +28,8 @@ class CoverageSelector {
   explicit CoverageSelector(size_t num_nodes);
 
   /// Appends one sample set. Node ids must be < num_nodes and distinct.
-  /// Invalidates the lazily-built inverted index.
+  /// Invalidates the lazily-built inverted index. Aborts on a selector whose
+  /// node pool is externally bound (BindExternalSets).
   void AddSet(std::span<const NodeId> nodes);
   /// Bulk-appends `sizes.size()` sets whose node counts the caller already
   /// knows, growing the flat pool once, and returns the base of the reserved
@@ -39,6 +40,18 @@ class CoverageSelector {
   /// times in order (zero-size entries count as non-empty sets of size 0,
   /// exactly as AddSet({}) does).
   NodeId* AppendSets(std::span<const uint32_t> sizes);
+  /// Binds the flat sample-node pool to externally owned read-only memory —
+  /// the pre-translated coverage section of an mmap'd v3 pool snapshot —
+  /// appending `sizes.size()` sets whose nodes are the consecutive
+  /// prefix-sum spans of `nodes`, without copying a byte. Only the per-set
+  /// offsets (O(sets)) are materialized. `nodes` must stay valid for the
+  /// selector's lifetime (for a snapshot: as long as the SnapshotMapping
+  /// lives), its ids must already be validated < num_nodes, and the sizes
+  /// must sum to exactly nodes.size() (checked). A bound selector rejects
+  /// further node-carrying appends (AddSet/AppendSets abort); empty sets may
+  /// still be added.
+  void BindExternalSets(std::span<const uint32_t> sizes,
+                        std::span<const NodeId> nodes);
   /// Appends an empty sample (counts toward totals only).
   void AddEmptySet() { ++num_sets_; }
   /// Appends `count` empty samples at once (pool-snapshot restore).
@@ -50,9 +63,12 @@ class CoverageSelector {
 
   /// Nodes of non-empty sample `i` (adapters and pool-snapshot IO).
   std::span<const NodeId> SetNodes(size_t i) const {
-    return {set_nodes_.data() + set_offsets_[i],
-            set_offsets_[i + 1] - set_offsets_[i]};
+    return flat_nodes().subspan(set_offsets_[i],
+                                set_offsets_[i + 1] - set_offsets_[i]);
   }
+
+  /// True when the node pool is externally owned (BindExternalSets).
+  bool external() const { return external_; }
 
   struct Result {
     std::vector<NodeId> selected;
@@ -97,12 +113,23 @@ class CoverageSelector {
   /// call before handing spans to parallel readers.
   void EnsureIndex() const;
 
+  /// The flat node pool, whichever mode owns it.
+  std::span<const NodeId> flat_nodes() const {
+    return external_ ? ext_set_nodes_ : std::span<const NodeId>(set_nodes_);
+  }
+
   size_t num_nodes_;
   size_t num_sets_ = 0;
   // Flattened sample storage: nodes of sample i are
-  // set_nodes_[set_offsets_[i] .. set_offsets_[i+1]).
+  // flat_nodes()[set_offsets_[i] .. set_offsets_[i+1]).
   std::vector<size_t> set_offsets_{0};
   std::vector<NodeId> set_nodes_;
+  // External (view) mode: when external_ is set, set_nodes_ is empty and the
+  // span below aliases memory owned elsewhere (an mmap'd snapshot's coverage
+  // section). Same lifetime contract as PrrStore's external spans: the data
+  // is trivially destructible, only reads must be fenced by the owner.
+  bool external_ = false;
+  std::span<const NodeId> ext_set_nodes_;
   // Lazily-built inverted CSR: samples containing node v are
   // node_sets_[node_offsets_[v] .. node_offsets_[v+1]).
   mutable std::vector<size_t> node_offsets_;

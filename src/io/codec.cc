@@ -1,0 +1,144 @@
+#include "src/io/codec.h"
+
+#include <cstring>
+
+namespace kboost {
+
+namespace {
+
+class NopCodec final : public Codec {
+ public:
+  SnapshotCodec id() const override { return SnapshotCodec::kNop; }
+
+  void Encode(std::span<const uint32_t> values,
+              std::string* out) const override {
+    out->append(reinterpret_cast<const char*>(values.data()),
+                values.size() * sizeof(uint32_t));
+  }
+
+  Status Decode(std::span<const char> encoded,
+                std::span<uint32_t> out) const override {
+    if (encoded.size() != out.size() * sizeof(uint32_t)) {
+      return Status::InvalidArgument(
+          "nop block holds " + std::to_string(encoded.size()) +
+          " bytes, expected exactly " +
+          std::to_string(out.size() * sizeof(uint32_t)));
+    }
+    std::memcpy(out.data(), encoded.data(), encoded.size());
+    return Status::Ok();
+  }
+
+  size_t MaxEncodedBytes(size_t count) const override {
+    return count * sizeof(uint32_t);
+  }
+};
+
+/// Zigzag-delta varint. The delta of consecutive uint32 values fits a signed
+/// 33-bit integer; zigzag folds it non-negative and LEB128 writes it in at
+/// most 5 bytes — so the worst case is 25% larger than raw, and the common
+/// case (small ids, gently ramping offsets) is 1–2 bytes per value.
+class VarintCodec final : public Codec {
+ public:
+  SnapshotCodec id() const override { return SnapshotCodec::kVarint; }
+
+  void Encode(std::span<const uint32_t> values,
+              std::string* out) const override {
+    out->reserve(out->size() + values.size());  // ≥1 byte per value
+    uint32_t prev = 0;
+    for (uint32_t v : values) {
+      const int64_t delta =
+          static_cast<int64_t>(v) - static_cast<int64_t>(prev);
+      uint64_t zz = (static_cast<uint64_t>(delta) << 1) ^
+                    static_cast<uint64_t>(delta >> 63);
+      while (zz >= 0x80) {
+        out->push_back(static_cast<char>(zz | 0x80));
+        zz >>= 7;
+      }
+      out->push_back(static_cast<char>(zz));
+      prev = v;
+    }
+  }
+
+  Status Decode(std::span<const char> encoded,
+                std::span<uint32_t> out) const override {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(encoded.data());
+    const uint8_t* const end = p + encoded.size();
+    uint32_t prev = 0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      uint64_t zz = 0;
+      int shift = 0;
+      while (true) {
+        if (p == end) {
+          return Status::InvalidArgument(
+              "varint block truncated at value " + std::to_string(i) + " of " +
+              std::to_string(out.size()));
+        }
+        const uint8_t byte = *p++;
+        // A 33-bit zigzag delta needs at most 5 LEB128 bytes; a longer run
+        // (or high bits in the 5th byte) cannot come from Encode.
+        if (shift == 28 && (byte & 0xE0) != 0) {
+          return Status::InvalidArgument(
+              "varint overflows 32-bit delta at value " + std::to_string(i));
+        }
+        zz |= static_cast<uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) break;
+        shift += 7;
+        if (shift > 28) {
+          return Status::InvalidArgument(
+              "varint overflows 32-bit delta at value " + std::to_string(i));
+        }
+      }
+      const int64_t delta =
+          static_cast<int64_t>(zz >> 1) ^ -static_cast<int64_t>(zz & 1);
+      const int64_t value = static_cast<int64_t>(prev) + delta;
+      if (value < 0 || value > static_cast<int64_t>(UINT32_MAX)) {
+        return Status::InvalidArgument(
+            "varint delta reconstructs a value outside uint32 at value " +
+            std::to_string(i));
+      }
+      out[i] = static_cast<uint32_t>(value);
+      prev = out[i];
+    }
+    if (p != end) {
+      return Status::InvalidArgument(
+          std::to_string(end - p) +
+          " trailing bytes after the last varint value");
+    }
+    return Status::Ok();
+  }
+
+  size_t MaxEncodedBytes(size_t count) const override { return count * 5; }
+};
+
+const NopCodec kNopCodec;
+const VarintCodec kVarintCodec;
+
+}  // namespace
+
+const Codec* CodecById(uint32_t id) {
+  switch (static_cast<SnapshotCodec>(id)) {
+    case SnapshotCodec::kNop:
+      return &kNopCodec;
+    case SnapshotCodec::kVarint:
+      return &kVarintCodec;
+  }
+  return nullptr;
+}
+
+const Codec* CodecByName(const std::string& name) {
+  if (name == "nop") return &kNopCodec;
+  if (name == "varint") return &kVarintCodec;
+  return nullptr;
+}
+
+const char* CodecName(SnapshotCodec codec) {
+  switch (codec) {
+    case SnapshotCodec::kNop:
+      return "nop";
+    case SnapshotCodec::kVarint:
+      return "varint";
+  }
+  return "unknown";
+}
+
+}  // namespace kboost

@@ -1,8 +1,15 @@
 #include "src/io/pool_io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "src/core/prr_collection.h"
@@ -17,13 +24,33 @@ namespace {
 constexpr char kMagic[8] = {'K', 'B', 'P', 'R', 'R', 'P', 'O', 'L'};
 /// v1: single-arena full-mode body. v2: adds num_shards to the header and
 /// stores the full-mode body as a per-shard blob-size table followed by one
-/// independently-validated arena blob per shard (save and load both fan out
-/// over the shards). v1 snapshots still load, as S=1.
-constexpr uint32_t kVersion = 2;
+/// independently-validated arena blob per shard. v3: keeps the v2 header
+/// prefix byte-for-byte, appends a 32-byte extension (endianness marker,
+/// default codec, alignment, directory offset) and replaces the full-mode
+/// body with a section directory over aligned flat uint32 blocks — eight per
+/// shard plus one pool-level coverage section (the critical sets translated
+/// to global ids, shard-major; present on nop-coded snapshots only), each
+/// independently codec-coded — so a nop-coded snapshot is servable in place
+/// from an mmap, coverage pool included. v1/v2 snapshots still load (v1 as
+/// S=1).
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
 
 constexpr uint32_t kFlagLbOnly = 1u << 0;
 constexpr uint32_t kFlagSamplesCapped = 1u << 1;
+
+constexpr uint64_t kHeaderBytes = 128;  // v1/v2-compatible prefix
+constexpr uint64_t kExtBytes = 32;      // v3 extension after the prefix
+constexpr uint32_t kEndianMarker = 0x01020304u;
+constexpr uint64_t kShardAlign = 4096;  // shard regions start page-aligned
+constexpr uint64_t kBlockAlign = 64;    // section blocks cache-line-aligned
+constexpr size_t kNumSections = 8;
+/// Per-shard directory entry: u64 num_graphs + kNumSections section records
+/// of {u64 offset, u64 stored_bytes, u64 raw_bytes, u32 codec, u32 reserved}.
+constexpr uint64_t kDirEntryBytes = 8 + kNumSections * 32;
+/// One more section record after the shard entries: the pool-level coverage
+/// node pool. All-zero when absent (compressed snapshots derive it on load).
+constexpr uint64_t kCoverageEntryBytes = 32;
 
 /// Fixed-size snapshot header. Every field is written explicitly (no struct
 /// dump), so the on-disk layout is independent of compiler padding.
@@ -47,6 +74,45 @@ struct Header {
   uint64_t compressed_edges = 0;
 };
 
+/// v3 header extension, at bytes [128, 160). dir_offset is 0 on LB-only
+/// snapshots (which store critical sets, not arenas, and have no directory).
+struct HeaderExt {
+  uint32_t endian_marker = kEndianMarker;
+  uint32_t default_codec = 0;
+  uint64_t section_align = kShardAlign;
+  uint64_t dir_offset = 0;
+  uint64_t reserved = 0;
+};
+
+/// One arena section block as recorded in the v3 directory. `offset` is
+/// absolute in the file; `raw_bytes` is the decoded length (4 × value
+/// count); for SnapshotCodec::kNop, stored_bytes == raw_bytes and the block
+/// IS the arena memory.
+struct SectionEntry {
+  uint64_t offset = 0;
+  uint64_t stored_bytes = 0;
+  uint64_t raw_bytes = 0;
+  uint32_t codec = 0;
+  uint32_t reserved = 0;
+};
+
+/// Section order within each shard's directory entry.
+enum SectionIndex : size_t {
+  kSecNumNodes = 0,
+  kSecNumCritical = 1,
+  kSecGlobalIds = 2,
+  kSecOutOffsets = 3,
+  kSecInOffsets = 4,
+  kSecOutEdges = 5,
+  kSecInEdges = 6,
+  kSecCritical = 7,
+};
+
+struct ShardDir {
+  uint64_t num_graphs = 0;
+  SectionEntry sections[kNumSections];
+};
+
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
@@ -58,6 +124,18 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
+uint64_t ReadU64At(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t ReadU32At(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
 /// Bytes left between the current position and the end of the stream. Used
 /// to bound every count-driven allocation: a corrupt count larger than the
 /// file itself is rejected before any resize happens.
@@ -67,6 +145,19 @@ uint64_t RemainingBytes(std::istream& in) {
   const std::streampos end = in.tellg();
   in.seekg(pos);
   return static_cast<uint64_t>(end - pos);
+}
+
+uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+void WriteZeros(std::ostream& out, uint64_t count) {
+  static constexpr char kZeros[4096] = {};
+  while (count > 0) {
+    const uint64_t chunk = std::min<uint64_t>(count, sizeof(kZeros));
+    out.write(kZeros, static_cast<std::streamsize>(chunk));
+    count -= chunk;
+  }
 }
 
 void WriteHeader(std::ostream& out, const Header& h) {
@@ -88,6 +179,14 @@ void WriteHeader(std::ostream& out, const Header& h) {
   WritePod(out, h.edges_examined);
   WritePod(out, h.uncompressed_edges);
   WritePod(out, h.compressed_edges);
+}
+
+void WriteHeaderExt(std::ostream& out, const HeaderExt& e) {
+  WritePod(out, e.endian_marker);
+  WritePod(out, e.default_codec);
+  WritePod(out, e.section_align);
+  WritePod(out, e.dir_offset);
+  WritePod(out, e.reserved);
 }
 
 Status ReadHeader(std::istream& in, const std::string& path, Header* h) {
@@ -127,12 +226,246 @@ Status ReadHeader(std::istream& in, const std::string& path, Header* h) {
   return Status::Ok();
 }
 
+Status ReadHeaderExt(std::istream& in, const std::string& path,
+                     HeaderExt* e) {
+  if (!ReadPod(in, &e->endian_marker) || !ReadPod(in, &e->default_codec) ||
+      !ReadPod(in, &e->section_align) || !ReadPod(in, &e->dir_offset) ||
+      !ReadPod(in, &e->reserved)) {
+    return Status::IoError("truncated pool snapshot header: " + path);
+  }
+  if (e->endian_marker != kEndianMarker) {
+    return Status::InvalidArgument(
+        "pool snapshot byte order does not match this host "
+        "(endianness marker mismatch): " +
+        path);
+  }
+  return Status::Ok();
+}
+
+/// Global ids must fit the serving graph before views reach evaluators: the
+/// pool's inverted index is addressed by global id, so an oversized id would
+/// index out of bounds. Local 0 is the super-seed slot, not a graph node.
+Status CheckGlobalIds(const PrrStore& store, uint64_t num_graph_nodes) {
+  // Flat prefix-sum walk over the arena's id pool — identical coverage to
+  // iterating View(g) per graph (every slot from kRootLocal on), but without
+  // materializing a view per graph; this runs on every snapshot load.
+  const NodeId* ids = store.raw_global_ids().data();
+  const size_t num_graphs = store.num_graphs();
+  uint64_t begin = 0;
+  for (size_t g = 0; g < num_graphs; ++g) {
+    const uint32_t n = store.num_nodes(g);
+    const NodeId* p = ids + begin + PrrGraph::kRootLocal;
+    const NodeId* end = ids + begin + n;
+    bool ok = true;
+    for (; p < end; ++p) ok &= *p < num_graph_nodes;
+    if (!ok) {
+      for (p = ids + begin + PrrGraph::kRootLocal; *p < num_graph_nodes; ++p) {
+      }
+      return Status::OutOfRange("snapshot PRR-graph node out of range: " +
+                                std::to_string(*p));
+    }
+    begin += n;
+  }
+  return Status::Ok();
+}
+
+/// Per-entry structural checks for one v3 section block: 4-byte aligned, in
+/// bounds, non-overlapping and in file order (`prev_end` advances); codec
+/// known; nop blocks stored verbatim; value count bounded by stored bytes
+/// (all codecs emit ≥ 1 byte per value, so a corrupt raw_bytes can never
+/// drive a pathological allocation).
+Status ValidateSectionEntry(const SectionEntry& e, const std::string& where,
+                            uint64_t file_size, uint64_t* prev_end,
+                            const std::string& path) {
+  if (e.offset % sizeof(uint32_t) != 0) {
+    return Status::InvalidArgument("misaligned " + where + ": " + path);
+  }
+  if (e.offset < *prev_end || e.offset > file_size ||
+      e.stored_bytes > file_size - e.offset) {
+    return Status::InvalidArgument(
+        where + " overlaps another section or exceeds the snapshot: " + path);
+  }
+  if (e.raw_bytes % sizeof(uint32_t) != 0) {
+    return Status::InvalidArgument(where + " has a non-uint32 raw length: " +
+                                   path);
+  }
+  if (CodecById(e.codec) == nullptr) {
+    return Status::InvalidArgument("unknown codec id " +
+                                   std::to_string(e.codec) + " in " + where +
+                                   ": " + path);
+  }
+  if (e.codec == static_cast<uint32_t>(SnapshotCodec::kNop) &&
+      e.stored_bytes != e.raw_bytes) {
+    return Status::InvalidArgument("nop-coded " + where +
+                                   " has stored != raw bytes: " + path);
+  }
+  if (e.raw_bytes / sizeof(uint32_t) > e.stored_bytes) {
+    return Status::InvalidArgument(
+        where + " declares more values than its stored bytes encode: " + path);
+  }
+  *prev_end = e.offset + e.stored_bytes;
+  return Status::Ok();
+}
+
+/// True for the all-zero entry the writer leaves when a snapshot carries no
+/// pool-level coverage section (compressed snapshots; derived on load).
+bool CoverageAbsent(const SectionEntry& e) {
+  return e.offset == 0 && e.stored_bytes == 0 && e.raw_bytes == 0;
+}
+
+/// Structural validation of a v3 section directory against the mapped file
+/// length: every shard block plus the trailing pool-level coverage section
+/// (when present, it must follow the shard regions and hold exactly as many
+/// values as the shard critical sections combined).
+Status ValidateDirectory(const std::vector<ShardDir>& dirs,
+                         const SectionEntry& coverage, uint64_t dir_end,
+                         uint64_t file_size, const std::string& path) {
+  uint64_t prev_end = dir_end;
+  for (size_t s = 0; s < dirs.size(); ++s) {
+    const ShardDir& dir = dirs[s];
+    if (dir.num_graphs > file_size / sizeof(uint32_t)) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          " declares more graphs than the snapshot could hold: " + path);
+    }
+    for (size_t i = 0; i < kNumSections; ++i) {
+      const std::string where =
+          "section " + std::to_string(i) + " of shard " + std::to_string(s);
+      if (Status e = ValidateSectionEntry(dir.sections[i], where, file_size,
+                                          &prev_end, path);
+          !e.ok()) {
+        return e;
+      }
+    }
+    const uint64_t size_table_bytes = dir.num_graphs * sizeof(uint32_t);
+    if (dir.sections[kSecNumNodes].raw_bytes != size_table_bytes ||
+        dir.sections[kSecNumCritical].raw_bytes != size_table_bytes) {
+      return Status::InvalidArgument(
+          "size-table sections disagree with the graph count of shard " +
+          std::to_string(s) + ": " + path);
+    }
+  }
+  if (!CoverageAbsent(coverage)) {
+    if (Status e = ValidateSectionEntry(coverage, "the coverage section",
+                                        file_size, &prev_end, path);
+        !e.ok()) {
+      return e;
+    }
+    uint64_t critical_bytes = 0;
+    for (const ShardDir& dir : dirs) {
+      critical_bytes += dir.sections[kSecCritical].raw_bytes;
+    }
+    if (coverage.raw_bytes != critical_bytes) {
+      return Status::InvalidArgument(
+          "the coverage section disagrees with the shard critical pools: " +
+          path);
+    }
+  }
+  return Status::Ok();
+}
+
+/// verify_mapped rigor for the coverage section: it must be exactly the
+/// shard-major gather of every arena's critical locals through its global
+/// ids — the pool the owned-restore path would rebuild.
+Status CheckCoverageSection(const std::vector<PrrStore>& stores,
+                            std::span<const uint32_t> section,
+                            const std::string& path) {
+  const uint32_t* want = section.data();
+  for (const PrrStore& store : stores) {
+    const NodeId* ids = store.raw_global_ids().data();
+    const uint32_t* cursor = store.raw_critical().data();
+    const size_t store_graphs = store.num_graphs();
+    uint64_t node_begin = 0;
+    for (size_t g = 0; g < store_graphs; ++g) {
+      const NodeId* base = ids + node_begin;
+      for (const uint32_t* end = cursor + store.critical_count(g);
+           cursor != end; ++cursor) {
+        if (*want++ != base[*cursor]) {
+          return Status::InvalidArgument(
+              "coverage section disagrees with the arena critical sets: " +
+              path);
+        }
+      }
+      node_begin += store.num_nodes(g);
+    }
+  }
+  return Status::Ok();
+}
+
+/// LB body (all versions): the critical sets as one flat offsets/nodes pair
+/// over the non-empty sample numbering.
+void WriteLbBody(std::ostream& out, const PrrCollection& pool) {
+  const CoverageSelector& coverage = pool.coverage();
+  const uint64_t num_sets = coverage.num_nonempty_sets();
+  WritePod(out, num_sets);
+  uint64_t offset = 0;
+  WritePod(out, offset);
+  for (uint64_t i = 0; i < num_sets; ++i) {
+    offset += coverage.SetNodes(i).size();
+    WritePod(out, offset);
+  }
+  for (uint64_t i = 0; i < num_sets; ++i) {
+    const std::span<const NodeId> nodes = coverage.SetNodes(i);
+    out.write(reinterpret_cast<const char*>(nodes.data()),
+              static_cast<std::streamsize>(nodes.size() * sizeof(NodeId)));
+  }
+}
+
 }  // namespace
 
-Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
+SnapshotMapping::~SnapshotMapping() {
+  if (addr_ != nullptr) ::munmap(addr_, len_);
+}
+
+StatusOr<std::shared_ptr<SnapshotMapping>> SnapshotMapping::Open(
+    const std::string& path, bool prefault) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for mapping: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat for mapping: " + path);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+  // Prefault in one syscall instead of one minor fault per touched 4 KiB —
+  // load-time validation walks most of the file anyway, and fault storms
+  // were the dominant cost of warm-start-size mappings.
+  if (prefault) flags |= MAP_POPULATE;
+#else
+  (void)prefault;  // best effort; on-demand paging still works
+#endif
+  void* addr = ::mmap(nullptr, len, PROT_READ, flags, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the file
+  if (addr == MAP_FAILED) {
+    return Status::IoError("mmap failed: " + path);
+  }
+  return std::shared_ptr<SnapshotMapping>(new SnapshotMapping(addr, len));
+}
+
+StatusOr<PoolSaveResult> SavePoolSnapshot(const BoostSession& session,
+                                          const std::string& path,
+                                          const PoolSaveOptions& options) {
   if (!session.prepared()) {
     return Status::InvalidArgument(
         "session pool not prepared; call Prepare() before saving");
+  }
+  if (options.format_version != 2 && options.format_version != 3) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(options.format_version) + " (this build writes 2, 3)");
+  }
+  if (options.format_version == 2 && options.codec != SnapshotCodec::kNop) {
+    return Status::InvalidArgument(
+        "the legacy v2 format has no codec seam; use format_version 3 for " +
+        std::string(CodecName(options.codec)));
+  }
+  const Codec* codec = CodecById(static_cast<uint32_t>(options.codec));
+  if (codec == nullptr) {
+    return Status::InvalidArgument("unknown snapshot codec id " +
+                                   std::to_string(static_cast<uint32_t>(
+                                       options.codec)));
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
@@ -142,6 +475,7 @@ Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
   const PrrSamplerStats& stats = engine.stats();
 
   Header h;
+  h.version = options.format_version;
   h.flags = (session.lb_only() ? kFlagLbOnly : 0) |
             (engine.samples_capped() ? kFlagSamplesCapped : 0);
   h.num_graph_nodes = pool.num_graph_nodes();
@@ -160,31 +494,27 @@ Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
   h.uncompressed_edges = stats.uncompressed_edges;
   h.compressed_edges = stats.compressed_edges;
   WriteHeader(out, h);
+
+  const uint64_t seeds_bytes = h.num_seeds * sizeof(NodeId);
+  uint64_t file_bytes = 0;
+  HeaderExt ext;
+  if (options.format_version >= 3) {
+    ext.default_codec = static_cast<uint32_t>(options.codec);
+    ext.dir_offset =
+        session.lb_only() ? 0 : kHeaderBytes + kExtBytes + seeds_bytes;
+    WriteHeaderExt(out, ext);
+  }
   out.write(reinterpret_cast<const char*>(session.seeds().data()),
-            static_cast<std::streamsize>(h.num_seeds * sizeof(NodeId)));
+            static_cast<std::streamsize>(seeds_bytes));
 
   if (session.lb_only()) {
-    // LB mode: only the critical sets exist. Write them as one flat
-    // offsets/nodes pair over the non-empty sample numbering.
-    const CoverageSelector& coverage = pool.coverage();
-    const uint64_t num_sets = coverage.num_nonempty_sets();
-    WritePod(out, num_sets);
-    uint64_t offset = 0;
-    WritePod(out, offset);
-    for (uint64_t i = 0; i < num_sets; ++i) {
-      offset += coverage.SetNodes(i).size();
-      WritePod(out, offset);
-    }
-    for (uint64_t i = 0; i < num_sets; ++i) {
-      const std::span<const NodeId> nodes = coverage.SetNodes(i);
-      out.write(reinterpret_cast<const char*>(nodes.data()),
-                static_cast<std::streamsize>(nodes.size() * sizeof(NodeId)));
-    }
-  } else {
-    // v2 multi-shard body: per-shard blob sizes, then the blobs. Shards
-    // serialize concurrently into memory buffers; the size table is what
-    // lets the loader slice the stream and deserialize shards in parallel
-    // (and bound every per-shard allocation before it happens).
+    WriteLbBody(out, pool);
+    file_bytes = static_cast<uint64_t>(out.tellp());
+  } else if (options.format_version == 2) {
+    // Legacy v2 multi-shard body: per-shard blob sizes, then the blobs.
+    // Shards serialize concurrently into memory buffers; the size table is
+    // what lets the loader slice the stream and deserialize shards in
+    // parallel (and bound every per-shard allocation before it happens).
     const size_t num_shards = pool.num_shards();
     std::vector<std::string> blobs(num_shards);
     ParallelFor(
@@ -201,14 +531,149 @@ Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
     for (const std::string& blob : blobs) {
       out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
     }
+    file_bytes = static_cast<uint64_t>(out.tellp());
+  } else {
+    // v3 body: a zeroed directory placeholder, then each shard's eight
+    // section blocks streamed straight from the arena (no serialize-to-
+    // string staging — the nop path writes the arena spans verbatim; a
+    // compressing codec stages one section at a time), then, for nop-coded
+    // (mmap-servable) snapshots, the pool-level coverage section, then the
+    // directory backpatched with the final offsets and sizes.
+    const size_t num_shards = pool.num_shards();
+    const uint64_t dir_bytes = num_shards * kDirEntryBytes + kCoverageEntryBytes;
+    WriteZeros(out, dir_bytes);
+    uint64_t pos = ext.dir_offset + dir_bytes;
+
+    std::vector<ShardDir> dirs(num_shards);
+    std::string encode_buf;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const PrrStore& store = pool.shard_store(s);
+      const size_t num_graphs = store.num_graphs();
+      std::vector<uint32_t> num_nodes(num_graphs), num_critical(num_graphs);
+      for (size_t g = 0; g < num_graphs; ++g) {
+        num_nodes[g] = store.num_nodes(g);
+        num_critical[g] = static_cast<uint32_t>(store.critical_count(g));
+      }
+      const std::span<const uint32_t> sections[kNumSections] = {
+          num_nodes,
+          num_critical,
+          store.raw_global_ids(),
+          store.raw_out_offsets(),
+          store.raw_in_offsets(),
+          store.raw_out_edges(),
+          store.raw_in_edges(),
+          store.raw_critical()};
+
+      dirs[s].num_graphs = num_graphs;
+      const uint64_t shard_begin = AlignUp(pos, kShardAlign);
+      WriteZeros(out, shard_begin - pos);
+      pos = shard_begin;
+      for (size_t i = 0; i < kNumSections; ++i) {
+        const uint64_t block_begin = AlignUp(pos, kBlockAlign);
+        WriteZeros(out, block_begin - pos);
+        pos = block_begin;
+        SectionEntry& e = dirs[s].sections[i];
+        e.offset = pos;
+        e.raw_bytes = sections[i].size() * sizeof(uint32_t);
+        e.codec = static_cast<uint32_t>(options.codec);
+        if (options.codec == SnapshotCodec::kNop) {
+          if (!sections[i].empty()) {
+            out.write(reinterpret_cast<const char*>(sections[i].data()),
+                      static_cast<std::streamsize>(e.raw_bytes));
+          }
+          e.stored_bytes = e.raw_bytes;
+        } else {
+          encode_buf.clear();
+          codec->Encode(sections[i], &encode_buf);
+          out.write(encode_buf.data(),
+                    static_cast<std::streamsize>(encode_buf.size()));
+          e.stored_bytes = encode_buf.size();
+        }
+        pos += e.stored_bytes;
+      }
+    }
+
+    // Pool-level coverage section: every graph's critical set translated to
+    // global ids, shard-major in stored-graph order — exactly the node pool
+    // RestoreFullPool would gather, written once so an mmap load can bind
+    // the greedy-coverage selector in place. Skipped (all-zero entry) for
+    // compressed snapshots, which decode into owned arenas and re-gather.
+    SectionEntry coverage_entry;
+    if (options.codec == SnapshotCodec::kNop) {
+      std::vector<uint32_t> coverage_pool;
+      size_t total_critical = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        total_critical += pool.shard_store(s).raw_critical().size();
+      }
+      coverage_pool.reserve(total_critical);
+      for (size_t s = 0; s < num_shards; ++s) {
+        const PrrStore& store = pool.shard_store(s);
+        const NodeId* ids = store.raw_global_ids().data();
+        const uint32_t* cursor = store.raw_critical().data();
+        const size_t store_graphs = store.num_graphs();
+        uint64_t node_begin = 0;
+        for (size_t g = 0; g < store_graphs; ++g) {
+          const NodeId* node_base = ids + node_begin;
+          for (const uint32_t* end = cursor + store.critical_count(g);
+               cursor != end; ++cursor) {
+            coverage_pool.push_back(node_base[*cursor]);
+          }
+          node_begin += store.num_nodes(g);
+        }
+      }
+      const uint64_t block_begin = AlignUp(pos, kBlockAlign);
+      WriteZeros(out, block_begin - pos);
+      pos = block_begin;
+      coverage_entry.offset = pos;
+      coverage_entry.raw_bytes = coverage_pool.size() * sizeof(uint32_t);
+      coverage_entry.stored_bytes = coverage_entry.raw_bytes;
+      coverage_entry.codec = static_cast<uint32_t>(SnapshotCodec::kNop);
+      if (!coverage_pool.empty()) {
+        out.write(reinterpret_cast<const char*>(coverage_pool.data()),
+                  static_cast<std::streamsize>(coverage_entry.raw_bytes));
+      }
+      pos += coverage_entry.stored_bytes;
+    }
+    file_bytes = pos;
+
+    out.seekp(static_cast<std::streamoff>(ext.dir_offset));
+    for (const ShardDir& dir : dirs) {
+      WritePod(out, dir.num_graphs);
+      for (const SectionEntry& e : dir.sections) {
+        WritePod(out, e.offset);
+        WritePod(out, e.stored_bytes);
+        WritePod(out, e.raw_bytes);
+        WritePod(out, e.codec);
+        WritePod(out, e.reserved);
+      }
+    }
+    WritePod(out, coverage_entry.offset);
+    WritePod(out, coverage_entry.stored_bytes);
+    WritePod(out, coverage_entry.raw_bytes);
+    WritePod(out, coverage_entry.codec);
+    WritePod(out, coverage_entry.reserved);
   }
   out.flush();
   if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+
+  PoolSaveResult result;
+  result.file_bytes = file_bytes;
+  result.num_samples = h.num_boostable + h.num_activated + h.num_hopeless;
+  result.bytes_per_sample =
+      result.num_samples > 0
+          ? static_cast<double>(result.file_bytes) /
+                static_cast<double>(result.num_samples)
+          : 0.0;
+  return result;
+}
+
+Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
+  return SavePoolSnapshot(session, path, PoolSaveOptions{}).status();
 }
 
 StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
-    const DirectedGraph& graph, const std::string& path) {
+    const DirectedGraph& graph, const std::string& path,
+    const PoolLoadOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
 
@@ -226,7 +691,28 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
       h.num_shards > static_cast<uint32_t>(PrrCollection::kMaxShards)) {
     return Status::InvalidArgument("corrupt pool snapshot header: " + path);
   }
+  HeaderExt ext;
+  if (h.version >= 3) {
+    Status ext_status = ReadHeaderExt(in, path, &ext);
+    if (!ext_status.ok()) return ext_status;
+  }
   const bool lb_only = (h.flags & kFlagLbOnly) != 0;
+
+  if (options.use_mmap) {
+    if (h.version < 3) {
+      return Status::FailedPrecondition(
+          "pool snapshot version " + std::to_string(h.version) +
+          " predates the mmap-servable v3 layout; re-save it with the "
+          "current writer: " +
+          path);
+    }
+    if (lb_only) {
+      return Status::FailedPrecondition(
+          "LB-only snapshot holds critical sets, not arena sections; the "
+          "mmap path serves full-mode pools only: " +
+          path);
+    }
+  }
 
   std::vector<NodeId> seeds(h.num_seeds);
   in.read(reinterpret_cast<char*>(seeds.data()),
@@ -239,6 +725,22 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
     }
   }
 
+  // The writer's thread count is provenance, not a command: clamp it into
+  // the valid range before it reaches BoostOptions (whose trusting
+  // constructor would abort on garbage), and note that registering with a
+  // BoostService overrides it with the service's Options::num_threads.
+  const int load_threads = static_cast<int>(std::max<uint32_t>(
+      1, std::min<uint32_t>(h.num_threads,
+                            static_cast<uint32_t>(ThreadPool::kMaxWorkers))));
+  // Restore-time parallelism is additionally capped by this host's cores:
+  // the writer may have had more, and fanning tiny per-shard work (an mmap
+  // attach is O(num_graphs) metadata, not O(bytes)) across more workers
+  // than cores only buys wake/join overhead on the warm-start path.
+  const int io_threads = std::max(
+      1, std::min(load_threads,
+                  static_cast<int>(std::thread::hardware_concurrency())));
+
+  std::shared_ptr<SnapshotMapping> mapping;
   auto pool = std::make_unique<PrrCollection>(
       graph.num_nodes(), static_cast<int>(h.num_shards));
   if (lb_only) {
@@ -276,7 +778,7 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
           nodes.data() + offsets[i], offsets[i + 1] - offsets[i]));
     }
     pool->AddNonBoostableCounts(h.num_activated, h.num_hopeless);
-  } else {
+  } else if (h.version <= 2) {
     const size_t num_shards = h.num_shards;
     std::vector<std::string> blobs(num_shards);
     if (h.version >= 2) {
@@ -327,13 +829,10 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
     // Per-shard deserialization and structural validation fan out over the
     // workers; every shard reports its own Status and the first failure (in
     // shard order, for a deterministic message) wins.
-    const int load_threads =
-        std::min(std::max(1, static_cast<int>(h.num_threads)),
-                 ThreadPool::kMaxWorkers);
     std::vector<PrrStore> stores(num_shards);
     std::vector<Status> shard_status(num_shards, Status::Ok());
     ParallelFor(
-        num_shards, load_threads,
+        num_shards, io_threads,
         [&](size_t s, int /*t*/) {
           std::istringstream blob_in(blobs[s], std::ios::binary);
           if (Status arena = stores[s].Deserialize(blob_in); !arena.ok()) {
@@ -342,20 +841,7 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
                 " of snapshot " + path + ": " + arena.ToString());
             return;
           }
-          // Global ids must fit the serving graph before views reach
-          // evaluators.
-          for (size_t g = 0; g < stores[s].num_graphs(); ++g) {
-            const PrrGraphView view = stores[s].View(g);
-            for (uint32_t v = PrrGraph::kRootLocal; v < view.num_nodes();
-                 ++v) {
-              if (view.global_ids[v] >= graph.num_nodes()) {
-                shard_status[s] = Status::OutOfRange(
-                    "snapshot PRR-graph node out of range: " +
-                    std::to_string(view.global_ids[v]));
-                return;
-              }
-            }
-          }
+          shard_status[s] = CheckGlobalIds(stores[s], graph.num_nodes());
         },
         /*chunk=*/1);
     for (const Status& s : shard_status) {
@@ -370,16 +856,206 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
           std::to_string(total_graphs));
     }
     pool->RestoreFullPool(std::move(stores), h.num_activated, h.num_hopeless);
+  } else {
+    // v3 full-mode body: parse the section directory out of a file mapping
+    // (the parse itself is O(num_shards)), then either bind external stores
+    // over the mapped sections (use_mmap) or decode every block into owned
+    // arenas.
+    in.close();
+    auto mapped = SnapshotMapping::Open(path, options.prefault);
+    if (!mapped.ok()) return mapped.status();
+    mapping = std::move(mapped).value();
+    const char* base = mapping->data();
+    const uint64_t file_size = mapping->size();
+
+    const uint64_t num_shards = h.num_shards;
+    const uint64_t dir_bytes =
+        num_shards * kDirEntryBytes + kCoverageEntryBytes;
+    const uint64_t seeds_end =
+        kHeaderBytes + kExtBytes + h.num_seeds * sizeof(NodeId);
+    if (ext.dir_offset < seeds_end || ext.dir_offset > file_size ||
+        dir_bytes > file_size - ext.dir_offset) {
+      return Status::InvalidArgument("v3 snapshot directory out of bounds: " +
+                                     path);
+    }
+    std::vector<ShardDir> dirs(num_shards);
+    const char* p = base + ext.dir_offset;
+    for (uint64_t s = 0; s < num_shards; ++s) {
+      dirs[s].num_graphs = ReadU64At(p);
+      p += 8;
+      for (size_t i = 0; i < kNumSections; ++i) {
+        SectionEntry& e = dirs[s].sections[i];
+        e.offset = ReadU64At(p);
+        e.stored_bytes = ReadU64At(p + 8);
+        e.raw_bytes = ReadU64At(p + 16);
+        e.codec = ReadU32At(p + 24);
+        e.reserved = ReadU32At(p + 28);
+        p += 32;
+      }
+    }
+    SectionEntry coverage;
+    coverage.offset = ReadU64At(p);
+    coverage.stored_bytes = ReadU64At(p + 8);
+    coverage.raw_bytes = ReadU64At(p + 16);
+    coverage.codec = ReadU32At(p + 24);
+    coverage.reserved = ReadU32At(p + 28);
+    Status dir_status = ValidateDirectory(dirs, coverage,
+                                          ext.dir_offset + dir_bytes,
+                                          file_size, path);
+    if (!dir_status.ok()) return dir_status;
+
+    if (options.use_mmap) {
+      for (uint64_t s = 0; s < num_shards; ++s) {
+        for (size_t i = 0; i < kNumSections; ++i) {
+          if (dirs[s].sections[i].codec !=
+              static_cast<uint32_t>(SnapshotCodec::kNop)) {
+            return Status::FailedPrecondition(
+                "section " + std::to_string(i) + " of shard " +
+                std::to_string(s) + " is " +
+                CodecName(static_cast<SnapshotCodec>(
+                    dirs[s].sections[i].codec)) +
+                "-coded; the zero-copy mmap path serves only nop-coded "
+                "snapshots — load without mmap, or re-save with the nop "
+                "codec: " +
+                path);
+          }
+        }
+      }
+      // Only compressed snapshots omit the coverage section (their shard
+      // sections were refused above); a nop-coded file without one is
+      // corrupt, not merely old — the v3 writer always emits it.
+      if (CoverageAbsent(coverage) ||
+          coverage.codec != static_cast<uint32_t>(SnapshotCodec::kNop)) {
+        return Status::InvalidArgument(
+            "v3 snapshot has no mmap-servable coverage section: " + path);
+      }
+    }
+
+    const auto section_u32 = [base](const SectionEntry& e) {
+      return std::span<const uint32_t>(
+          reinterpret_cast<const uint32_t*>(base + e.offset),
+          e.raw_bytes / sizeof(uint32_t));
+    };
+
+    std::vector<PrrStore> stores(num_shards);
+    std::vector<Status> shard_status(num_shards, Status::Ok());
+    ParallelFor(
+        num_shards, io_threads,
+        [&](size_t s, int /*t*/) {
+          const ShardDir& dir = dirs[s];
+          const auto fail = [&](const Status& why) {
+            shard_status[s] = Status::InvalidArgument(
+                "corrupt PRR-graph arena in shard " + std::to_string(s) +
+                " of snapshot " + path + ": " + why.ToString());
+          };
+          if (options.use_mmap) {
+            PrrStore::ArenaSections sections;
+            sections.num_nodes = section_u32(dir.sections[kSecNumNodes]);
+            sections.num_critical =
+                section_u32(dir.sections[kSecNumCritical]);
+            sections.global_ids = section_u32(dir.sections[kSecGlobalIds]);
+            sections.out_offsets = section_u32(dir.sections[kSecOutOffsets]);
+            sections.in_offsets = section_u32(dir.sections[kSecInOffsets]);
+            sections.out_edges = section_u32(dir.sections[kSecOutEdges]);
+            sections.in_edges = section_u32(dir.sections[kSecInEdges]);
+            sections.critical = section_u32(dir.sections[kSecCritical]);
+            if (Status arena = stores[s].AttachExternal(
+                    sections, options.verify_mapped);
+                !arena.ok()) {
+              fail(arena);
+              return;
+            }
+          } else {
+            std::vector<uint32_t> bufs[kNumSections];
+            for (size_t i = 0; i < kNumSections; ++i) {
+              const SectionEntry& e = dir.sections[i];
+              bufs[i].resize(e.raw_bytes / sizeof(uint32_t));
+              if (Status block =
+                      CodecById(e.codec)->Decode(
+                          std::span<const char>(base + e.offset,
+                                                e.stored_bytes),
+                          std::span<uint32_t>(bufs[i]));
+                  !block.ok()) {
+                fail(block);
+                return;
+              }
+            }
+            if (Status arena = stores[s].AdoptBuffers(
+                    bufs[kSecNumNodes], bufs[kSecNumCritical],
+                    std::move(bufs[kSecGlobalIds]),
+                    std::move(bufs[kSecOutOffsets]),
+                    std::move(bufs[kSecInOffsets]),
+                    std::move(bufs[kSecOutEdges]),
+                    std::move(bufs[kSecInEdges]),
+                    std::move(bufs[kSecCritical]));
+                !arena.ok()) {
+              fail(arena);
+              return;
+            }
+          }
+          shard_status[s] = CheckGlobalIds(stores[s], graph.num_nodes());
+        },
+        /*chunk=*/1);
+    for (const Status& s : shard_status) {
+      if (!s.ok()) return s;
+    }
+    size_t total_graphs = 0;
+    for (const PrrStore& store : stores) total_graphs += store.num_graphs();
+    if (total_graphs != h.num_boostable) {
+      return Status::InvalidArgument(
+          "snapshot header declares " + std::to_string(h.num_boostable) +
+          " boostable graphs but the shard arenas hold " +
+          std::to_string(total_graphs));
+    }
+    if (options.use_mmap) {
+      // Zero-copy restore: bind the greedy-coverage node pool straight to
+      // the mapped coverage section instead of re-gathering it from the
+      // arenas. Its ids index per-node arrays during selection, so they get
+      // the same bounds pass the arena ids got (fused, one branch per
+      // section on the happy path).
+      const std::span<const uint32_t> coverage_nodes(
+          reinterpret_cast<const uint32_t*>(base + coverage.offset),
+          coverage.raw_bytes / sizeof(uint32_t));
+      bool in_range = true;
+      for (const uint32_t v : coverage_nodes) {
+        in_range &= v < graph.num_nodes();
+      }
+      if (!in_range) {
+        return Status::OutOfRange(
+            "snapshot coverage node out of range: " + path);
+      }
+      if (options.verify_mapped) {
+        if (Status cov = CheckCoverageSection(stores, coverage_nodes, path);
+            !cov.ok()) {
+          return cov;
+        }
+      }
+      // The per-graph set sizes are the mapped num_critical sections
+      // verbatim (the same bytes AttachExternal built each arena's meta
+      // from), concatenated shard-major to match the coverage pool.
+      std::vector<uint32_t> set_sizes;
+      set_sizes.reserve(total_graphs);
+      for (uint64_t s = 0; s < num_shards; ++s) {
+        const std::span<const uint32_t> counts =
+            section_u32(dirs[s].sections[kSecNumCritical]);
+        set_sizes.insert(set_sizes.end(), counts.begin(), counts.end());
+      }
+      pool->RestoreFullPool(std::move(stores), set_sizes, coverage_nodes,
+                            h.num_activated, h.num_hopeless);
+    } else {
+      pool->RestoreFullPool(std::move(stores), h.num_activated,
+                            h.num_hopeless);
+    }
   }
 
-  BoostOptions options;
-  options.k = h.pool_budget;
-  options.epsilon = h.epsilon;
-  options.ell = h.ell;
-  options.seed = h.rng_seed;
-  options.max_samples = h.max_samples;
-  if (h.num_threads > 0) options.num_threads = static_cast<int>(h.num_threads);
-  options.num_shards = static_cast<int>(h.num_shards);
+  BoostOptions boost_options;
+  boost_options.k = h.pool_budget;
+  boost_options.epsilon = h.epsilon;
+  boost_options.ell = h.ell;
+  boost_options.seed = h.rng_seed;
+  boost_options.max_samples = h.max_samples;
+  if (h.num_threads > 0) boost_options.num_threads = load_threads;
+  boost_options.num_shards = static_cast<int>(h.num_shards);
 
   PrrSamplerStats stats;
   stats.edges_examined = h.edges_examined;
@@ -387,10 +1063,25 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
   stats.compressed_edges = h.compressed_edges;
 
   auto session = std::make_unique<BoostSession>(graph, std::move(seeds),
-                                                options, lb_only);
+                                                boost_options, lb_only);
   session->engine().AdoptPool(std::move(pool), stats,
                               (h.flags & kFlagSamplesCapped) != 0);
+  if (options.use_mmap && mapping != nullptr) {
+    session->RetainResource(std::move(mapping));
+  }
   return session;
+}
+
+StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
+    const DirectedGraph& graph, const std::string& path) {
+  return LoadPoolSnapshot(graph, path, PoolLoadOptions{});
+}
+
+StatusOr<std::unique_ptr<BoostSession>> MmapPool(const DirectedGraph& graph,
+                                                 const std::string& path) {
+  PoolLoadOptions options;
+  options.use_mmap = true;
+  return LoadPoolSnapshot(graph, path, options);
 }
 
 }  // namespace kboost

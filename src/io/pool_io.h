@@ -1,10 +1,13 @@
 #ifndef KBOOST_IO_POOL_IO_H_
 #define KBOOST_IO_POOL_IO_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "src/core/boost_session.h"
+#include "src/io/codec.h"
 #include "src/util/status.h"
 
 namespace kboost {
@@ -16,19 +19,123 @@ namespace kboost {
 /// SolveForBudget with bit-identical best sets and estimates, enabling warm
 /// restarts and cross-process serving against one prepared index.
 ///
-/// The format is host-endian (the magic doubles as an endianness check) and
-/// trusted to the extent of the structural validation performed on load:
-/// header match, count consistency, offset monotonicity and id ranges.
+/// Formats:
+///   v1/v2 — legacy stream formats (v2 adds the per-shard blob table). Both
+///           still load; only v2 can still be written (PoolSaveOptions::
+///           format_version = 2, for compatibility tests).
+///   v3    — the current format: each shard arena is written as eight flat
+///           uint32 sections behind a page-aligned section directory, so a
+///           nop-coded snapshot is servable directly from an mmap'd file
+///           (PoolLoadOptions::use_mmap / MmapPool) with no per-process copy,
+///           and each section block may independently be compressed by a
+///           pluggable codec (src/io/codec.h) for cold storage. Nop-coded
+///           snapshots additionally carry one pool-level coverage section —
+///           the critical sets pre-translated to global ids, shard-major —
+///           so the mmap path binds the greedy-coverage node pool in place
+///           too and warm start does no O(total_critical) re-gather.
+///
+/// Byte order: v3 headers stamp an endianness marker and the loader rejects
+/// snapshots written on a different-endianness host with a typed Status.
+/// v1/v2 snapshots predate the marker and are assumed host-endian (the magic
+/// does NOT detect a byte-order mismatch — one more reason to re-save as v3).
+///
+/// Thread count precedence: the header records the writer's num_threads as
+/// provenance only. The loader clamps it into [1, ThreadPool::kMaxWorkers]
+/// before using it, and any registration with a BoostService overrides it
+/// with the service's own Options::num_threads — service options win.
+
+/// How to write a snapshot.
+struct PoolSaveOptions {
+  /// Codec applied to every arena section block (recorded per block in the
+  /// directory). kNop keeps the file mmap-servable; kVarint shrinks it for
+  /// cold storage at the cost of a decode-on-load into owned arenas.
+  SnapshotCodec codec = SnapshotCodec::kNop;
+  /// 3 writes the current format; 2 writes the legacy v2 stream format
+  /// (which ignores `codec` — v2 has no codec seam).
+  uint32_t format_version = 3;
+};
+
+/// What a save produced. num_samples is θ — every sampled PRR-graph,
+/// boostable or not — so bytes_per_sample is comparable across modes.
+struct PoolSaveResult {
+  uint64_t file_bytes = 0;
+  uint64_t num_samples = 0;
+  double bytes_per_sample = 0.0;
+};
+
+/// How to load a snapshot.
+struct PoolLoadOptions {
+  /// Serve the arenas directly from an mmap of the file (v3 nop-coded
+  /// full-mode snapshots only — anything else is a typed FailedPrecondition).
+  /// Warm start becomes ~O(validate directory) instead of O(bytes), and the
+  /// page cache shares the arena across every process mapping it.
+  bool use_mmap = false;
+  /// Also run the O(total_edges) deep walk (edge endpoints and critical ids
+  /// in range) over the mapped sections. Off by default: the structural
+  /// checks memory safety needs always run, and a host mapping its own
+  /// snapshot gains little from re-walking every edge at the cost of paging
+  /// the whole file in — which would defeat the point of mmap. Owned loads
+  /// (and every codec decode) always validate deeply regardless. Also
+  /// cross-checks the pool-level coverage section against the arenas'
+  /// critical sets.
+  bool verify_mapped = false;
+  /// Prefault the mapping (MAP_POPULATE) so validation and first solves hit
+  /// resident pages instead of taking one fault per 4 KiB. On by default —
+  /// it turns hundreds of page faults into one syscall for warm-start-size
+  /// pools. Turn it off to page lazily when the snapshot is larger than RAM
+  /// (the scenario mmap serving exists for).
+  bool prefault = true;
+};
+
+/// RAII read-only mmap of a snapshot file. External (mmap-backed) PrrStores
+/// alias this memory, so the mapping must outlive every session serving from
+/// it; the v3 mmap loader enforces that by handing the returned shared_ptr to
+/// BoostSession::RetainResource, which transitively pins it for as long as
+/// any pool entry holds the session.
+class SnapshotMapping {
+ public:
+  /// `prefault` maps with MAP_POPULATE (where available): the whole file is
+  /// paged in by one syscall instead of on-demand faults.
+  static StatusOr<std::shared_ptr<SnapshotMapping>> Open(
+      const std::string& path, bool prefault = false);
+
+  SnapshotMapping(const SnapshotMapping&) = delete;
+  SnapshotMapping& operator=(const SnapshotMapping&) = delete;
+  ~SnapshotMapping();
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return len_; }
+
+ private:
+  SnapshotMapping(void* addr, size_t len) : addr_(addr), len_(len) {}
+
+  void* addr_ = nullptr;
+  size_t len_ = 0;
+};
 
 /// Writes the session's pool to `path`. The session must be prepared()
 /// (BoostSession::SavePool prepares and delegates here).
+StatusOr<PoolSaveResult> SavePoolSnapshot(const BoostSession& session,
+                                          const std::string& path,
+                                          const PoolSaveOptions& options);
+
+/// Compatibility shim: v3 nop-coded save, discarding the result details.
 Status SavePoolSnapshot(const BoostSession& session, const std::string& path);
 
 /// Restores a session from a snapshot taken against a graph with the same
 /// node count. Seeds and BoostOptions come from the snapshot; the returned
 /// session is prepared() and never resamples.
 StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
+    const DirectedGraph& graph, const std::string& path,
+    const PoolLoadOptions& options);
+
+/// Compatibility shim: owned (copying) load with default options.
+StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
     const DirectedGraph& graph, const std::string& path);
+
+/// Zero-copy warm start: LoadPoolSnapshot with use_mmap = true.
+StatusOr<std::unique_ptr<BoostSession>> MmapPool(const DirectedGraph& graph,
+                                                 const std::string& path);
 
 }  // namespace kboost
 

@@ -30,7 +30,7 @@ StatusOr<std::unique_ptr<BoostService>> BoostService::Create(
     if (Status s = probe.Validate(); !s.ok()) return s;
   }
   std::unique_ptr<BoostService> service(
-      new BoostService(graph, options.num_threads));
+      new BoostService(graph, options.num_threads, options.mmap_pools));
   for (const PoolSpec& spec : options.warm_pools) {
     if (Status s = service->LoadPool(spec.name, spec.snapshot_path); !s.ok()) {
       return Status::InvalidArgument("warm-start pool '" + spec.name + "': " +
@@ -42,8 +42,10 @@ StatusOr<std::unique_ptr<BoostService>> BoostService::Create(
 
 Status BoostService::LoadPool(const std::string& name,
                               const std::string& snapshot_path) {
+  PoolLoadOptions load_options;
+  load_options.use_mmap = mmap_pools_;
   StatusOr<std::unique_ptr<BoostSession>> loaded =
-      LoadPoolSnapshot(graph_, snapshot_path);
+      LoadPoolSnapshot(graph_, snapshot_path, load_options);
   if (!loaded.ok()) return loaded.status();
   return AddPool(name, std::move(loaded).value());
 }
@@ -150,8 +152,10 @@ Status BoostService::RefreshPool(const std::string& name,
 
 Status BoostService::RefreshPoolFromSnapshot(const std::string& name,
                                              const std::string& snapshot_path) {
+  PoolLoadOptions load_options;
+  load_options.use_mmap = mmap_pools_;
   StatusOr<std::unique_ptr<BoostSession>> loaded =
-      LoadPoolSnapshot(graph_, snapshot_path);
+      LoadPoolSnapshot(graph_, snapshot_path, load_options);
   if (!loaded.ok()) return loaded.status();
   return RefreshPool(name, std::move(loaded).value());
 }

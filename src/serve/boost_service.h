@@ -89,8 +89,17 @@ class BoostService {
     /// Overrides every registered pool's worker count — applied uniformly
     /// on BOTH registration paths (LoadPool snapshots, which carry the
     /// count they were built with, and directly AddPool-ed sessions) and on
-    /// RefreshPool replacements; 0 keeps each session's own count.
+    /// RefreshPool replacements; 0 keeps each session's own count. Either
+    /// way the snapshot's recorded thread count never survives registration
+    /// unclamped: service options win over snapshot headers.
     int num_threads = 0;
+    /// Serve snapshot-loaded pools zero-copy from an mmap of the file
+    /// (LoadPool, RefreshPoolFromSnapshot and warm_pools all route through
+    /// it). Requires v3 nop-coded full-mode snapshots — loading anything
+    /// else fails with FailedPrecondition. The mapping is pinned by the
+    /// session (BoostSession::RetainResource), so hot-swaps and removals
+    /// stay safe: the bytes outlive every in-flight query.
+    bool mmap_pools = false;
   };
 
   /// Builds a service over `graph` (which must outlive it) and warm-starts
@@ -177,8 +186,11 @@ class BoostService {
     std::shared_ptr<PoolStatsCollector> stats;
   };
 
-  BoostService(const DirectedGraph& graph, int default_num_threads)
-      : graph_(graph), default_num_threads_(default_num_threads) {}
+  BoostService(const DirectedGraph& graph, int default_num_threads,
+               bool mmap_pools)
+      : graph_(graph),
+        default_num_threads_(default_num_threads),
+        mmap_pools_(mmap_pools) {}
 
   /// Shared validation + service-default thread override for every
   /// registration path (AddPool and RefreshPool).
@@ -186,6 +198,7 @@ class BoostService {
 
   const DirectedGraph& graph_;
   const int default_num_threads_;
+  const bool mmap_pools_;
   /// Source of pool versions: every registration/refresh stamps
   /// ++next_version_, so versions are unique and strictly increasing across
   /// the whole service lifetime (re-registering a removed name never reuses

@@ -266,11 +266,21 @@ TEST(PoolIoTest, ShardedSnapshotMatchesMonolithicAnswers) {
 /// followed by the seed list.
 size_t ShardTableOffset(size_t num_seeds) { return 128 + 4 * num_seeds; }
 
+/// Saves in the legacy v2 stream format. The corruption tests below poke
+/// v2-specific byte offsets (shard size table, shard blob counts), which the
+/// v3 section-table layout moved — they pin the format they were written for.
+void SaveV2(BoostSession& session, const std::string& path) {
+  session.Prepare();
+  PoolSaveOptions options;
+  options.format_version = 2;
+  ASSERT_TRUE(SavePoolSnapshot(session, path, options).status().ok());
+}
+
 TEST(PoolIoTest, OverstatedShardTableIsRejected) {
   DirectedGraph g = MakeTestGraph();
   const std::string path = TempPath("kboost_pool_badtable.bin");
   BoostSession session(g, {0, 1}, MakeShardedOptions(5, 3));
-  ASSERT_TRUE(session.SavePool(path).ok());
+  SaveV2(session, path);
   {
     // First size-table entry promises more bytes than the file holds.
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
@@ -288,7 +298,7 @@ TEST(PoolIoTest, CorruptShardBlockIsRejected) {
   DirectedGraph g = MakeTestGraph();
   const std::string path = TempPath("kboost_pool_badshard.bin");
   BoostSession session(g, {0, 1}, MakeShardedOptions(5, 3));
-  ASSERT_TRUE(session.SavePool(path).ok());
+  SaveV2(session, path);
   {
     // Clobber the first shard blob's leading counts: per-shard structural
     // validation must reject the arena, not allocate from the corrupt value.
@@ -306,7 +316,7 @@ TEST(PoolIoTest, TruncatedShardBlockIsRejected) {
   DirectedGraph g = MakeTestGraph();
   const std::string path = TempPath("kboost_pool_shorttail.bin");
   BoostSession session(g, {0, 1}, MakeShardedOptions(5, 3));
-  ASSERT_TRUE(session.SavePool(path).ok());
+  SaveV2(session, path);
   // Shave a few bytes off the last shard's blob.
   const auto full_size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, full_size - 3);
@@ -326,7 +336,7 @@ TEST(PoolIoTest, LegacyV1SnapshotLoadsAsSingleShard) {
   const std::string v2_path = TempPath("kboost_pool_v2src.bin");
   const std::string v1_path = TempPath("kboost_pool_v1.bin");
   BoostSession session(g, seeds, MakeShardedOptions(8, 1));
-  ASSERT_TRUE(session.SavePool(v2_path).ok());
+  SaveV2(session, v2_path);
 
   std::string bytes;
   {
