@@ -418,16 +418,47 @@ int main(int argc, char** argv) {
   const ServiceStatsSnapshot stats = service.Stats();
   for (const PoolStatsSnapshot& ps : stats.pools) {
     std::printf("service stats: pool '%s' v%llu, %llu queries, %llu errors, "
-                "latency ms mean/p50/p95 = %.3f/%.3f/%.3f, "
+                "latency ms mean/p50/p95/ewma = %.3f/%.3f/%.3f/%.3f, "
                 "last rebuild %.1f ms\n",
                 ps.pool.c_str(), static_cast<unsigned long long>(ps.version),
                 static_cast<unsigned long long>(ps.queries),
                 static_cast<unsigned long long>(ps.errors), ps.latency_mean_ms,
-                ps.latency_p50_ms, ps.latency_p95_ms, ps.last_rebuild_ms);
+                ps.latency_p50_ms, ps.latency_p95_ms, ps.latency_ewma_ms,
+                ps.last_rebuild_ms);
+    std::printf("service stats: pool '%s' overload counters: %llu shed, "
+                "%llu deadline misses, %llu degraded, %llu load retries\n",
+                ps.pool.c_str(), static_cast<unsigned long long>(ps.shed),
+                static_cast<unsigned long long>(ps.deadline_misses),
+                static_cast<unsigned long long>(ps.degraded),
+                static_cast<unsigned long long>(ps.load_retries));
     json.Add("serve/latency_p50_ms", ps.latency_p50_ms, "ms");
     json.Add("serve/latency_p95_ms", ps.latency_p95_ms, "ms");
+    json.Add("serve/latency_ewma_ms", ps.latency_ewma_ms, "ms");
     json.Add("serve/last_rebuild_ms", ps.last_rebuild_ms, "ms");
+    json.Add("serve/shed", static_cast<double>(ps.shed), "requests");
+    json.Add("serve/deadline_misses",
+             static_cast<double>(ps.deadline_misses), "requests");
+    json.Add("serve/degraded", static_cast<double>(ps.degraded), "requests");
+    json.Add("serve/load_retries", static_cast<double>(ps.load_retries),
+             "retries");
   }
+  // This bench never configures admission limits, so the gates double as a
+  // no-regression check: unlimited admission must shed nothing, time nothing
+  // out, and leave no slot held after the last query drains.
+  if (stats.shed != 0 || stats.queue_timeouts != 0 || stats.in_flight != 0 ||
+      stats.queued != 0) {
+    std::fprintf(stderr,
+                 "FATAL: unlimited admission recorded shed=%llu "
+                 "timeouts=%llu or leaked slots (in_flight=%llu "
+                 "queued=%llu)\n",
+                 static_cast<unsigned long long>(stats.shed),
+                 static_cast<unsigned long long>(stats.queue_timeouts),
+                 static_cast<unsigned long long>(stats.in_flight),
+                 static_cast<unsigned long long>(stats.queued));
+    std::abort();
+  }
+  json.Add("serve/admitted", static_cast<double>(stats.admitted),
+           "requests");
 
   json.Add("serve/prepare_s", prepare_s, "s");
   json.Add("serve/theta", static_cast<double>(theta), "samples");

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <initializer_list>
 #include <limits>
@@ -203,10 +204,15 @@ int Usage() {
       "  serve-bench --graph=PATH (--load-pool=PATH [--mmap-pool] |\n"
       "        --seeds=a,b,c --k=N [--lb] [--epsilon=F] [--seed=N]\n"
       "        [--shards=S]) [--clients=1,2,4] [--queries=32] [--threads=N]\n"
+      "        [--deadline-ms=N] [--queue-cap=N] [--degrade=F]\n"
       "      register the pool in a BoostService and measure concurrent\n"
       "      query throughput: each client count issues the same mixed\n"
       "      (k, mode) query stream from that many threads and every\n"
-      "      answer is checked bit-identical against the serial run\n");
+      "      answer is checked bit-identical against the serial run;\n"
+      "      --deadline-ms sets the service default deadline, --queue-cap\n"
+      "      caps in-flight solves at N (plus N queued, excess shed typed)\n"
+      "      and --degrade=F downgrades kAuto answers to the LB order past\n"
+      "      that load fraction — overload outcomes are reported per run\n");
   return 2;
 }
 
@@ -473,7 +479,8 @@ int CmdServeBench(int argc, char** argv) {
   if (!ValidateFlags(argc, argv,
                      {"--graph", "--load-pool", "--seeds", "--k", "--epsilon",
                       "--seed", "--clients", "--queries", "--threads",
-                      "--shards"},
+                      "--shards", "--deadline-ms", "--queue-cap",
+                      "--degrade"},
                      {"--lb", "--mmap-pool"})) {
     return 2;
   }
@@ -519,6 +526,27 @@ int CmdServeBench(int argc, char** argv) {
                  "got %llu\n",
                  static_cast<unsigned long long>(num_queries));
     return 2;
+  }
+  // Overload knobs, all off by default: --deadline-ms is the service
+  // default deadline, --queue-cap bounds in-flight solves (with an
+  // equal-sized waiting room), --degrade is the load factor past which
+  // kAuto answers downgrade to the LB cached order. Range validation for
+  // --degrade is owned by BoostService::Create (the one place the service
+  // agrees on it).
+  uint64_t deadline_ms = 0;
+  if (!ParseUint64Flag(argc, argv, "--deadline-ms", &deadline_ms)) return 2;
+  uint64_t queue_cap = 0;
+  if (!ParseUint64Flag(argc, argv, "--queue-cap", &queue_cap)) return 2;
+  double degrade = 0.0;
+  if (const char* degrade_s = FlagValue(argc, argv, "--degrade");
+      degrade_s != nullptr) {
+    char* end = nullptr;
+    degrade = std::strtod(degrade_s, &end);
+    if (end == degrade_s || *end != '\0') {
+      std::fprintf(stderr, "error: --degrade must be a number, got '%s'\n",
+                   degrade_s);
+      return 2;
+    }
   }
 
   StatusOr<DirectedGraph> g = LoadEdgeList(path);
@@ -570,8 +598,13 @@ int CmdServeBench(int argc, char** argv) {
   }
 
   const bool lb = session->lb_only();
+  BoostService::Options service_options;
+  service_options.default_deadline_ms = deadline_ms;
+  service_options.max_in_flight = queue_cap;
+  service_options.max_queued = queue_cap;
+  service_options.degrade_load_factor = degrade;
   StatusOr<std::unique_ptr<BoostService>> service_or =
-      BoostService::Create(g.value());
+      BoostService::Create(g.value(), service_options);
   if (!service_or.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  service_or.status().ToString().c_str());
@@ -606,17 +639,35 @@ int CmdServeBench(int argc, char** argv) {
   }
 
   // Serial reference pass: every concurrent answer must match these bits.
+  // The reference queries pin explicit modes (always honored, pressure or
+  // not) and a deliberately unreachable deadline, so the reference stays the
+  // un-degraded truth even when overload knobs are set; degraded concurrent
+  // answers are checked against the LB reference instead.
   std::vector<BoostResult> reference(num_queries);
+  std::vector<BoostResult> lb_reference(num_queries);
   WallTimer serial_timer;
   {
     SolveContext context;
     for (size_t i = 0; i < num_queries; ++i) {
-      StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
+      BoostRequest ref = requests[i];
+      ref.deadline_ms = 600'000;  // 10 min: present but unreachable
+      if (!lb && ref.mode == SolveMode::kAuto) ref.mode = SolveMode::kFull;
+      StatusOr<BoostResponse> r = service.Solve(ref, &context);
       if (!r.ok()) {
         std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
         return 1;
       }
       reference[i] = std::move(r).value().result;
+      if (!lb) {
+        ref.mode = SolveMode::kLbOnly;
+        StatusOr<BoostResponse> lb_r = service.Solve(ref, &context);
+        if (!lb_r.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       lb_r.status().ToString().c_str());
+          return 1;
+        }
+        lb_reference[i] = std::move(lb_r).value().result;
+      }
     }
   }
   const double serial_s = serial_timer.Seconds();
@@ -634,8 +685,10 @@ int CmdServeBench(int argc, char** argv) {
   };
   std::vector<Row> rows;
   bool diverged = false;
+  size_t total_shed = 0, total_missed = 0, total_degraded = 0;
   for (size_t c : clients) {
     std::atomic<size_t> mismatches{0};
+    std::atomic<size_t> shed{0}, missed{0}, degraded{0};
     WallTimer timer;
     std::vector<std::thread> workers;
     workers.reserve(c);
@@ -644,7 +697,25 @@ int CmdServeBench(int argc, char** argv) {
         SolveContext context;
         for (size_t i = t; i < num_queries; i += c) {
           StatusOr<BoostResponse> r = service.Solve(requests[i], &context);
-          if (!r.ok() || !SameAnswer(r.value().result, reference[i])) {
+          if (r.ok()) {
+            // A degraded answer must be the pool's exact LB answer; an
+            // un-degraded one must match the full reference bits.
+            const BoostResult& expect =
+                r.value().degraded ? lb_reference[i] : reference[i];
+            if (r.value().degraded) {
+              degraded.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (!SameAnswer(r.value().result, expect)) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (r.status().code() == StatusCode::kResourceExhausted) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+            missed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // Anything else under overload is a bug, not load shedding.
+            std::fprintf(stderr, "error: untyped failure: %s\n",
+                         r.status().ToString().c_str());
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -653,6 +724,9 @@ int CmdServeBench(int argc, char** argv) {
     for (std::thread& w : workers) w.join();
     const double secs = timer.Seconds();
     rows.push_back({c, static_cast<double>(num_queries) / secs, secs});
+    total_shed += shed.load();
+    total_missed += missed.load();
+    total_degraded += degraded.load();
     if (mismatches.load() != 0) {
       std::fprintf(stderr,
                    "error: %zu of %zu concurrent answers diverged from the "
@@ -680,17 +754,40 @@ int CmdServeBench(int argc, char** argv) {
   // The service's own metrics, as an operator dashboard would read them:
   // per-pool traffic counters and solve-latency quantiles collected on the
   // query path (src/serve/service_stats.h).
+  if (total_shed + total_missed + total_degraded != 0) {
+    std::printf("\noverload outcomes across all client counts: %zu shed "
+                "(ResourceExhausted), %zu deadline misses, %zu degraded "
+                "answers\n",
+                total_shed, total_missed, total_degraded);
+  }
+
   const ServiceStatsSnapshot stats = service.Stats();
   std::printf("\nservice stats (Stats()):\n");
   for (const PoolStatsSnapshot& ps : stats.pools) {
     std::printf("  pool '%s' v%llu: %llu queries, %llu errors, "
-                "latency ms mean/p50/p95 = %.3f/%.3f/%.3f, "
+                "latency ms mean/p50/p95/ewma = %.3f/%.3f/%.3f/%.3f, "
                 "last rebuild %.1f ms\n",
                 ps.pool.c_str(), static_cast<unsigned long long>(ps.version),
                 static_cast<unsigned long long>(ps.queries),
                 static_cast<unsigned long long>(ps.errors), ps.latency_mean_ms,
-                ps.latency_p50_ms, ps.latency_p95_ms, ps.last_rebuild_ms);
+                ps.latency_p50_ms, ps.latency_p95_ms, ps.latency_ewma_ms,
+                ps.last_rebuild_ms);
+    if (ps.shed + ps.deadline_misses + ps.degraded + ps.load_retries != 0) {
+      std::printf("    overload: %llu shed, %llu deadline misses, %llu "
+                  "degraded, %llu load retries\n",
+                  static_cast<unsigned long long>(ps.shed),
+                  static_cast<unsigned long long>(ps.deadline_misses),
+                  static_cast<unsigned long long>(ps.degraded),
+                  static_cast<unsigned long long>(ps.load_retries));
+    }
   }
+  std::printf("  admission: %llu admitted, %llu shed, %llu queue timeouts "
+              "(in flight %llu, queued %llu)\n",
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.queue_timeouts),
+              static_cast<unsigned long long>(stats.in_flight),
+              static_cast<unsigned long long>(stats.queued));
   if (stats.not_found != 0) {
     std::printf("  not-found requests: %llu\n",
                 static_cast<unsigned long long>(stats.not_found));

@@ -5,6 +5,7 @@
 
 #include "src/im/imm.h"
 #include "src/sim/boost_model.h"
+#include "src/util/fault.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -122,8 +123,7 @@ void PrrBoostEngine::Prepare() {
 BoostResult PrrBoostEngine::SolvePrepared(size_t k, bool lb_answer,
                                           int num_threads,
                                           ShardedEvalState* eval_state,
-                                          const std::atomic<bool>* cancel,
-                                          bool* cancelled) const {
+                                          StopToken* stop) const {
   KB_DCHECK(sampled_ && lb_order_ready_);
   BoostResult result;
   result.pool_budget = options_.k;
@@ -139,13 +139,13 @@ BoostResult PrrBoostEngine::SolvePrepared(size_t k, bool lb_answer,
     // NodeSelection: greedy on Δ̂ directly, reusing the same pool. Not
     // nested in k (Δ̂ gains are non-monotone), so selection re-runs per k.
     PrrCollection::DeltaResult dr = collection_->SelectGreedyDelta(
-        k, excluded_, num_threads, eval_state, cancel);
-    if (dr.cancelled) {
-      if (cancelled != nullptr) *cancelled = true;
-      return result;
-    }
+        k, excluded_, num_threads, eval_state, stop);
+    if (dr.cancelled || dr.deadline_exceeded) return result;
     result.delta_set = std::move(dr.nodes);
     result.delta_delta_hat = dr.delta_hat;
+    // One more phase remains (Δ̂ of the LB set); poll between phases so a
+    // deadline that passed during selection is honored before more work.
+    if (stop != nullptr && stop->ShouldStop()) return result;
     result.lb_delta_hat =
         collection_->EstimateDelta(result.lb_set, num_threads);
     // Sandwich pick: the better of B_µ and B_Δ under Δ̂ (Alg. 2 line 5).
@@ -194,8 +194,7 @@ BoostResult PrrBoostEngine::SolveForBudget(size_t k) {
   LbGreedyOrder();
   BoostResult result =
       SolvePrepared(k, lb_only_, options_.num_threads,
-                    &serial_context_.eval_state, /*cancel=*/nullptr,
-                    /*cancelled=*/nullptr);
+                    &serial_context_.eval_state, /*stop=*/nullptr);
   result.sampling_seconds = sampling_seconds;
   result.pool_reused = had_pool;
   result.selection_seconds = selection_timer.Seconds();
@@ -236,19 +235,24 @@ StatusOr<BoostResult> PrrBoostEngine::Solve(const SolveSpec& spec,
         std::to_string(ThreadPool::kMaxWorkers) + "], got " +
         std::to_string(spec.num_threads));
   }
-  if (spec.cancel != nullptr &&
-      spec.cancel->load(std::memory_order_relaxed)) {
-    return Status::Cancelled("request cancelled before selection started");
+  StopToken stop(spec.cancel, spec.deadline_ns);
+  if (stop.ShouldStop()) {
+    return stop.cancelled()
+               ? Status::Cancelled("request cancelled before selection started")
+               : Status::DeadlineExceeded(
+                     "request deadline passed before selection started");
   }
+  MaybeInjectFaultDelay(FaultSite::kSolveStart);
 
   WallTimer selection_timer;
-  bool cancelled = false;
   BoostResult result = SolvePrepared(
       spec.k, lb_answer, num_threads,
-      context != nullptr ? &context->eval_state : nullptr, spec.cancel,
-      &cancelled);
-  if (cancelled) {
-    return Status::Cancelled("request cancelled during Δ̂ selection");
+      context != nullptr ? &context->eval_state : nullptr, &stop);
+  if (stop.cancelled()) {
+    return Status::Cancelled("request cancelled during selection");
+  }
+  if (stop.deadline_exceeded()) {
+    return Status::DeadlineExceeded("request deadline passed mid-selection");
   }
   result.pool_reused = true;
   result.selection_seconds = selection_timer.Seconds();

@@ -62,10 +62,17 @@ struct SolveSpec {
   /// Worker cap for this query's selection/estimator phases. 0 = the pool's
   /// configured count; otherwise must be in [1, ThreadPool::kMaxWorkers].
   int num_threads = 0;
-  /// Optional cooperative cancellation: polled between greedy rounds; when
-  /// it reads true the solve stops and reports Status::Cancelled. The flag
-  /// must outlive the call.
+  /// Optional cooperative cancellation: polled between greedy rounds AND
+  /// every bounded stride of the per-pick Δ̂ re-evaluation scan, so even a
+  /// one-pick solve stops promptly. When it reads true the solve stops and
+  /// reports Status::Cancelled. The flag must outlive the call.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional absolute deadline in SteadyNowNanos() time (0 = none), polled
+  /// at the same points as `cancel`. A solve that overruns stops and reports
+  /// Status::DeadlineExceeded; its partial selection is discarded, never
+  /// served. Absolute (not a duration) so queue wait and solve time draw
+  /// down the same budget when a service sets it at admission.
+  int64_t deadline_ns = 0;
 };
 
 /// Everything Algorithm 2 produces, plus the statistics the paper reports.
@@ -149,7 +156,8 @@ class PrrBoostEngine {
   /// engine, with results bit-identical to the serial SolveForBudget loop.
   /// Fails with FailedPrecondition before Prepare(), InvalidArgument for an
   /// out-of-range budget/thread count or a full-mode request against an LB
-  /// pool, and Cancelled when spec.cancel was raised mid-selection.
+  /// pool, Cancelled when spec.cancel was raised mid-selection, and
+  /// DeadlineExceeded when spec.deadline_ns passed mid-selection.
   StatusOr<BoostResult> Solve(const SolveSpec& spec,
                               SolveContext* context = nullptr) const;
 
@@ -189,12 +197,13 @@ class PrrBoostEngine {
   /// The one selection core both solve paths share. Requires a sampled pool
   /// and a cached LB order; reads them const. `lb_answer` selects the
   /// LB-slice answer (LB pools, or SolveMode::kLbOnly on a full pool).
-  /// Reports cancellation through `cancelled` (may be null) and leaves
-  /// timing/provenance fields for the caller.
+  /// `stop` (may be null) carries the request's cancel flag and deadline;
+  /// when it trips, the partial result is returned as-is and the caller
+  /// inspects the token for the reason. Timing/provenance fields are left
+  /// for the caller.
   BoostResult SolvePrepared(size_t k, bool lb_answer, int num_threads,
                             ShardedEvalState* eval_state,
-                            const std::atomic<bool>* cancel,
-                            bool* cancelled) const;
+                            StopToken* stop) const;
 
   const DirectedGraph& graph_;
   std::vector<NodeId> seeds_;

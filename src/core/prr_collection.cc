@@ -5,6 +5,7 @@
 
 #include "src/select/greedy.h"
 #include "src/sim/boost_model.h"
+#include "src/util/fault.h"
 #include "src/util/thread_pool.h"
 
 namespace kboost {
@@ -297,9 +298,10 @@ class DeltaOracle final : public SelectionOracle {
  public:
   DeltaOracle(const PrrCollection& collection,
               const std::vector<uint8_t>& excluded, int num_threads,
-              ShardedEvalState* state)
+              ShardedEvalState* state, StopToken* stop)
       : collection_(collection),
         excluded_(excluded),
+        stop_(stop),
         threads_(std::max(1, num_threads)),
         n_(collection.num_graph_nodes()),
         boosted_(n_, 0),
@@ -363,6 +365,19 @@ class DeltaOracle final : public SelectionOracle {
     ParallelFor(
         pick_prefix_[num_shards], threads_,
         [&](size_t gi, int t) {
+          // Deadline/cancel polling inside the pick: a single pick's fan-out
+          // can span the whole pool (today the only uninterruptible stretch
+          // of a solve), so each worker re-polls the token every
+          // kStopStride items and drains — not skipping mid-item, so a
+          // graph's bitmaps are never left torn — once it tripped. The
+          // abandoned gain table is discarded by the caller, never served.
+          if (stop_ != nullptr) {
+            if (stop_->stopped()) return;
+            if (gi % kStopStride == 0) {
+              MaybeInjectFaultDelay(FaultSite::kPickStride);
+              if (stop_->ShouldStop()) return;
+            }
+          }
           size_t s = 0;
           while (gi >= pick_prefix_[s + 1]) ++s;
           const size_t i = gi - pick_prefix_[s];
@@ -440,6 +455,12 @@ class DeltaOracle final : public SelectionOracle {
   std::vector<uint8_t>& boosted() { return boosted_; }
 
  private:
+  /// Items between full stop-token polls in the per-pick scan. Small enough
+  /// that even tiny PRR-graphs (~3 nodes on the paper's workloads) bound the
+  /// time between polls to microseconds; large enough that the clock read
+  /// (a vDSO call) stays noise.
+  static constexpr size_t kStopStride = 32;
+
   struct GainEvent {
     NodeId node;
     int32_t delta;
@@ -474,6 +495,7 @@ class DeltaOracle final : public SelectionOracle {
 
   const PrrCollection& collection_;
   const std::vector<uint8_t>& excluded_;
+  StopToken* stop_;
   const int threads_;
   const size_t n_;
   std::vector<uint8_t> boosted_;
@@ -505,7 +527,7 @@ class DeltaOracle final : public SelectionOracle {
 
 PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
     size_t k, const std::vector<uint8_t>& excluded, int num_threads,
-    ShardedEvalState* eval_state, const std::atomic<bool>* cancel) const {
+    ShardedEvalState* eval_state, StopToken* stop) const {
   DeltaResult result;
   if (k == 0 || num_samples() == 0) return result;
   EnsureGraphIndex(num_threads);
@@ -515,13 +537,14 @@ PrrCollection::DeltaResult PrrCollection::SelectGreedyDelta(
   // correct at the cost of rebuilding the bitmap arenas.
   ShardedEvalState local_state;
   DeltaOracle oracle(*this, excluded, num_threads,
-                     eval_state != nullptr ? eval_state : &local_state);
-  GreedyResult greedy = RunLazyGreedy(oracle, k, &excluded, cancel);
+                     eval_state != nullptr ? eval_state : &local_state, stop);
+  GreedyResult greedy = RunLazyGreedy(oracle, k, &excluded, stop);
   result.nodes = std::move(greedy.selected);
   result.pick_gains = std::move(greedy.gains);
   result.activated_samples = oracle.activated();
   result.cancelled = greedy.cancelled;
-  if (result.cancelled) {
+  result.deadline_exceeded = greedy.deadline_exceeded;
+  if (result.cancelled || result.deadline_exceeded) {
     result.delta_hat = static_cast<double>(num_graph_nodes_) *
                        static_cast<double>(result.activated_samples) /
                        static_cast<double>(num_samples());

@@ -11,6 +11,7 @@
 #include "src/core/prr_store.h"
 #include "src/graph/graph.h"
 #include "src/im/coverage.h"
+#include "src/select/greedy.h"
 #include "src/util/logging.h"
 
 namespace kboost {
@@ -143,9 +144,11 @@ class PrrCollection {
   /// serial loop — provided each call brings its own eval state and the
   /// lazily-built indexes were warmed first (WarmIndexes(), done by
   /// BoostSession::Prepare). A null `eval_state` uses call-local state
-  /// (correct, but re-allocates the bitmap arenas every call). `cancel`, if
-  /// non-null, is polled between greedy rounds; on cancellation the partial
-  /// result carries `cancelled`.
+  /// (correct, but re-allocates the bitmap arenas every call). `stop`, if
+  /// non-null, is polled between greedy rounds AND every bounded stride of
+  /// the per-pick re-evaluation scan — a single huge pick stops promptly on
+  /// cancellation or a passed deadline; the partial result carries
+  /// `cancelled`/`deadline_exceeded` and must be discarded, not served.
   struct DeltaResult {
     std::vector<NodeId> nodes;
     /// Marginal Δ̂ gain (in covered samples) of each greedy pick, in
@@ -154,12 +157,12 @@ class PrrCollection {
     size_t activated_samples = 0;
     double delta_hat = 0.0;
     bool cancelled = false;
+    bool deadline_exceeded = false;
   };
   DeltaResult SelectGreedyDelta(size_t k, const std::vector<uint8_t>& excluded,
                                 int num_threads = 1,
                                 ShardedEvalState* eval_state = nullptr,
-                                const std::atomic<bool>* cancel = nullptr)
-      const;
+                                StopToken* stop = nullptr) const;
 
   /// Δ̂_R(B) for an arbitrary boost set (full mode only).
   double EstimateDelta(const std::vector<NodeId>& boost_set,

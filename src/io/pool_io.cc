@@ -15,6 +15,7 @@
 #include "src/core/prr_collection.h"
 #include "src/core/prr_sampler.h"
 #include "src/im/coverage.h"
+#include "src/util/fault.h"
 #include "src/util/thread_pool.h"
 
 namespace kboost {
@@ -419,6 +420,9 @@ SnapshotMapping::~SnapshotMapping() {
 
 StatusOr<std::shared_ptr<SnapshotMapping>> SnapshotMapping::Open(
     const std::string& path, bool prefault) {
+  if (MaybeInjectFault(FaultSite::kSnapshotMmap)) {
+    return Status::IoError("injected fault: mmap snapshot: " + path);
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::IoError("cannot open for mapping: " + path);
   struct stat st;
@@ -674,6 +678,9 @@ Status SavePoolSnapshot(const BoostSession& session, const std::string& path) {
 StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
     const DirectedGraph& graph, const std::string& path,
     const PoolLoadOptions& options) {
+  if (MaybeInjectFault(FaultSite::kSnapshotOpen)) {
+    return Status::IoError("injected fault: open snapshot: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
 
@@ -714,10 +721,15 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
     }
   }
 
+  if (MaybeInjectFault(FaultSite::kSnapshotRead)) {
+    return Status::IoError("injected fault: snapshot body read: " + path);
+  }
   std::vector<NodeId> seeds(h.num_seeds);
   in.read(reinterpret_cast<char*>(seeds.data()),
           static_cast<std::streamsize>(h.num_seeds * sizeof(NodeId)));
-  if (!in) return Status::IoError("truncated pool snapshot: " + path);
+  if (!in || MaybeInjectFault(FaultSite::kSnapshotShortRead)) {
+    return Status::IoError("truncated pool snapshot: " + path);
+  }
   for (NodeId s : seeds) {
     if (s >= graph.num_nodes()) {
       return Status::OutOfRange("snapshot seed out of range: " +
@@ -740,6 +752,10 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
       1, std::min(load_threads,
                   static_cast<int>(std::thread::hardware_concurrency())));
 
+  if (MaybeInjectFault(FaultSite::kAllocPressure)) {
+    return Status::ResourceExhausted(
+        "injected fault: allocation pressure restoring pool: " + path);
+  }
   std::shared_ptr<SnapshotMapping> mapping;
   auto pool = std::make_unique<PrrCollection>(
       graph.num_nodes(), static_cast<int>(h.num_shards));

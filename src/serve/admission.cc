@@ -1,0 +1,79 @@
+#include "src/serve/admission.h"
+
+#include <chrono>
+
+#include "src/select/greedy.h"  // SteadyNowNanos
+
+namespace kboost {
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    int64_t deadline_ns) {
+  if (unlimited()) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Ticket(this);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (in_flight_.load(std::memory_order_relaxed) < options_.max_in_flight) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Ticket(this);
+  }
+  if (queued_.load(std::memory_order_relaxed) >= options_.max_queued) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "service overloaded: " +
+        std::to_string(in_flight_.load(std::memory_order_relaxed)) +
+        " solves in flight, waiting room of " +
+        std::to_string(options_.max_queued) + " full");
+  }
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  const auto slot_available = [this] {
+    return in_flight_.load(std::memory_order_relaxed) <
+           options_.max_in_flight;
+  };
+  bool got_slot;
+  if (deadline_ns > 0) {
+    // Reconstruct the absolute steady time point the nanos refer to.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::nanoseconds(deadline_ns - SteadyNowNanos());
+    got_slot = slot_free_.wait_until(lock, deadline, slot_available);
+  } else {
+    slot_free_.wait(lock, slot_available);
+    got_slot = true;
+  }
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  if (!got_slot) {
+    queue_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded(
+        "deadline passed while waiting for an admission slot");
+  }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return Ticket(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  if (unlimited()) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  slot_free_.notify_one();
+}
+
+double AdmissionController::load() const {
+  if (unlimited()) return 0.0;
+  const double capacity =
+      static_cast<double>(options_.max_in_flight + options_.max_queued);
+  const double used =
+      static_cast<double>(in_flight_.load(std::memory_order_relaxed) +
+                          queued_.load(std::memory_order_relaxed));
+  return used >= capacity ? 1.0 : used / capacity;
+}
+
+}  // namespace kboost

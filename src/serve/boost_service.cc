@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/io/pool_io.h"
+#include "src/select/greedy.h"  // SteadyNowNanos
 #include "src/util/timer.h"
 
 namespace kboost {
@@ -29,8 +30,22 @@ StatusOr<std::unique_ptr<BoostService>> BoostService::Create(
     probe.num_threads = options.num_threads;
     if (Status s = probe.Validate(); !s.ok()) return s;
   }
-  std::unique_ptr<BoostService> service(
-      new BoostService(graph, options.num_threads, options.mmap_pools));
+  if (options.degrade_load_factor < 0.0 ||
+      options.degrade_load_factor > 1.0) {
+    return Status::InvalidArgument(
+        "degrade_load_factor must be in [0, 1], got " +
+        std::to_string(options.degrade_load_factor));
+  }
+  if (options.degrade_latency_ms < 0.0) {
+    return Status::InvalidArgument("degrade_latency_ms must be >= 0, got " +
+                                   std::to_string(options.degrade_latency_ms));
+  }
+  if (options.snapshot_retry.max_attempts < 1) {
+    return Status::InvalidArgument(
+        "snapshot_retry.max_attempts must be >= 1, got " +
+        std::to_string(options.snapshot_retry.max_attempts));
+  }
+  std::unique_ptr<BoostService> service(new BoostService(graph, options));
   for (const PoolSpec& spec : options.warm_pools) {
     if (Status s = service->LoadPool(spec.name, spec.snapshot_path); !s.ok()) {
       return Status::InvalidArgument("warm-start pool '" + spec.name + "': " +
@@ -40,14 +55,49 @@ StatusOr<std::unique_ptr<BoostService>> BoostService::Create(
   return service;
 }
 
+StatusOr<std::unique_ptr<BoostSession>> BoostService::LoadSnapshotWithRetry(
+    const std::string& snapshot_path, uint64_t* retries) const {
+  PoolLoadOptions load_options;
+  load_options.use_mmap = options_.mmap_pools;
+  // Jitter stream seeded per path so concurrent loads of different
+  // snapshots decorrelate, deterministically for a given path.
+  JitteredBackoff backoff(options_.snapshot_retry,
+                          std::hash<std::string>{}(snapshot_path) ^
+                              0x9E3779B97F4A7C15ULL);
+  for (;;) {
+    StatusOr<std::unique_ptr<BoostSession>> loaded =
+        LoadPoolSnapshot(graph_, snapshot_path, load_options);
+    if (loaded.ok() || !IsTransientStatus(loaded.status()) ||
+        !backoff.SleepAndRetry()) {
+      *retries = static_cast<uint64_t>(backoff.retries());
+      return loaded;
+    }
+  }
+}
+
+void BoostService::NoteLoadRetries(const std::string& name,
+                                   uint64_t retries) const {
+  if (retries == 0) return;
+  std::shared_ptr<PoolStatsCollector> stats;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = pools_.find(name);
+    if (it != pools_.end()) stats = it->second.stats;
+  }
+  if (stats != nullptr) stats->RecordLoadRetries(retries);
+}
+
 Status BoostService::LoadPool(const std::string& name,
                               const std::string& snapshot_path) {
-  PoolLoadOptions load_options;
-  load_options.use_mmap = mmap_pools_;
+  uint64_t retries = 0;
   StatusOr<std::unique_ptr<BoostSession>> loaded =
-      LoadPoolSnapshot(graph_, snapshot_path, load_options);
+      LoadSnapshotWithRetry(snapshot_path, &retries);
   if (!loaded.ok()) return loaded.status();
-  return AddPool(name, std::move(loaded).value());
+  Status added = AddPool(name, std::move(loaded).value());
+  // The entry exists only after AddPool; retries absorbed on the way in are
+  // attributed to it now (a failed registration has no entry to charge).
+  if (added.ok()) NoteLoadRetries(name, retries);
+  return added;
 }
 
 Status BoostService::CheckAndAdoptSession(const std::string& name,
@@ -68,8 +118,8 @@ Status BoostService::CheckAndAdoptSession(const std::string& name,
   // path — snapshot loads, direct AddPool registrations and RefreshPool
   // replacements — so a pool's thread count never depends on how it entered
   // the registry.
-  if (default_num_threads_ != 0) {
-    if (Status s = session->set_num_threads(default_num_threads_); !s.ok()) {
+  if (options_.num_threads != 0) {
+    if (Status s = session->set_num_threads(options_.num_threads); !s.ok()) {
       return s;
     }
   }
@@ -152,10 +202,12 @@ Status BoostService::RefreshPool(const std::string& name,
 
 Status BoostService::RefreshPoolFromSnapshot(const std::string& name,
                                              const std::string& snapshot_path) {
-  PoolLoadOptions load_options;
-  load_options.use_mmap = mmap_pools_;
+  uint64_t retries = 0;
   StatusOr<std::unique_ptr<BoostSession>> loaded =
-      LoadPoolSnapshot(graph_, snapshot_path, load_options);
+      LoadSnapshotWithRetry(snapshot_path, &retries);
+  // A refresh targets a live entry, so retries are recorded even when the
+  // load ultimately failed — the operator sees the flakiness either way.
+  NoteLoadRetries(name, retries);
   if (!loaded.ok()) return loaded.status();
   return RefreshPool(name, std::move(loaded).value());
 }
@@ -230,6 +282,11 @@ ServiceStatsSnapshot BoostService::Stats() const {
   }
   ServiceStatsSnapshot result;
   result.not_found = not_found_.load(std::memory_order_relaxed);
+  result.in_flight = admission_.in_flight();
+  result.queued = admission_.queued();
+  result.admitted = admission_.admitted();
+  result.shed = admission_.shed();
+  result.queue_timeouts = admission_.queue_timeouts();
   result.pools.reserve(pending.size());
   for (Pending& p : pending) {
     p.stats->FillSnapshot(&p.snapshot);
@@ -260,27 +317,75 @@ StatusOr<BoostResponse> BoostService::Solve(const BoostRequest& request,
     return Status::NotFound("no pool named '" + request.pool + "' (" +
                             std::to_string(num_pools()) + " registered)");
   }
+
+  // One latency budget from here on: admission wait and solve time draw
+  // down the same absolute deadline.
+  const uint64_t deadline_ms = request.deadline_ms != 0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+  const int64_t deadline_ns =
+      deadline_ms == 0
+          ? 0
+          : SteadyNowNanos() + static_cast<int64_t>(deadline_ms) * 1000000;
+
+  // Admission: the ticket's destructor returns the slot on every exit path
+  // below, so slots cannot leak. Shed requests never ran and never waited —
+  // they are neither queries nor errors, just shed.
+  StatusOr<AdmissionController::Ticket> ticket = admission_.Admit(deadline_ns);
+  if (!ticket.ok()) {
+    if (ticket.status().code() == StatusCode::kResourceExhausted) {
+      stats->RecordShed();
+    } else {
+      stats->RecordDeadlineMiss();
+    }
+    return ticket.status();
+  }
+
+  // Graceful degradation: under pressure, a kAuto request against a full
+  // pool answers from the O(k) LB cached order instead of running the Δ̂
+  // selection. Explicit modes are always honored; LB pools have nothing to
+  // degrade to.
   SolveSpec spec;
   spec.k = request.k;
   spec.mode = request.mode;
   spec.num_threads = request.num_threads;
   spec.cancel = request.cancel;
+  spec.deadline_ns = deadline_ns;
+  bool degraded = false;
+  if (request.mode == SolveMode::kAuto && !pool->lb_only() &&
+      ShouldDegrade(*stats)) {
+    spec.mode = SolveMode::kLbOnly;
+    degraded = true;
+  }
 
   WallTimer timer;
   StatusOr<BoostResult> solved = pool->Solve(spec, context);
   if (!solved.ok()) {
     stats->RecordError();
+    if (solved.status().code() == StatusCode::kDeadlineExceeded) {
+      stats->RecordDeadlineMiss();
+    }
     return solved.status();
   }
   const double solve_seconds = timer.Seconds();
-  stats->RecordQuery(solve_seconds);
+  stats->RecordQuery(solve_seconds, degraded);
 
   BoostResponse response;
   response.pool = request.pool;
   response.pool_version = version;
   response.result = std::move(solved).value();
   response.solve_seconds = solve_seconds;
+  response.degraded = degraded;
   return response;
+}
+
+bool BoostService::ShouldDegrade(const PoolStatsCollector& stats) const {
+  if (options_.degrade_load_factor > 0.0 &&
+      admission_.load() >= options_.degrade_load_factor) {
+    return true;
+  }
+  return options_.degrade_latency_ms > 0.0 &&
+         stats.latency_ewma_ms() >= options_.degrade_latency_ms;
 }
 
 }  // namespace kboost

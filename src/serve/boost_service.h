@@ -11,7 +11,9 @@
 
 #include "src/core/boost_session.h"
 #include "src/core/solve_context.h"
+#include "src/serve/admission.h"
 #include "src/serve/service_stats.h"
+#include "src/util/backoff.h"
 #include "src/util/status.h"
 
 namespace kboost {
@@ -31,9 +33,16 @@ struct BoostRequest {
   /// Worker cap for this query's selection/estimator phases; 0 = the pool's
   /// configured count.
   int num_threads = 0;
-  /// Optional cooperative cancellation; polled between greedy rounds. Must
-  /// outlive the Solve() call.
+  /// Optional cooperative cancellation; polled between greedy rounds AND
+  /// every bounded stride of the per-pick Δ̂ re-evaluation scan, so even a
+  /// one-pick solve cancels promptly. Must outlive the Solve() call.
   const std::atomic<bool>* cancel = nullptr;
+  /// Per-request latency budget in milliseconds, measured from Solve()
+  /// entry and covering admission wait AND solve time (one budget, not
+  /// two). 0 = the service's Options::default_deadline_ms (which may itself
+  /// be 0 = no deadline). A request that overruns gets DeadlineExceeded;
+  /// its partial selection is discarded, never served.
+  uint64_t deadline_ms = 0;
 };
 
 /// A solved request: the full BoostResult (best set, estimates, pool
@@ -48,6 +57,12 @@ struct BoostResponse {
   uint64_t pool_version = 0;
   BoostResult result;
   double solve_seconds = 0.0;
+  /// Set when the degradation policy downgraded this kAuto request from the
+  /// full sandwich pipeline to the LB cached-order answer (see
+  /// Options::degrade_load_factor / degrade_latency_ms). The answer is the
+  /// pool's exact LB answer — bit-identical to an explicit kLbOnly request —
+  /// just not the full sandwich the pool could produce unloaded.
+  bool degraded = false;
 };
 
 /// A thread-safe registry of named, immutable prepared pools answering
@@ -100,6 +115,35 @@ class BoostService {
     /// session (BoostSession::RetainResource), so hot-swaps and removals
     /// stay safe: the bytes outlive every in-flight query.
     bool mmap_pools = false;
+
+    // ---- Overload protection (all off by default) ----
+
+    /// Admission budget: at most this many solves run concurrently
+    /// (0 = unlimited). When all slots are busy, up to `max_queued` more
+    /// requests wait for one; anything beyond is shed immediately with
+    /// ResourceExhausted instead of piling onto a saturated machine.
+    uint64_t max_in_flight = 0;
+    /// Waiting room beyond max_in_flight (ignored when max_in_flight is 0).
+    uint64_t max_queued = 0;
+    /// Deadline applied to requests that carry none (deadline_ms == 0).
+    /// 0 = no default; see BoostRequest::deadline_ms for semantics.
+    uint64_t default_deadline_ms = 0;
+    /// Graceful degradation on load: when the admission budget is at least
+    /// this full (AdmissionController::load() ∈ [0,1]), kAuto requests
+    /// against full pools answer from the O(k) LB cached order instead of
+    /// running the Δ̂ selection, with BoostResponse::degraded set. 0 = never
+    /// degrade on load. Explicit kFull/kLbOnly requests are always honored.
+    double degrade_load_factor = 0.0;
+    /// Graceful degradation on latency: same downgrade when the pool's
+    /// recent solve-latency EWMA exceeds this many milliseconds. 0 = never
+    /// degrade on latency.
+    double degrade_latency_ms = 0.0;
+    /// Retry schedule for transient snapshot-load faults (I/O errors,
+    /// allocation pressure) in LoadPool / RefreshPoolFromSnapshot /
+    /// warm_pools. Permanent errors (corruption, graph mismatch) are never
+    /// retried. Set max_attempts = 1 to disable. Retries taken are counted
+    /// per pool in Stats().
+    BackoffPolicy snapshot_retry;
   };
 
   /// Builds a service over `graph` (which must outlive it) and warm-starts
@@ -160,8 +204,18 @@ class BoostService {
   ServiceStatsSnapshot Stats() const;
 
   /// Answers one request. Thread-safe; any number of concurrent callers.
-  /// NotFound for an unknown pool name; otherwise exactly the statuses of
-  /// BoostSession::Solve (InvalidArgument, Cancelled). The overload taking a
+  ///
+  /// The overload contract, in order: NotFound for an unknown pool name
+  /// (checked before admission — a typo never consumes a slot);
+  /// ResourceExhausted when the admission waiting room is full (the request
+  /// is shed without waiting); DeadlineExceeded when the request's deadline
+  /// passes while queued for admission or mid-solve; otherwise exactly the
+  /// statuses of BoostSession::Solve (InvalidArgument, Cancelled). Under
+  /// degradation pressure, kAuto requests against full pools may answer
+  /// from the LB cached order with response.degraded set. Every non-OK
+  /// return is one of these typed statuses — overload never surfaces as a
+  /// crash or an untyped error — and the RAII admission ticket guarantees
+  /// the slot is returned on every path. The overload taking a
   /// SolveContext lets a client thread keep selection scratch warm across
   /// its queries; contexts must not be shared between in-flight calls.
   StatusOr<BoostResponse> Solve(const BoostRequest& request) const {
@@ -186,19 +240,35 @@ class BoostService {
     std::shared_ptr<PoolStatsCollector> stats;
   };
 
-  BoostService(const DirectedGraph& graph, int default_num_threads,
-               bool mmap_pools)
+  BoostService(const DirectedGraph& graph, const Options& options)
       : graph_(graph),
-        default_num_threads_(default_num_threads),
-        mmap_pools_(mmap_pools) {}
+        options_(options),
+        admission_(AdmissionOptions{options.max_in_flight,
+                                    options.max_queued}) {}
 
   /// Shared validation + service-default thread override for every
   /// registration path (AddPool and RefreshPool).
   Status CheckAndAdoptSession(const std::string& name, BoostSession* session);
 
+  /// The snapshot load both LoadPool and RefreshPoolFromSnapshot share:
+  /// retries transient faults per Options::snapshot_retry and reports the
+  /// retries taken through `retries` (recorded against the pool entry by
+  /// the caller once it exists).
+  StatusOr<std::unique_ptr<BoostSession>> LoadSnapshotWithRetry(
+      const std::string& snapshot_path, uint64_t* retries) const;
+
+  /// Adds `retries` to the named pool's load-retry counter (no-op when the
+  /// name is not registered).
+  void NoteLoadRetries(const std::string& name, uint64_t retries) const;
+
+  /// Whether a kAuto request should downgrade to the LB answer right now:
+  /// admission fullness ≥ degrade_load_factor, or the pool's latency EWMA ≥
+  /// degrade_latency_ms (each signal only when configured).
+  bool ShouldDegrade(const PoolStatsCollector& stats) const;
+
   const DirectedGraph& graph_;
-  const int default_num_threads_;
-  const bool mmap_pools_;
+  const Options options_;  // warm_pools unused after Create()
+  mutable AdmissionController admission_;
   /// Source of pool versions: every registration/refresh stamps
   /// ++next_version_, so versions are unique and strictly increasing across
   /// the whole service lifetime (re-registering a removed name never reuses

@@ -2,21 +2,39 @@
 
 namespace kboost {
 
-void PoolStatsCollector::RecordQuery(double latency_seconds) {
+void PoolStatsCollector::RecordQuery(double latency_seconds, bool degraded) {
   const double ms = latency_seconds * 1e3;
   std::lock_guard<std::mutex> lock(mutex_);
   latency_ms_.Add(ms);
+  if (degraded) ++degraded_;
   if (window_ms_.size() < kWindow) {
     window_ms_.push_back(ms);
   } else {
     window_ms_[window_next_] = ms;
   }
   window_next_ = (window_next_ + 1) % kWindow;
+  // Updated under the mutex (no lost updates), stored atomically so the
+  // degradation policy reads it without locking on the query path.
+  const double prev = ewma_ms_.load(std::memory_order_relaxed);
+  const double next = prev == 0.0 ? ms : prev + (ms - prev) * kEwmaAlpha;
+  ewma_ms_.store(next, std::memory_order_relaxed);
 }
 
 void PoolStatsCollector::RecordError() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++errors_;
+}
+
+void PoolStatsCollector::RecordShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PoolStatsCollector::RecordDeadlineMiss() {
+  deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PoolStatsCollector::RecordLoadRetries(uint64_t retries) {
+  load_retries_.fetch_add(retries, std::memory_order_relaxed);
 }
 
 void PoolStatsCollector::FillSnapshot(PoolStatsSnapshot* out) const {
@@ -25,9 +43,14 @@ void PoolStatsCollector::FillSnapshot(PoolStatsSnapshot* out) const {
     std::lock_guard<std::mutex> lock(mutex_);
     out->queries = latency_ms_.count();
     out->errors = errors_;
+    out->degraded = degraded_;
     out->latency_mean_ms = latency_ms_.mean();
     window = window_ms_;
   }
+  out->shed = shed_.load(std::memory_order_relaxed);
+  out->deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  out->load_retries = load_retries_.load(std::memory_order_relaxed);
+  out->latency_ewma_ms = ewma_ms_.load(std::memory_order_relaxed);
   // Quantile sorts a copy; done outside the lock so a slow snapshot never
   // stalls the query path.
   if (!window.empty()) {

@@ -1,6 +1,7 @@
 #ifndef KBOOST_SERVE_SERVICE_STATS_H_
 #define KBOOST_SERVE_SERVICE_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -23,9 +24,28 @@ struct PoolStatsSnapshot {
   uint64_t refreshes = 0;     ///< completed RefreshPool swaps
   uint64_t queries = 0;       ///< successfully answered solves
   uint64_t errors = 0;        ///< solves that returned a non-OK status
+  /// Requests shed at admission with ResourceExhausted (waiting room full).
+  /// Shed requests never reach the solve path: counted neither as queries
+  /// nor as errors — the overload contract keeps them a separate budget.
+  uint64_t shed = 0;
+  /// Requests whose deadline passed — waiting for an admission slot or
+  /// mid-solve (the latter also count as errors; the former do not).
+  uint64_t deadline_misses = 0;
+  /// Successfully answered queries that the degradation policy downgraded
+  /// from the full sandwich pipeline to the LB cached-order answer. A subset
+  /// of `queries`.
+  uint64_t degraded = 0;
+  /// Transient snapshot-load faults absorbed by the retry-with-backoff loop
+  /// while loading or refreshing this pool (retries that led to an eventual
+  /// success or gave up; either way each retry counts once).
+  uint64_t load_retries = 0;
   double latency_mean_ms = 0.0;  ///< lifetime mean solve latency
   double latency_p50_ms = 0.0;   ///< median over the recent window
   double latency_p95_ms = 0.0;   ///< 95th percentile over the recent window
+  /// Exponentially weighted moving average of solve latency (α = 1/32, ~32
+  /// queries of memory) — the cheap load-pressure signal the degradation
+  /// policy thresholds on, readable lock-free on the query path.
+  double latency_ewma_ms = 0.0;
   double registered_at = 0.0;    ///< seconds since epoch, AddPool/LoadPool
   double refreshed_at = 0.0;     ///< seconds since epoch, last swap (0 = never)
   /// Wall milliseconds the most recent rebuild of this pool spent in
@@ -42,6 +62,14 @@ struct PoolStatsSnapshot {
 struct ServiceStatsSnapshot {
   std::vector<PoolStatsSnapshot> pools;
   uint64_t not_found = 0;  ///< Solve() calls rejected with NotFound
+  // Admission-control state (service-wide; zeros when admission is
+  // unlimited). in_flight/queued are point-in-time gauges, the rest are
+  // lifetime totals.
+  uint64_t in_flight = 0;       ///< solves currently admitted
+  uint64_t queued = 0;          ///< requests currently waiting for a slot
+  uint64_t admitted = 0;        ///< total requests granted a slot
+  uint64_t shed = 0;            ///< total requests shed (waiting room full)
+  uint64_t queue_timeouts = 0;  ///< total deadline expiries while queued
 };
 
 /// Thread-safe latency/outcome accumulator for one pool name. Any number of
@@ -55,11 +83,30 @@ class PoolStatsCollector {
   /// solves. Bounded so a long-lived service never grows its metrics.
   static constexpr size_t kWindow = 4096;
 
-  /// Records one successfully answered query and its solve latency.
-  void RecordQuery(double latency_seconds);
+  /// EWMA smoothing factor: each solve moves the average 1/32 of the way to
+  /// its latency, so the signal remembers roughly the last 32 queries.
+  static constexpr double kEwmaAlpha = 1.0 / 32.0;
+
+  /// Records one successfully answered query, its solve latency, and
+  /// whether the degradation policy downgraded it to the LB answer.
+  void RecordQuery(double latency_seconds, bool degraded = false);
   /// Records one query that failed against this pool (bad request,
-  /// cancellation, ...). NotFound is service-level, not per-pool.
+  /// cancellation, deadline mid-solve, ...). NotFound is service-level,
+  /// not per-pool.
   void RecordError();
+  /// Records one request shed at admission (not a query, not an error).
+  void RecordShed();
+  /// Records one deadline miss — while queued for admission or mid-solve.
+  void RecordDeadlineMiss();
+  /// Records transient snapshot-load faults retried while (re)loading this
+  /// pool's snapshot.
+  void RecordLoadRetries(uint64_t retries);
+
+  /// Current latency EWMA in milliseconds; lock-free (read on the query
+  /// path by the degradation policy). 0 until the first query.
+  double latency_ewma_ms() const {
+    return ewma_ms_.load(std::memory_order_relaxed);
+  }
 
   /// Fills the count and latency fields of `out` (the identity fields —
   /// name, version, timestamps — belong to the registry entry).
@@ -69,8 +116,15 @@ class PoolStatsCollector {
   mutable std::mutex mutex_;
   RunningStat latency_ms_;
   uint64_t errors_ = 0;
+  uint64_t degraded_ = 0;
   std::vector<double> window_ms_;  // ring buffer of the last kWindow solves
   size_t window_next_ = 0;
+  // Outside the mutex: bumped on paths that must not contend with solvers
+  // (shed happens exactly when the service is saturated) or read lock-free.
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> load_retries_{0};
+  std::atomic<double> ewma_ms_{0.0};
 };
 
 }  // namespace kboost

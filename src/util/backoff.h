@@ -1,0 +1,94 @@
+#ifndef KBOOST_UTIL_BACKOFF_H_
+#define KBOOST_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace kboost {
+
+/// Retry schedule for transient faults: exponential growth with full jitter
+/// (each sleep is uniform in [0, current_cap]), so concurrent retriers
+/// hitting the same failing resource decorrelate instead of thundering.
+struct BackoffPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Jitter cap of the first retry sleep.
+  int64_t initial_delay_micros = 200;
+  /// Upper bound on the jitter cap.
+  int64_t max_delay_micros = 50000;
+  /// Cap growth factor per retry.
+  double multiplier = 2.0;
+};
+
+/// True for status codes worth retrying: I/O errors (the disk/page-cache
+/// faults the chaos harness injects) and resource exhaustion (allocation
+/// pressure that may clear). Corruption, not-found and argument errors are
+/// permanent — retrying them only delays the real answer.
+inline bool IsTransientStatus(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+/// One retry loop's worth of state. Usage:
+///
+///   JitteredBackoff backoff(policy, seed);
+///   Status s;
+///   do {
+///     s = TryTheThing();
+///   } while (!s.ok() && IsTransientStatus(s) && backoff.SleepAndRetry());
+///   // backoff.retries() sleeps were taken; s is the final outcome.
+///
+/// Deterministic given (policy, seed): tests seed it and assert the exact
+/// retry count.
+class JitteredBackoff {
+ public:
+  explicit JitteredBackoff(const BackoffPolicy& policy,
+                           uint64_t seed = 0x243F6A8885A308D3ULL)
+      : policy_(policy), rng_state_(seed) {}
+
+  /// Call after a failed attempt. Sleeps a jittered delay and returns true
+  /// when the policy allows another attempt; returns false (no sleep) once
+  /// attempts are exhausted.
+  bool SleepAndRetry() {
+    ++attempts_;
+    if (attempts_ >= policy_.max_attempts) return false;
+    int64_t cap = policy_.initial_delay_micros;
+    for (int i = 1; i < attempts_; ++i) {
+      cap = static_cast<int64_t>(static_cast<double>(cap) *
+                                 policy_.multiplier);
+      if (cap >= policy_.max_delay_micros) break;
+    }
+    cap = std::min<int64_t>(std::max<int64_t>(cap, 0),
+                            policy_.max_delay_micros);
+    if (cap > 0) {
+      const uint64_t draw = SplitMix64(rng_state_);
+      const int64_t sleep_us =
+          static_cast<int64_t>(draw % static_cast<uint64_t>(cap + 1));
+      if (sleep_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      }
+    }
+    ++retries_;
+    return true;
+  }
+
+  /// Failed attempts observed so far (SleepAndRetry calls).
+  int attempts() const { return attempts_; }
+  /// Sleeps actually taken — the number of re-attempts granted.
+  int retries() const { return retries_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t rng_state_;
+  int attempts_ = 0;
+  int retries_ = 0;
+};
+
+}  // namespace kboost
+
+#endif  // KBOOST_UTIL_BACKOFF_H_

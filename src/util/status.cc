@@ -24,6 +24,10 @@ const char* CodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

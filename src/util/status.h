@@ -18,6 +18,14 @@ enum class StatusCode {
   kIoError = 5,
   kFailedPrecondition = 6,
   kCancelled = 7,
+  /// A per-request deadline passed before the answer was produced — while
+  /// waiting for an admission slot or mid-selection (the solve paths poll
+  /// cooperatively). The serving layer's "too late" signal.
+  kDeadlineExceeded = 8,
+  /// A bounded resource was at capacity and the work was shed rather than
+  /// queued unboundedly — admission-control rejections, allocation pressure.
+  /// Transient by definition: the same request may succeed on retry.
+  kResourceExhausted = 9,
 };
 
 /// A lightweight success-or-error result, in the style of database engines
@@ -48,6 +56,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -22,7 +22,9 @@
 #include "src/graph/generators.h"
 #include "src/graph/graph_builder.h"
 #include "src/io/pool_io.h"
+#include "src/select/greedy.h"
 #include "src/serve/boost_service.h"
+#include "src/util/fault.h"
 #include "src/util/rng.h"
 
 namespace kboost {
@@ -220,6 +222,186 @@ TEST(BoostSessionSolveTest, CancelFlagShortCircuits) {
   EXPECT_EQ(session.Solve(spec).status().code(), StatusCode::kCancelled);
   cancel.store(false);
   EXPECT_TRUE(session.Solve(spec).ok());
+}
+
+/// Restores a pristine injector around tests that arm fault sites, so a
+/// failing assertion can't leak an armed site into later tests.
+struct ScopedDisarm {
+  ScopedDisarm() { FaultInjector::Global().DisarmAll(); }
+  ~ScopedDisarm() { FaultInjector::Global().DisarmAll(); }
+};
+
+/// Regression for cancellation granularity: the greedy loop used to poll the
+/// cancel flag only between picks, so a k=1 solve whose single pick was
+/// expensive could not be cancelled at all once it started. The per-pick Δ̂
+/// re-evaluation now polls every kStopStride items; a cancel that lands
+/// mid-scan must abandon the scan instead of finishing it.
+TEST(BoostSessionSolveTest, CancelMidPickAbandonsTheScanPromptly) {
+  ScopedDisarm guard;
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(8));
+  session.Prepare();
+
+  // Each stride boundary of the first pick's 80-candidate scan stalls 30 ms
+  // (3 boundaries on one worker ⇒ the pick alone takes ≥ 90 ms serial).
+  FaultInjector::Plan slow;
+  slow.delay_micros = 30000;
+  FaultInjector::Global().Arm(FaultSite::kPickStride, slow);
+
+  std::atomic<bool> cancel{false};
+  SolveSpec spec;
+  spec.k = 1;  // the case the old per-pick poll could never interrupt
+  spec.num_threads = 1;
+  spec.cancel = &cancel;
+  StatusOr<BoostResult> solved = Status::InvalidArgument("not solved yet");
+  std::thread solver([&] { solved = session.Solve(spec); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cancel.store(true);
+  solver.join();
+
+  EXPECT_EQ(solved.status().code(), StatusCode::kCancelled);
+  // Prompt return: the scan aborted at an early stride boundary instead of
+  // visiting all of them (3 boundaries armed; a completed scan hits 3).
+  EXPECT_LT(FaultInjector::Global().hits(FaultSite::kPickStride), 3u);
+}
+
+TEST(BoostSessionSolveTest, DeadlineAlreadyPassedIsTypedBeforeAnyWork) {
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(6));
+  session.Prepare();
+  SolveSpec spec;
+  spec.k = 4;
+  spec.deadline_ns = SteadyNowNanos() - 1;
+  EXPECT_EQ(session.Solve(spec).status().code(),
+            StatusCode::kDeadlineExceeded);
+  // The same request with headroom succeeds: the deadline is absolute, not
+  // a duration.
+  spec.deadline_ns = SteadyNowNanos() + 10'000'000'000;  // +10 s
+  EXPECT_TRUE(session.Solve(spec).ok());
+}
+
+TEST(BoostSessionSolveTest, DeadlineExpiringMidPickIsCaughtAtTheStride) {
+  ScopedDisarm guard;
+  DirectedGraph g = MakeTestGraph();
+  BoostSession session(g, {0, 1}, MakeOptions(8));
+  session.Prepare();
+
+  FaultInjector::Plan slow;
+  slow.delay_micros = 30000;
+  FaultInjector::Global().Arm(FaultSite::kPickStride, slow);
+
+  SolveSpec spec;
+  spec.k = 4;
+  spec.num_threads = 1;
+  // Alive at entry, dead by the first 30 ms stride boundary.
+  spec.deadline_ns = SteadyNowNanos() + 5'000'000;  // +5 ms
+  EXPECT_EQ(session.Solve(spec).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(BoostServiceTest, DefaultDeadlineAppliesAndPerRequestOverrides) {
+  ScopedDisarm guard;
+  DirectedGraph g = MakeTestGraph();
+  BoostService::Options options;
+  options.default_deadline_ms = 5;
+  StatusOr<std::unique_ptr<BoostService>> service_or =
+      BoostService::Create(g, options);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+  ASSERT_TRUE(service
+                  .AddPool("p", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0, 1},
+                                    MakeOptions(6)))
+                  .ok());
+
+  // Every solve stalls 20 ms at entry — past the 5 ms service default.
+  FaultInjector::Plan slow;
+  slow.delay_micros = 20000;
+  FaultInjector::Global().Arm(FaultSite::kSolveStart, slow);
+
+  BoostRequest request;
+  request.pool = "p";
+  request.k = 4;
+  StatusOr<BoostResponse> r = service.Solve(request);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A per-request deadline with headroom overrides the tight default.
+  request.deadline_ms = 5000;
+  r = service.Solve(request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->degraded);
+
+  // The miss was recorded as both an error and a deadline miss; the
+  // successful solve as a query.
+  ServiceStatsSnapshot stats = service.Stats();
+  ASSERT_EQ(stats.pools.size(), 1u);
+  EXPECT_EQ(stats.pools[0].queries, 1u);
+  EXPECT_EQ(stats.pools[0].errors, 1u);
+  EXPECT_EQ(stats.pools[0].deadline_misses, 1u);
+}
+
+TEST(BoostServiceTest, LatencyPressureDegradesAutoRequestsOnly) {
+  DirectedGraph g = MakeTestGraph();
+  BoostService::Options options;
+  options.degrade_latency_ms = 1e-6;  // any recorded latency trips it
+  StatusOr<std::unique_ptr<BoostService>> service_or =
+      BoostService::Create(g, options);
+  ASSERT_TRUE(service_or.ok());
+  BoostService& service = **service_or;
+  ASSERT_TRUE(service
+                  .AddPool("p", std::make_unique<BoostSession>(
+                                    g, std::vector<NodeId>{0, 1},
+                                    MakeOptions(8)))
+                  .ok());
+
+  BoostRequest request;
+  request.pool = "p";
+  request.k = 6;
+  // First query: the latency EWMA is still zero, so no degradation — the
+  // full sandwich answer, with the Δ̂ selection populated.
+  StatusOr<BoostResponse> first = service.Solve(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->degraded);
+  EXPECT_FALSE(first->result.delta_set.empty());
+
+  // Second query: the EWMA is now positive ≥ the (absurd) threshold, so the
+  // kAuto request downgrades to the cached LB order.
+  StatusOr<BoostResponse> degraded = service.Solve(request);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_TRUE(degraded->result.delta_set.empty());
+  EXPECT_EQ(degraded->result.best_set, first->result.lb_set);
+  EXPECT_EQ(degraded->result.best_estimate, first->result.lb_mu_hat);
+
+  // Explicit modes are always honored, pressure or not.
+  BoostRequest full = request;
+  full.mode = SolveMode::kFull;
+  StatusOr<BoostResponse> honored = service.Solve(full);
+  ASSERT_TRUE(honored.ok());
+  EXPECT_FALSE(honored->degraded);
+  EXPECT_FALSE(honored->result.delta_set.empty());
+
+  EXPECT_EQ(service.Stats().pools[0].degraded, 1u);
+}
+
+TEST(BoostServiceTest, CreateValidatesOverloadOptions) {
+  DirectedGraph g = MakeTestGraph();
+  BoostService::Options bad;
+  bad.degrade_load_factor = 1.5;
+  EXPECT_EQ(BoostService::Create(g, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = BoostService::Options();
+  bad.degrade_load_factor = -0.1;
+  EXPECT_EQ(BoostService::Create(g, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = BoostService::Options();
+  bad.degrade_latency_ms = -1.0;
+  EXPECT_EQ(BoostService::Create(g, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = BoostService::Options();
+  bad.snapshot_retry.max_attempts = 0;
+  EXPECT_EQ(BoostService::Create(g, bad).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(BoostServiceTest, RegistryLifecycle) {

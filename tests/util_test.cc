@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/backoff.h"
 #include "src/util/bounds.h"
+#include "src/util/fault.h"
 #include "src/util/parse.h"
 #include "src/util/ring_deque.h"
 #include "src/util/rng.h"
@@ -51,6 +53,126 @@ TEST(StatusTest, ServingCodesRender) {
             "FAILED_PRECONDITION: not prepared");
   EXPECT_EQ(Status::Cancelled("client went away").code(),
             StatusCode::kCancelled);
+}
+
+TEST(StatusTest, OverloadCodesCarryCodeMessageAndName) {
+  // The overload-protection vocabulary added for the serving layer: each
+  // constructor produces its own code and renders its canonical name.
+  Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.message(), "budget spent");
+  EXPECT_EQ(deadline.ToString(), "DEADLINE_EXCEEDED: budget spent");
+
+  Status shed = Status::ResourceExhausted("waiting room full");
+  EXPECT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.ToString(), "RESOURCE_EXHAUSTED: waiting room full");
+
+  // The two codes are distinct from each other and from their neighbours —
+  // the service's shed/miss accounting branches on exact codes.
+  EXPECT_NE(StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted);
+  EXPECT_NE(StatusCode::kDeadlineExceeded, StatusCode::kCancelled);
+  EXPECT_NE(StatusCode::kResourceExhausted, StatusCode::kIoError);
+}
+
+TEST(BackoffTest, TransientStatusClassification) {
+  // Only faults that can heal on retry are transient; everything else must
+  // surface immediately.
+  EXPECT_TRUE(IsTransientStatus(Status::IoError("blip")));
+  EXPECT_TRUE(IsTransientStatus(Status::ResourceExhausted("pressure")));
+  EXPECT_FALSE(IsTransientStatus(Status()));
+  EXPECT_FALSE(IsTransientStatus(Status::InvalidArgument("corrupt")));
+  EXPECT_FALSE(IsTransientStatus(Status::NotFound("gone")));
+  EXPECT_FALSE(IsTransientStatus(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsTransientStatus(Status::Cancelled("bye")));
+}
+
+TEST(BackoffTest, StopsExactlyAtMaxAttempts) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_delay_micros = 1;  // keep the test fast
+  policy.max_delay_micros = 2;
+  JitteredBackoff backoff(policy);
+  // Attempt 1 has already run when SleepAndRetry is first consulted.
+  EXPECT_TRUE(backoff.SleepAndRetry());   // allows attempt 2
+  EXPECT_TRUE(backoff.SleepAndRetry());   // allows attempt 3
+  EXPECT_FALSE(backoff.SleepAndRetry());  // budget spent
+  EXPECT_FALSE(backoff.SleepAndRetry());  // and stays spent
+  EXPECT_EQ(backoff.retries(), 2);
+}
+
+TEST(BackoffTest, SingleAttemptPolicyNeverRetries) {
+  BackoffPolicy policy;
+  policy.max_attempts = 1;
+  JitteredBackoff backoff(policy);
+  EXPECT_FALSE(backoff.SleepAndRetry());
+  EXPECT_EQ(backoff.retries(), 0);
+}
+
+TEST(FaultInjectorTest, DisarmedInjectorNeverFires) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.DisarmAll();
+  EXPECT_FALSE(injector.any_armed());
+  EXPECT_FALSE(MaybeInjectFault(FaultSite::kSnapshotOpen));
+  // The fast gate short-circuits: a disarmed visit is not even counted.
+  EXPECT_EQ(injector.hits(FaultSite::kSnapshotOpen), 0u);
+}
+
+TEST(FaultInjectorTest, FailFirstPlanIsExactThenHeals) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.DisarmAll();
+  FaultInjector::Plan plan;
+  plan.fail_first = 2;
+  injector.Arm(FaultSite::kSnapshotRead, plan);
+  EXPECT_TRUE(MaybeInjectFault(FaultSite::kSnapshotRead));
+  EXPECT_TRUE(MaybeInjectFault(FaultSite::kSnapshotRead));
+  EXPECT_FALSE(MaybeInjectFault(FaultSite::kSnapshotRead));
+  EXPECT_FALSE(MaybeInjectFault(FaultSite::kSnapshotRead));
+  EXPECT_EQ(injector.hits(FaultSite::kSnapshotRead), 4u);
+  EXPECT_EQ(injector.failures(FaultSite::kSnapshotRead), 2u);
+  // Arming a site never bleeds into its neighbours.
+  EXPECT_FALSE(MaybeInjectFault(FaultSite::kSnapshotOpen));
+  injector.DisarmAll();
+  EXPECT_EQ(injector.hits(FaultSite::kSnapshotRead), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilityDecisionsAreSeedDeterministic) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.DisarmAll();
+  injector.set_seed(1234);
+  FaultInjector::Plan plan;
+  plan.probability = 0.5;
+
+  auto run_sequence = [&] {
+    injector.Arm(FaultSite::kSnapshotMmap, plan);  // resets the hit counter
+    std::vector<bool> decisions;
+    for (int i = 0; i < 64; ++i) {
+      decisions.push_back(MaybeInjectFault(FaultSite::kSnapshotMmap));
+    }
+    return decisions;
+  };
+  std::vector<bool> first = run_sequence();
+  std::vector<bool> second = run_sequence();
+  // Same seed + same hit indices ⇒ the same decisions, run after run: the
+  // property the chaos suite's exact failure-count assertions rest on.
+  EXPECT_EQ(first, second);
+  // And p=0.5 over 64 draws produces both outcomes.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+
+  // A different seed produces a different (still deterministic) stream.
+  injector.set_seed(99);
+  std::vector<bool> reseeded = run_sequence();
+  EXPECT_NE(first, reseeded);
+  injector.set_seed(0x9E3779B97F4A7C15ULL);  // restore the default
+  injector.DisarmAll();
+}
+
+TEST(FaultInjectorTest, SiteNamesAreStable) {
+  EXPECT_STREQ(FaultSiteName(FaultSite::kSnapshotOpen), "snapshot_open");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kSolveStart), "solve_start");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kPickStride), "pick_stride");
 }
 
 TEST(StatusOrTest, DereferenceSugar) {
