@@ -11,6 +11,8 @@
 //   kboost_cli evaluate --graph=graph.txt --seeds=0,5,9 --boost=1,2,3
 //   kboost_cli serve-bench --graph=graph.txt --load-pool=pool.bin
 //                          [--mmap-pool] [--clients=1,2,4] [--queries=32]
+//   kboost_cli serve    --graph=graph.txt --pool=digg=pool.bin [--listen=7447]
+//   kboost_cli query    --connect=127.0.0.1:7447 --pool=digg --k=10
 //
 // Graphs are the text edge-list format of src/graph/graph_io.h. Pool
 // snapshots (--save-pool/--load-pool) are the binary format of
@@ -34,6 +36,7 @@
 #include <vector>
 
 #include "src/core/boost_session.h"
+#include "src/net/daemon.h"
 #include "src/serve/boost_service.h"
 #include "src/util/parse.h"
 #include "src/util/timer.h"
@@ -201,6 +204,20 @@ int Usage() {
       "      bit-identical for every S)\n"
       "  evaluate --graph=PATH --seeds=a,b,c --boost=x,y,z [--sims=N]\n"
       "      Monte-Carlo estimate of the spread and boost of a given set\n"
+      "  serve --graph=PATH --pool=NAME=SNAPSHOT [--pool=...] \n"
+      "        [--listen=PORT] [--bind=ADDR] [--mmap-pool] [--workers=N]\n"
+      "        [--queue-cap=N] [--deadline-ms=N] [--degrade=F]\n"
+      "        [--dispatch-queue=N] [--max-connections=N]\n"
+      "        [--drain-deadline-ms=N] [--no-remote-shutdown]\n"
+      "      run the kboostd network server in-process: serve the listed\n"
+      "      pool snapshots over TCP (docs/PROTOCOL.md) until SIGINT or\n"
+      "      SIGTERM triggers the graceful drain; --listen=0 binds an\n"
+      "      ephemeral port and prints it\n"
+      "  query --connect=HOST:PORT --k=N [--pool=NAME]\n"
+      "        [--mode=auto|full|lb] [--threads=N] [--deadline-ms=N]\n"
+      "        [--timeout-ms=N]\n"
+      "      round-trip one query against a running kboostd and print the\n"
+      "      typed outcome (exit 0 only when the remote solve succeeded)\n"
       "  serve-bench --graph=PATH (--load-pool=PATH [--mmap-pool] |\n"
       "        --seeds=a,b,c --k=N [--lb] [--epsilon=F] [--seed=N]\n"
       "        [--shards=S]) [--clients=1,2,4] [--queries=32] [--threads=N]\n"
@@ -805,5 +822,7 @@ int main(int argc, char** argv) {
   if (cmd == "boost") return CmdBoost(argc, argv);
   if (cmd == "evaluate") return CmdEvaluate(argc, argv);
   if (cmd == "serve-bench") return CmdServeBench(argc, argv);
+  if (cmd == "serve") return RunServeCommand(argc, argv, 2);
+  if (cmd == "query") return RunQueryCommand(argc, argv, 2);
   return Usage();
 }

@@ -12,8 +12,10 @@ class NopCodec final : public Codec {
 
   void Encode(std::span<const uint32_t> values,
               std::string* out) const override {
-    out->append(reinterpret_cast<const char*>(values.data()),
-                values.size() * sizeof(uint32_t));
+    if (!values.empty()) {
+      out->append(reinterpret_cast<const char*>(values.data()),
+                  values.size() * sizeof(uint32_t));
+    }
   }
 
   Status Decode(std::span<const char> encoded,
@@ -24,7 +26,9 @@ class NopCodec final : public Codec {
           " bytes, expected exactly " +
           std::to_string(out.size() * sizeof(uint32_t)));
     }
-    std::memcpy(out.data(), encoded.data(), encoded.size());
+    if (!encoded.empty()) {
+      std::memcpy(out.data(), encoded.data(), encoded.size());
+    }
     return Status::Ok();
   }
 

@@ -1,0 +1,238 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kboost {
+
+namespace {
+
+Status SetIoTimeout(int fd, uint64_t timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IoError(std::string("setsockopt(timeout): ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::DeadlineExceeded("write to server timed out");
+    }
+    return Status::IoError(std::string("write to server: ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status ReadAll(int fd, char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, data + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("read from server timed out");
+    }
+    return Status::IoError(std::string("read from server: ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<KboostClient>> KboostClient::Connect(
+    const std::string& host, uint16_t port, const ClientOptions& options) {
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("host '" + host +
+                                   "' is not an IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (Status s = SetIoTimeout(fd, options.io_timeout_ms); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string msg = "connect " + host + ":" + std::to_string(port) +
+                            ": " + std::strerror(errno);
+    ::close(fd);
+    return errno == ECONNREFUSED ? Status::Unavailable(msg)
+                                 : Status::IoError(msg);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<KboostClient>(new KboostClient(fd, options));
+}
+
+KboostClient::~KboostClient() { Close(); }
+
+void KboostClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status KboostClient::RoundTrip(const std::string& frame, uint32_t request_id,
+                               FrameType expected, std::string* reply_body) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client connection is closed");
+  }
+  if (Status s = WriteAll(fd_, frame.data(), frame.size()); !s.ok()) {
+    Close();
+    return s;
+  }
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (Status s = ReadAll(fd_, reinterpret_cast<char*>(header_bytes),
+                         kFrameHeaderBytes);
+      !s.ok()) {
+    Close();
+    return s;
+  }
+  FrameHeader header;
+  if (Status s =
+          DecodeFrameHeader(header_bytes, options_.max_frame_bytes, &header);
+      !s.ok()) {
+    Close();
+    return s;
+  }
+  reply_body->resize(header.body_len);
+  if (header.body_len > 0) {
+    if (Status s = ReadAll(fd_, reply_body->data(), header.body_len);
+        !s.ok()) {
+      Close();
+      return s;
+    }
+  }
+  if (header.type == FrameType::kError) {
+    // The server is closing this connection; surface its typed reason.
+    Status remote = Status::Ok();
+    Status decode = DecodeErrorBody(
+        reinterpret_cast<const uint8_t*>(reply_body->data()), header.body_len,
+        &remote);
+    Close();
+    return decode.ok() ? remote : decode;
+  }
+  if (header.type != expected) {
+    Close();
+    return Status::InvalidArgument(
+        "protocol error: unexpected reply frame type " +
+        std::to_string(static_cast<int>(header.type)));
+  }
+  if (header.request_id != request_id) {
+    Close();
+    return Status::InvalidArgument(
+        "protocol error: reply echoes request id " +
+        std::to_string(header.request_id) + ", expected " +
+        std::to_string(request_id));
+  }
+  return Status::Ok();
+}
+
+StatusOr<WireQueryReply> KboostClient::Query(const WireQuery& query) {
+  const uint32_t id = next_request_id_++;
+  std::string body;
+  if (Status s = RoundTrip(EncodeQueryFrame(id, query), id,
+                           FrameType::kQueryReply, &body);
+      !s.ok()) {
+    return s;
+  }
+  WireQueryReply reply;
+  if (Status s = DecodeQueryReplyBody(
+          reinterpret_cast<const uint8_t*>(body.data()), body.size(), &reply);
+      !s.ok()) {
+    Close();
+    return s;
+  }
+  return reply;
+}
+
+StatusOr<ServiceStatsSnapshot> KboostClient::Stats() {
+  const uint32_t id = next_request_id_++;
+  std::string body;
+  if (Status s = RoundTrip(EncodeStatsFrame(id), id, FrameType::kStatsReply,
+                           &body);
+      !s.ok()) {
+    return s;
+  }
+  ServiceStatsSnapshot stats;
+  if (Status s = DecodeStatsReplyBody(
+          reinterpret_cast<const uint8_t*>(body.data()), body.size(), &stats);
+      !s.ok()) {
+    Close();
+    return s;
+  }
+  return stats;
+}
+
+StatusOr<WireRefreshReply> KboostClient::Refresh(const WireRefresh& refresh) {
+  const uint32_t id = next_request_id_++;
+  std::string body;
+  if (Status s = RoundTrip(EncodeRefreshFrame(id, refresh), id,
+                           FrameType::kRefreshReply, &body);
+      !s.ok()) {
+    return s;
+  }
+  WireRefreshReply reply;
+  if (Status s = DecodeRefreshReplyBody(
+          reinterpret_cast<const uint8_t*>(body.data()), body.size(), &reply);
+      !s.ok()) {
+    Close();
+    return s;
+  }
+  return reply;
+}
+
+Status KboostClient::Shutdown() {
+  const uint32_t id = next_request_id_++;
+  std::string body;
+  if (Status s = RoundTrip(EncodeShutdownFrame(id), id,
+                           FrameType::kShutdownReply, &body);
+      !s.ok()) {
+    return s;
+  }
+  Status remote = Status::Ok();
+  if (Status s = DecodeStatusPrefix(
+          reinterpret_cast<const uint8_t*>(body.data()), body.size(),
+          &remote);
+      !s.ok()) {
+    Close();
+    return s;
+  }
+  return remote;
+}
+
+}  // namespace kboost

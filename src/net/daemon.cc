@@ -1,0 +1,358 @@
+#include "src/net/daemon.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph_io.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/serve/boost_service.h"
+#include "src/util/parse.h"
+
+namespace kboost {
+
+namespace {
+
+// Flag scanning mirrors kboost_cli's discipline — strict `--name=value` /
+// `--switch`, unknown flags rejected loudly, every integer through the
+// whole-string ParseUint64 — parameterised on where flags start so the same
+// command serves `kboostd --graph=...` and `kboost_cli serve --graph=...`.
+
+const char* FlagValue(int argc, char** argv, int start, const char* name) {
+  const size_t len = std::strlen(name);
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, int start, const char* name) {
+  for (int i = start; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+bool ValidateFlags(int argc, char** argv, int start, const char* command,
+                   std::initializer_list<const char*> value_flags,
+                   std::initializer_list<const char*> switches = {}) {
+  for (int i = start; i < argc; ++i) {
+    const char* arg = argv[i];
+    bool known = false;
+    for (const char* name : value_flags) {
+      const size_t len = std::strlen(name);
+      if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        known = true;
+        break;
+      }
+    }
+    for (const char* name : switches) {
+      if (known) break;
+      if (std::strcmp(arg, name) == 0) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "error: unknown flag '%s' for '%s'\n", arg,
+                   command);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseUint64Flag(int argc, char** argv, int start, const char* flag_name,
+                     uint64_t* out) {
+  const char* text = FlagValue(argc, argv, start, flag_name);
+  if (text == nullptr) return true;
+  if (Status s = ParseUint64(text, flag_name, out); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseDoubleFlag(int argc, char** argv, int start, const char* flag_name,
+                     double* out) {
+  const char* text = FlagValue(argc, argv, start, flag_name);
+  if (text == nullptr) return true;
+  char* end = nullptr;
+  *out = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "error: %s must be a number, got '%s'\n", flag_name,
+                 text);
+    return false;
+  }
+  return true;
+}
+
+/// Splits "host:port" with a strict port parse. The last ':' separates, so
+/// this stays correct if hosts ever grow colons.
+bool ParseHostPort(const char* text, std::string* host, uint16_t* port) {
+  const std::string value(text);
+  const size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == value.size()) {
+    std::fprintf(stderr,
+                 "error: --connect must be HOST:PORT, got '%s'\n", text);
+    return false;
+  }
+  uint64_t port64 = 0;
+  if (Status s = ParseUint64(value.substr(colon + 1).c_str(), "--connect port",
+                             &port64);
+      !s.ok() || port64 == 0 || port64 > 65535) {
+    std::fprintf(stderr, "error: --connect port must be in [1, 65535], got "
+                         "'%s'\n",
+                 value.substr(colon + 1).c_str());
+    return false;
+  }
+  *host = value.substr(0, colon);
+  *port = static_cast<uint16_t>(port64);
+  return true;
+}
+
+bool ParseMode(const char* text, SolveMode* out) {
+  if (text == nullptr || std::strcmp(text, "auto") == 0) {
+    *out = SolveMode::kAuto;
+    return true;
+  }
+  if (std::strcmp(text, "full") == 0) {
+    *out = SolveMode::kFull;
+    return true;
+  }
+  if (std::strcmp(text, "lb") == 0) {
+    *out = SolveMode::kLbOnly;
+    return true;
+  }
+  std::fprintf(stderr, "error: --mode must be auto|full|lb, got '%s'\n",
+               text);
+  return false;
+}
+
+}  // namespace
+
+int RunServeCommand(int argc, char** argv, int flag_start) {
+  if (!ValidateFlags(argc, argv, flag_start, "serve",
+                     {"--graph", "--pool", "--listen", "--bind", "--workers",
+                      "--threads", "--queue-cap", "--deadline-ms",
+                      "--degrade", "--dispatch-queue", "--max-connections",
+                      "--drain-deadline-ms"},
+                     {"--mmap-pool", "--no-remote-shutdown"})) {
+    return 2;
+  }
+  const char* graph_path = FlagValue(argc, argv, flag_start, "--graph");
+  if (graph_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: serve --graph=PATH --pool=NAME=SNAPSHOT "
+                 "[--pool=...] [--mmap-pool] [--listen=PORT] [--bind=ADDR]\n"
+                 "             [--workers=N] [--threads=N] [--queue-cap=N]\n"
+                 "             [--deadline-ms=N] [--degrade=F]\n"
+                 "             [--dispatch-queue=N] [--max-connections=N]\n"
+                 "             [--drain-deadline-ms=N] "
+                 "[--no-remote-shutdown]\n");
+    return 2;
+  }
+
+  // --pool is repeatable: every NAME=SNAPSHOT becomes a warm pool.
+  std::vector<BoostService::PoolSpec> pools;
+  for (int i = flag_start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--pool=", 7) != 0) continue;
+    const char* spec = argv[i] + 7;
+    const char* eq = std::strchr(spec, '=');
+    if (eq == nullptr || eq == spec || eq[1] == '\0') {
+      std::fprintf(stderr,
+                   "error: --pool must be NAME=SNAPSHOT_PATH, got '%s'\n",
+                   spec);
+      return 2;
+    }
+    pools.push_back({std::string(spec, eq), std::string(eq + 1)});
+  }
+  if (pools.empty()) {
+    std::fprintf(stderr, "error: serve needs at least one --pool=NAME=PATH\n");
+    return 2;
+  }
+
+  uint64_t listen_port = 0, workers = 2, threads = 0, queue_cap = 0;
+  uint64_t deadline_ms = 0, dispatch_queue = 64, max_connections = 256;
+  uint64_t drain_deadline_ms = 2000;
+  double degrade = 0.0;
+  if (!ParseUint64Flag(argc, argv, flag_start, "--listen", &listen_port) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--workers", &workers) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--threads", &threads) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--queue-cap", &queue_cap) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--deadline-ms",
+                       &deadline_ms) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--dispatch-queue",
+                       &dispatch_queue) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--max-connections",
+                       &max_connections) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--drain-deadline-ms",
+                       &drain_deadline_ms) ||
+      !ParseDoubleFlag(argc, argv, flag_start, "--degrade", &degrade)) {
+    return 2;
+  }
+  if (listen_port > 65535) {
+    std::fprintf(stderr, "error: --listen must be in [0, 65535]\n");
+    return 2;
+  }
+  if (threads > static_cast<uint64_t>(std::numeric_limits<int>::max()) ||
+      workers > 64) {
+    std::fprintf(stderr, "error: --threads/--workers out of range\n");
+    return 2;
+  }
+
+  StatusOr<DirectedGraph> graph = LoadEdgeList(graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  BoostService::Options service_options;
+  service_options.warm_pools = std::move(pools);
+  service_options.num_threads = static_cast<int>(threads);
+  service_options.mmap_pools = HasFlag(argc, argv, flag_start, "--mmap-pool");
+  service_options.max_in_flight = queue_cap;
+  service_options.max_queued = queue_cap;
+  service_options.default_deadline_ms = deadline_ms;
+  service_options.degrade_load_factor = degrade;
+  StatusOr<std::unique_ptr<BoostService>> service =
+      BoostService::Create(graph.value(), service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  ServerOptions server_options;
+  const char* bind = FlagValue(argc, argv, flag_start, "--bind");
+  if (bind != nullptr) server_options.bind_address = bind;
+  server_options.port = static_cast<uint16_t>(listen_port);
+  server_options.num_workers = static_cast<int>(workers);
+  server_options.max_dispatch_queue = dispatch_queue;
+  server_options.max_connections = max_connections;
+  server_options.drain_deadline_ms = drain_deadline_ms;
+  server_options.allow_remote_shutdown =
+      !HasFlag(argc, argv, flag_start, "--no-remote-shutdown");
+  StatusOr<std::unique_ptr<KboostServer>> server =
+      KboostServer::Start(service.value().get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = server.value()->InstallSignalHandlers(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  for (const std::string& name : service.value()->PoolNames()) {
+    std::printf("pool '%s' v%llu ready\n", name.c_str(),
+                static_cast<unsigned long long>(
+                    service.value()->PoolVersion(name)));
+  }
+  // The pid and the (possibly ephemeral) bound port, parseable by scripts
+  // that start the daemon and then point clients at it.
+  std::printf("kboostd listening on %s:%u (pid %d, %llu workers)\n",
+              server_options.bind_address.c_str(), server.value()->port(),
+              static_cast<int>(::getpid()),
+              static_cast<unsigned long long>(workers));
+  std::fflush(stdout);
+
+  server.value()->Wait();
+  const ServerCounters counters = server.value()->counters();
+  std::printf("kboostd drained: %llu connections, %llu frames, %llu queries, "
+              "%llu unavailable rejects, %llu protocol errors\n",
+              static_cast<unsigned long long>(counters.connections_accepted),
+              static_cast<unsigned long long>(counters.frames_received),
+              static_cast<unsigned long long>(counters.queries_dispatched),
+              static_cast<unsigned long long>(counters.unavailable_rejects),
+              static_cast<unsigned long long>(counters.protocol_errors));
+  return 0;
+}
+
+int RunQueryCommand(int argc, char** argv, int flag_start) {
+  if (!ValidateFlags(argc, argv, flag_start, "query",
+                     {"--connect", "--pool", "--k", "--mode", "--threads",
+                      "--deadline-ms", "--timeout-ms"})) {
+    return 2;
+  }
+  const char* connect = FlagValue(argc, argv, flag_start, "--connect");
+  const char* k_s = FlagValue(argc, argv, flag_start, "--k");
+  if (connect == nullptr || k_s == nullptr) {
+    std::fprintf(stderr,
+                 "usage: query --connect=HOST:PORT --k=N [--pool=NAME]\n"
+                 "             [--mode=auto|full|lb] [--threads=N]\n"
+                 "             [--deadline-ms=N] [--timeout-ms=N]\n");
+    return 2;
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(connect, &host, &port)) return 2;
+
+  WireQuery query;
+  const char* pool = FlagValue(argc, argv, flag_start, "--pool");
+  query.pool = pool != nullptr ? pool : "pool";
+  uint64_t threads = 0, timeout_ms = 30000;
+  if (!ParseUint64Flag(argc, argv, flag_start, "--k", &query.k) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--threads", &threads) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--deadline-ms",
+                       &query.deadline_ms) ||
+      !ParseUint64Flag(argc, argv, flag_start, "--timeout-ms", &timeout_ms)) {
+    return 2;
+  }
+  if (threads > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    std::fprintf(stderr, "error: --threads out of range\n");
+    return 2;
+  }
+  query.num_threads = static_cast<int32_t>(threads);
+  if (!ParseMode(FlagValue(argc, argv, flag_start, "--mode"), &query.mode)) {
+    return 2;
+  }
+
+  ClientOptions client_options;
+  client_options.io_timeout_ms = timeout_ms;
+  StatusOr<std::unique_ptr<KboostClient>> client =
+      KboostClient::Connect(host, port, client_options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<WireQueryReply> reply = client.value()->Query(query);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
+    return 1;
+  }
+  if (!reply.value().status.ok()) {
+    // The round trip worked; the remote solve answered a typed non-OK
+    // outcome (shed, deadline, unknown pool, shutting down, ...).
+    std::fprintf(stderr, "remote: %s\n",
+                 reply.value().status.ToString().c_str());
+    return 1;
+  }
+  const WireQueryReply& r = reply.value();
+  std::printf("pool '%s' v%llu k=%llu%s\n", query.pool.c_str(),
+              static_cast<unsigned long long>(r.pool_version),
+              static_cast<unsigned long long>(query.k),
+              r.degraded ? "  [degraded]" : "");
+  std::printf("boost_set: ");
+  for (size_t i = 0; i < r.best_set.size(); ++i) {
+    std::printf("%s%u", i ? "," : "", r.best_set[i]);
+  }
+  std::printf("\nestimate: %.6f\n", r.best_estimate);
+  std::printf("samples: %llu (boostable %llu, pool budget %llu%s)\n",
+              static_cast<unsigned long long>(r.num_samples),
+              static_cast<unsigned long long>(r.num_boostable),
+              static_cast<unsigned long long>(r.pool_budget),
+              r.pool_reused ? ", reused" : "");
+  std::printf("solve_seconds: %.4f\n", r.solve_seconds);
+  return 0;
+}
+
+}  // namespace kboost

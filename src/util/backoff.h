@@ -31,7 +31,8 @@ struct BackoffPolicy {
 /// permanent — retrying them only delays the real answer.
 inline bool IsTransientStatus(const Status& status) {
   return status.code() == StatusCode::kIoError ||
-         status.code() == StatusCode::kResourceExhausted;
+         status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kUnavailable;
 }
 
 /// One retry loop's worth of state. Usage:

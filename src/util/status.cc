@@ -28,6 +28,8 @@ const char* CodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

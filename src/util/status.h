@@ -26,6 +26,13 @@ enum class StatusCode {
   /// queued unboundedly — admission-control rejections, allocation pressure.
   /// Transient by definition: the same request may succeed on retry.
   kResourceExhausted = 9,
+  /// The service as a whole cannot take the request right now — it is
+  /// shutting down, its dispatch queue is full, or the connection was
+  /// refused at the front door. Where ResourceExhausted means "this
+  /// request was shed by the admission budget", Unavailable means "the
+  /// serving process itself is not accepting work"; clients should back
+  /// off and retry against the same or another replica.
+  kUnavailable = 10,
 };
 
 /// A lightweight success-or-error result, in the style of database engines
@@ -62,6 +69,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -74,6 +74,19 @@ TEST(StatusTest, OverloadCodesCarryCodeMessageAndName) {
   EXPECT_NE(StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted);
   EXPECT_NE(StatusCode::kDeadlineExceeded, StatusCode::kCancelled);
   EXPECT_NE(StatusCode::kResourceExhausted, StatusCode::kIoError);
+
+  // Unavailable — the network front door's "the process is not taking
+  // work" reject (shutdown drain, dispatch queue full, connection refused).
+  Status down = Status::Unavailable("draining for shutdown");
+  EXPECT_FALSE(down.ok());
+  EXPECT_EQ(down.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(down.message(), "draining for shutdown");
+  EXPECT_EQ(down.ToString(), "UNAVAILABLE: draining for shutdown");
+  // Distinct from the admission shed and every other overload code — the
+  // loadgen's typed-outcome accounting branches on exact codes.
+  EXPECT_NE(StatusCode::kUnavailable, StatusCode::kResourceExhausted);
+  EXPECT_NE(StatusCode::kUnavailable, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(StatusCode::kUnavailable, StatusCode::kCancelled);
 }
 
 TEST(BackoffTest, TransientStatusClassification) {
@@ -81,6 +94,7 @@ TEST(BackoffTest, TransientStatusClassification) {
   // surface immediately.
   EXPECT_TRUE(IsTransientStatus(Status::IoError("blip")));
   EXPECT_TRUE(IsTransientStatus(Status::ResourceExhausted("pressure")));
+  EXPECT_TRUE(IsTransientStatus(Status::Unavailable("draining")));
   EXPECT_FALSE(IsTransientStatus(Status()));
   EXPECT_FALSE(IsTransientStatus(Status::InvalidArgument("corrupt")));
   EXPECT_FALSE(IsTransientStatus(Status::NotFound("gone")));
