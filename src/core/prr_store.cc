@@ -315,7 +315,12 @@ Status PrrStore::ValidateDeep() const {
       }
     }
     for (uint32_t c = 0; c < m.num_critical; ++c) {
-      if (cr[m.critical_begin + c] >= m.num_nodes) {
+      // The super-seed slot (local 0) is excluded as well as out-of-range
+      // ids: its global id is kInvalidNode by construction, so a critical
+      // entry pointing at it would smuggle an unvalidated id past the
+      // global-id range check and into the coverage index.
+      const uint32_t id = cr[m.critical_begin + c];
+      if (id == PrrGraph::kSuperSeedLocal || id >= m.num_nodes) {
         return Status::OutOfRange("critical id out of range in arena graph " +
                                   std::to_string(g));
       }

@@ -18,6 +18,12 @@ ImmResult SelectSeedsImm(const DirectedGraph& graph,
   KB_CHECK(options.k >= 1 && options.k <= n);
 
   CoverageSelector selector(n);
+  // Shared-state discipline of this sampler (mutex-free, so nothing here
+  // carries a KB_GUARDED_BY): the only cross-thread write is this relaxed
+  // statistics counter; every other structure below is either partitioned
+  // per worker (shards, scratch, per-sample owner bytes — each index is
+  // written by exactly one thread) or written only between ParallelFor
+  // batches on the calling thread, whose fork/join edges order the accesses.
   std::atomic<size_t> edges_examined{0};
   // Clamped to 255 so the per-sample owner byte below cannot overflow.
   const int threads = std::max(1, std::min(options.num_threads, 255));

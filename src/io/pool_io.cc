@@ -1072,6 +1072,15 @@ StatusOr<std::unique_ptr<BoostSession>> LoadPoolSnapshot(
   boost_options.max_samples = h.max_samples;
   if (h.num_threads > 0) boost_options.num_threads = load_threads;
   boost_options.num_shards = static_cast<int>(h.num_shards);
+  // These header-derived options feed the trusting BoostSession constructor,
+  // which KB_CHECK-aborts on invalid values — a corrupt ε/ℓ/k/shard count
+  // must surface as a typed rejection instead (NaN fails Validate's range
+  // comparisons too, so a garbage double cannot sneak through).
+  if (Status opt = boost_options.Validate(); !opt.ok()) {
+    return Status::InvalidArgument(
+        "snapshot header carries invalid sampling options (" +
+        opt.ToString() + "): " + path);
+  }
 
   PrrSamplerStats stats;
   stats.edges_examined = h.edges_examined;

@@ -176,7 +176,7 @@ struct KboostServer::Connection {
   bool peer_closed = false;  ///< recv() saw EOF
   bool want_read = true;    ///< current poller interest
   std::atomic<bool> closing{false};
-  std::mutex write_mutex;
+  Mutex write_mutex;
 };
 
 StatusOr<std::unique_ptr<KboostServer>> KboostServer::Start(
@@ -276,7 +276,7 @@ void KboostServer::Shutdown() {
 }
 
 void KboostServer::Wait() {
-  std::lock_guard<std::mutex> lock(join_mutex_);
+  MutexLock lock(join_mutex_);
   if (!joined_) {
     if (io_thread_.joinable()) io_thread_.join();
     joined_ = true;
@@ -381,10 +381,10 @@ void KboostServer::EventLoop() {
   // dispatched request ran Solve to completion (its RAII ticket released)
   // or was answered without entering Solve at all.
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     stop_workers_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 
   std::vector<int> open_fds;
@@ -405,7 +405,7 @@ void KboostServer::BeginDrain() {
   // Queued-but-unstarted requests are answered kUnavailable by the workers
   // themselves: they check draining_ after popping, so the queue drains
   // with typed replies without a second bookkeeping path here.
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void KboostServer::AcceptNew() {
@@ -507,12 +507,24 @@ void KboostServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         FailConnection(conn, header.request_id, s);
         return;
       }
-      bool queue_full = false;
+      // Check-and-enqueue under ONE lock hold. The old shape (check full,
+      // unlock, push under a second hold) was correct only because this loop
+      // is the queue's sole producer; one critical section makes the bound
+      // a structural invariant instead of a thread-count accident, and
+      // halves the dispatch path's lock traffic.
+      bool enqueued = false;
       if (!draining) {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
-        queue_full = queue_.size() >= options_.max_dispatch_queue;
+        WorkItem item;
+        item.conn = conn;
+        item.request_id = header.request_id;
+        item.query = std::move(query);
+        MutexLock lock(queue_mutex_);
+        if (queue_.size() < options_.max_dispatch_queue) {
+          queue_.push_back(std::move(item));
+          enqueued = true;
+        }
       }
-      if (draining || queue_full) {
+      if (!enqueued) {
         // The connection-level reject: a typed kUnavailable reply, and the
         // connection stays open for the client's retry-elsewhere logic.
         unavailable_rejects_.fetch_add(1, std::memory_order_relaxed);
@@ -522,18 +534,12 @@ void KboostServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         WriteReply(conn, EncodeQueryReplyFrame(header.request_id, reply));
         return;
       }
+      // busy/outstanding_ are event-loop-owned; safe to set after the push
+      // because completions are only processed by this same thread, later.
       conn->busy = true;
       ++outstanding_;
       dispatched_.fetch_add(1, std::memory_order_relaxed);
-      WorkItem item;
-      item.conn = conn;
-      item.request_id = header.request_id;
-      item.query = std::move(query);
-      {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
-        queue_.push_back(std::move(item));
-      }
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
       return;
     }
     case FrameType::kStats: {
@@ -551,12 +557,21 @@ void KboostServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         FailConnection(conn, header.request_id, s);
         return;
       }
-      bool queue_full = false;
+      // Same single-hold check-and-enqueue as the query path above.
+      bool enqueued = false;
       if (!draining) {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
-        queue_full = queue_.size() >= options_.max_dispatch_queue;
+        WorkItem item;
+        item.conn = conn;
+        item.request_id = header.request_id;
+        item.is_refresh = true;
+        item.refresh = std::move(refresh);
+        MutexLock lock(queue_mutex_);
+        if (queue_.size() < options_.max_dispatch_queue) {
+          queue_.push_back(std::move(item));
+          enqueued = true;
+        }
       }
-      if (draining || queue_full) {
+      if (!enqueued) {
         WireRefreshReply reply;
         reply.status = Status::Unavailable(
             draining ? "server shutting down" : "dispatch queue full");
@@ -565,16 +580,7 @@ void KboostServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       }
       conn->busy = true;
       ++outstanding_;
-      WorkItem item;
-      item.conn = conn;
-      item.request_id = header.request_id;
-      item.is_refresh = true;
-      item.refresh = std::move(refresh);
-      {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
-        queue_.push_back(std::move(item));
-      }
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
       return;
     }
     case FrameType::kShutdown: {
@@ -623,7 +629,7 @@ void KboostServer::CloseConnection(int fd) {
 void KboostServer::HandleCompletions() {
   std::vector<int> done;
   {
-    std::lock_guard<std::mutex> lock(completed_mutex_);
+    MutexLock lock(completed_mutex_);
     done.swap(completed_fds_);
   }
   for (int fd : done) {
@@ -656,7 +662,7 @@ void KboostServer::UpdateReadInterest(const std::shared_ptr<Connection>& conn) {
 
 void KboostServer::WriteReply(const std::shared_ptr<Connection>& conn,
                               const std::string& frame) {
-  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  MutexLock lock(conn->write_mutex);
   if (conn->closing.load(std::memory_order_acquire)) return;
   if (!WriteFully(conn->fd, frame.data(), frame.size())) {
     conn->closing.store(true, std::memory_order_release);
@@ -665,7 +671,7 @@ void KboostServer::WriteReply(const std::shared_ptr<Connection>& conn,
 
 void KboostServer::CompleteWork(const std::shared_ptr<Connection>& conn) {
   {
-    std::lock_guard<std::mutex> lock(completed_mutex_);
+    MutexLock lock(completed_mutex_);
     completed_fds_.push_back(conn->fd);
   }
   const char byte = kWakeCompletion;
@@ -678,8 +684,8 @@ void KboostServer::WorkerLoop() {
   while (true) {
     WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return !queue_.empty() || stop_workers_; });
+      MutexLock lock(queue_mutex_);
+      while (queue_.empty() && !stop_workers_) queue_cv_.Wait(queue_mutex_);
       if (queue_.empty()) return;  // stop_workers_ with nothing left
       item = std::move(queue_.front());
       queue_.pop_front();

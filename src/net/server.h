@@ -2,12 +2,10 @@
 #define KBOOST_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +13,7 @@
 #include "src/net/wire.h"
 #include "src/serve/boost_service.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace kboost {
 
@@ -178,6 +177,25 @@ class KboostServer {
   const ServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
+
+  // ---- The wake pipe and the drain handshake -------------------------------
+  //
+  // The event loop sleeps in epoll/poll; everything that must get its
+  // attention writes ONE tagged byte to this self-pipe instead of touching
+  // loop state directly:
+  //   'c' — a worker finished a request (completed_fds_ has its fd),
+  //   'q' — some thread called RequestShutdown(),
+  //   'T' — the installed SIGINT/SIGTERM handler fired (the only operation
+  //         a signal context performs is this async-signal-safe write()).
+  // The loop drains the pipe, folds 'T' into shutdown_requested_, and acts
+  // on its OWN thread — so connection/drain state needs no lock and no
+  // signal-safety gymnastics. Shutdown then proceeds in one direction:
+  //   shutdown_requested_ → BeginDrain() (close acceptor, set draining_) →
+  //   outstanding_ reaches 0 (past drain_deadline_ms, drain_cancel_ trips
+  //   every in-flight StopToken) → stop_workers_ under queue_mutex_ →
+  //   workers joined → connections closed → finished_.
+  // No step is ever reversed, which is why each flag can be an independent
+  // atomic rather than multi-field state under one lock.
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
 
@@ -185,30 +203,37 @@ class KboostServer {
   std::vector<std::thread> workers_;
 
   // Dispatch queue between the event loop and workers.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<WorkItem> queue_;
-  bool stop_workers_ = false;
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<WorkItem> queue_ KB_GUARDED_BY(queue_mutex_);
+  bool stop_workers_ KB_GUARDED_BY(queue_mutex_) = false;
 
   // Completion notifications back to the event loop.
-  std::mutex completed_mutex_;
-  std::vector<int> completed_fds_;
+  Mutex completed_mutex_;
+  std::vector<int> completed_fds_ KB_GUARDED_BY(completed_mutex_);
 
-  // Event-loop-owned connection registry (no lock: single-threaded access;
-  // workers hold shared_ptr<Connection> but never touch the map).
+  // Event-loop-owned connection registry (no lock by design: only the event
+  // loop thread touches the map and the outstanding_ counter, from EventLoop
+  // and the helpers it calls; workers hold shared_ptr<Connection> but never
+  // the map. Thread ownership is invisible to -Wthread-safety, so the
+  // contract is documented here and enforced by keeping every accessor
+  // private to the event-loop section above).
   std::map<int, std::shared_ptr<Connection>> connections_;
   size_t outstanding_ = 0;  ///< dispatched, not yet completed (event loop)
 
+  // One-way lifecycle flags (see the drain-handshake comment above). Each is
+  // set-once-and-sticky, read with one relaxed/acquire load — none of them
+  // guards other data, so none is a pseudo-lock.
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> draining_{false};
   /// Cooperative cancel flag handed to every dispatched Solve; set when the
   /// drain deadline passes so in-flight selections stop at their next poll.
   std::atomic<bool> drain_cancel_{false};
   std::atomic<bool> finished_{false};
-  bool signal_handlers_installed_ = false;
+  bool signal_handlers_installed_ = false;  ///< main-thread-owned (Start/dtor)
 
-  std::mutex join_mutex_;  // serializes Wait() callers
-  bool joined_ = false;
+  Mutex join_mutex_;  // serializes Wait() callers
+  bool joined_ KB_GUARDED_BY(join_mutex_) = false;
 
   // Counters (relaxed; read by counters()).
   std::atomic<uint64_t> accepted_{0};

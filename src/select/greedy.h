@@ -67,6 +67,11 @@ class StopToken {
   static constexpr int kCancelled = 1;
   static constexpr int kDeadline = 2;
 
+  // Mutex-free by design: the token is one sticky tri-state (why_) plus two
+  // immutable-after-construction fields, shared between the greedy loop and
+  // the oracle's ParallelFor workers. The CAS in Trip() is the only write
+  // that races, and "first reason wins" is exactly its semantics — nothing
+  // here guards other data, so there is no capability to annotate.
   void Trip(int reason) {
     int expected = 0;  // first reason wins; later trips keep it stable
     why_.compare_exchange_strong(expected, reason, std::memory_order_relaxed);

@@ -13,7 +13,7 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
     admitted_.fetch_add(1, std::memory_order_relaxed);
     return Ticket(this);
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (in_flight_.load(std::memory_order_relaxed) < options_.max_in_flight) {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -28,20 +28,28 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
         std::to_string(options_.max_queued) + " full");
   }
   queued_.fetch_add(1, std::memory_order_relaxed);
-  const auto slot_available = [this] {
-    return in_flight_.load(std::memory_order_relaxed) <
-           options_.max_in_flight;
-  };
-  bool got_slot;
+  // Explicit wait loops (not predicate lambdas) so the condition reads are
+  // analyzed in the frame that holds mutex_ — see src/util/sync.h.
+  bool got_slot = true;
   if (deadline_ns > 0) {
     // Reconstruct the absolute steady time point the nanos refer to.
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::nanoseconds(deadline_ns - SteadyNowNanos());
-    got_slot = slot_free_.wait_until(lock, deadline, slot_available);
+    while (in_flight_.load(std::memory_order_relaxed) >=
+           options_.max_in_flight) {
+      if (slot_free_.WaitUntil(mutex_, deadline)) continue;
+      // Timed out: one final recheck mirrors wait_until's predicate form —
+      // a slot freed exactly at the deadline is still taken.
+      got_slot = in_flight_.load(std::memory_order_relaxed) <
+                 options_.max_in_flight;
+      break;
+    }
   } else {
-    slot_free_.wait(lock, slot_available);
-    got_slot = true;
+    while (in_flight_.load(std::memory_order_relaxed) >=
+           options_.max_in_flight) {
+      slot_free_.Wait(mutex_);
+    }
   }
   queued_.fetch_sub(1, std::memory_order_relaxed);
   if (!got_slot) {
@@ -60,10 +68,10 @@ void AdmissionController::ReleaseSlot() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
-  slot_free_.notify_one();
+  slot_free_.NotifyOne();
 }
 
 double AdmissionController::load() const {

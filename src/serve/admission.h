@@ -2,11 +2,10 @@
 #define KBOOST_SERVE_ADMISSION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace kboost {
 
@@ -84,7 +83,7 @@ class AdmissionController {
   /// no waiting), DeadlineExceeded when the deadline passed while queued.
   /// With max_in_flight == 0 every request is admitted immediately (the
   /// in-flight gauge still tracks).
-  StatusOr<Ticket> Admit(int64_t deadline_ns);
+  StatusOr<Ticket> Admit(int64_t deadline_ns) KB_EXCLUDES(mutex_);
 
   /// Whether no concurrency bound is configured.
   bool unlimited() const { return options_.max_in_flight == 0; }
@@ -109,12 +108,17 @@ class AdmissionController {
   }
 
  private:
-  void ReleaseSlot();
+  void ReleaseSlot() KB_EXCLUDES(mutex_);
 
   const AdmissionOptions options_;
-  std::mutex mutex_;
-  std::condition_variable slot_free_;
-  // Mutated under mutex_; atomic so gauges/load() read without locking.
+  /// Orders slot hand-off: every wait and every in_flight_/queued_ mutation
+  /// on the bounded path happens under it (the unlimited path touches only
+  /// the gauge and never waits, so it skips the lock).
+  Mutex mutex_;
+  CondVar slot_free_;
+  // Mutated under mutex_ (no lost wakeups) but deliberately atomic, NOT
+  // KB_GUARDED_BY: the gauges/load() accessors and the degradation policy
+  // read them lock-free on the query path.
   std::atomic<uint64_t> in_flight_{0};
   std::atomic<uint64_t> queued_{0};
   std::atomic<uint64_t> admitted_{0};

@@ -1,7 +1,6 @@
 #include "src/serve/boost_service.h"
 
 #include <chrono>
-#include <mutex>
 #include <utility>
 
 #include "src/io/pool_io.h"
@@ -80,7 +79,7 @@ void BoostService::NoteLoadRetries(const std::string& name,
   if (retries == 0) return;
   std::shared_ptr<PoolStatsCollector> stats;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     auto it = pools_.find(name);
     if (it != pools_.end()) stats = it->second.stats;
   }
@@ -131,7 +130,7 @@ Status BoostService::AddPool(const std::string& name,
   if (Status s = CheckAndAdoptSession(name, session.get()); !s.ok()) return s;
   {
     // Fail fast on a duplicate before doing the expensive preparation.
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     if (pools_.count(name) != 0) {
       return Status::InvalidArgument("pool '" + name +
                                      "' is already registered");
@@ -147,7 +146,7 @@ Status BoostService::AddPool(const std::string& name,
   entry.version = next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
   entry.registered_at = NowEpochSeconds();
   entry.stats = std::make_shared<PoolStatsCollector>();
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   if (!pools_.emplace(name, std::move(entry)).second) {
     return Status::InvalidArgument("pool '" + name + "' is already registered");
   }
@@ -161,7 +160,7 @@ Status BoostService::RefreshPool(const std::string& name,
     // Fail fast when the name is not registered — a refresh replaces, it
     // never creates. A removal racing the preparation below is re-checked
     // under the writer lock at swap time.
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     if (pools_.count(name) == 0) {
       return Status::NotFound("cannot refresh: no pool named '" + name + "'");
     }
@@ -178,7 +177,7 @@ Status BoostService::RefreshPool(const std::string& name,
   // the writer lock is released, not while every Solve() lookup is blocked.
   std::shared_ptr<const BoostSession> retired;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterLock lock(mutex_);
     auto it = pools_.find(name);
     if (it == pools_.end()) {
       return Status::NotFound("pool '" + name +
@@ -218,7 +217,7 @@ Status BoostService::RemovePool(const std::string& name) {
   // while the registry lock blocks every concurrent lookup.
   PoolEntry removed;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterLock lock(mutex_);
     auto it = pools_.find(name);
     if (it == pools_.end()) {
       return Status::NotFound("no pool named '" + name + "'");
@@ -230,7 +229,7 @@ Status BoostService::RemovePool(const std::string& name) {
 }
 
 std::vector<std::string> BoostService::PoolNames() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(pools_.size());
   for (const auto& [name, entry] : pools_) names.push_back(name);
@@ -238,19 +237,19 @@ std::vector<std::string> BoostService::PoolNames() const {
 }
 
 size_t BoostService::num_pools() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return pools_.size();
 }
 
 std::shared_ptr<const BoostSession> BoostService::GetPool(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   auto it = pools_.find(name);
   return it == pools_.end() ? nullptr : it->second.session;
 }
 
 uint64_t BoostService::PoolVersion(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   auto it = pools_.find(name);
   return it == pools_.end() ? 0 : it->second.version;
 }
@@ -266,7 +265,7 @@ ServiceStatsSnapshot BoostService::Stats() const {
   };
   std::vector<Pending> pending;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     pending.reserve(pools_.size());
     for (const auto& [name, entry] : pools_) {
       Pending p;
@@ -304,7 +303,7 @@ StatusOr<BoostResponse> BoostService::Solve(const BoostRequest& request,
   std::shared_ptr<PoolStatsCollector> stats;
   uint64_t version = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     auto it = pools_.find(request.pool);
     if (it != pools_.end()) {
       pool = it->second.session;

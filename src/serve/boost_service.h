@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +14,7 @@
 #include "src/serve/service_stats.h"
 #include "src/util/backoff.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace kboost {
 
@@ -275,8 +275,11 @@ class BoostService {
   /// an old version).
   std::atomic<uint64_t> next_version_{0};
   mutable std::atomic<uint64_t> not_found_{0};
-  mutable std::shared_mutex mutex_;  // guards pools_ (the map only)
-  std::map<std::string, PoolEntry> pools_;
+  /// Guards pools_ — the map only. Sessions and collectors are published as
+  /// shared_ptr copies, so everything heavy (Prepare, Solve, FillSnapshot)
+  /// runs outside it; no other lock is ever taken while it is held.
+  mutable SharedMutex mutex_;
+  std::map<std::string, PoolEntry> pools_ KB_GUARDED_BY(mutex_);
 };
 
 }  // namespace kboost

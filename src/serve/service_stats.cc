@@ -4,7 +4,7 @@ namespace kboost {
 
 void PoolStatsCollector::RecordQuery(double latency_seconds, bool degraded) {
   const double ms = latency_seconds * 1e3;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   latency_ms_.Add(ms);
   if (degraded) ++degraded_;
   if (window_ms_.size() < kWindow) {
@@ -21,7 +21,7 @@ void PoolStatsCollector::RecordQuery(double latency_seconds, bool degraded) {
 }
 
 void PoolStatsCollector::RecordError() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++errors_;
 }
 
@@ -40,7 +40,7 @@ void PoolStatsCollector::RecordLoadRetries(uint64_t retries) {
 void PoolStatsCollector::FillSnapshot(PoolStatsSnapshot* out) const {
   std::vector<double> window;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     out->queries = latency_ms_.count();
     out->errors = errors_;
     out->degraded = degraded_;

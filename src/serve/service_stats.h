@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/stats.h"
+#include "src/util/sync.h"
 
 namespace kboost {
 
@@ -113,17 +113,20 @@ class PoolStatsCollector {
   void FillSnapshot(PoolStatsSnapshot* out) const;
 
  private:
-  mutable std::mutex mutex_;
-  RunningStat latency_ms_;
-  uint64_t errors_ = 0;
-  uint64_t degraded_ = 0;
-  std::vector<double> window_ms_;  // ring buffer of the last kWindow solves
-  size_t window_next_ = 0;
+  mutable Mutex mutex_;
+  RunningStat latency_ms_ KB_GUARDED_BY(mutex_);
+  uint64_t errors_ KB_GUARDED_BY(mutex_) = 0;
+  uint64_t degraded_ KB_GUARDED_BY(mutex_) = 0;
+  /// Ring buffer of the last kWindow solves.
+  std::vector<double> window_ms_ KB_GUARDED_BY(mutex_);
+  size_t window_next_ KB_GUARDED_BY(mutex_) = 0;
   // Outside the mutex: bumped on paths that must not contend with solvers
   // (shed happens exactly when the service is saturated) or read lock-free.
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> deadline_misses_{0};
   std::atomic<uint64_t> load_retries_{0};
+  /// Written under mutex_ (RecordQuery), read lock-free by the degradation
+  /// policy — atomic by design, not guarded.
   std::atomic<double> ewma_ms_{0.0};
 };
 

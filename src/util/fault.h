@@ -82,6 +82,12 @@ class FaultInjector {
  private:
   FaultInjector() = default;
 
+  /// Lock-free by design, not by accident: every field is an independent
+  /// std::atomic and no invariant spans two of them, so there is nothing for
+  /// a mutex (or a KB_GUARDED_BY contract) to protect. The one cross-field
+  /// ordering that matters — a plan must be fully published before a hit can
+  /// observe armed == true — is carried by the release exchange in Arm()
+  /// pairing with the acquire load in ShouldFail()/MaybeDelay().
   struct Site {
     std::atomic<bool> armed{false};
     std::atomic<uint64_t> fail_first{0};

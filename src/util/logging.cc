@@ -4,11 +4,22 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/util/sync.h"
+
 namespace kboost {
 
 namespace {
 std::atomic<internal::LogSeverity> g_min_severity{
     internal::LogSeverity::kWarning};
+
+/// Serializes message emission so two threads logging at once cannot
+/// interleave their bytes on stderr (stderr is unbuffered; one fprintf is
+/// not atomic). Leaked-on-purpose shape is unnecessary here: the mutex is
+/// trivially destructible state used only while the process is alive.
+Mutex& EmitMutex() {
+  static Mutex* mu = new Mutex();
+  return *mu;
+}
 
 const char* SeverityName(internal::LogSeverity s) {
   switch (s) {
@@ -44,6 +55,7 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
     std::string msg = stream_.str();
+    MutexLock lock(EmitMutex());
     std::fprintf(stderr, "%s\n", msg.c_str());
     std::fflush(stderr);
   }

@@ -1,6 +1,7 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/logging.h"
 
@@ -28,21 +29,26 @@ ThreadPool& ThreadPool::Global() {
 bool ThreadPool::InWorker() { return tls_in_pool_worker; }
 
 int ThreadPool::num_started() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int>(workers_.size());
 }
 
 ThreadPool::~ThreadPool() {
+  // Swap the worker vector out under the lock: after shutdown_ is set no new
+  // worker is started, and joining a local copy means a stray EnsureWorkers
+  // racing destruction can never append to the vector being iterated.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
+    workers.swap(workers_);
   }
-  work_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  work_cv_.NotifyAll();
+  for (std::thread& w : workers) w.join();
 }
 
 void ThreadPool::EnsureWorkers(int count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   count = std::min(count, kMaxWorkers);
   while (static_cast<int>(workers_.size()) < count) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -51,24 +57,27 @@ void ThreadPool::EnsureWorkers(int count) {
 
 void ThreadPool::WorkerLoop() {
   tls_in_pool_worker = true;
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   for (;;) {
-    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-    if (shutdown_) return;
+    while (!shutdown_ && queue_.empty()) work_cv_.Wait(mutex_);
+    if (shutdown_) {
+      mutex_.Unlock();
+      return;
+    }
     Job* job = queue_.front();
     const int idx = job->next_index.fetch_add(1, std::memory_order_relaxed);
     if (idx + 1 >= job->num_workers) queue_.pop_front();  // last helper slot
-    lock.unlock();
+    mutex_.Unlock();
     (*job->body)(idx);
     {
       // Decrement and notify under the job's mutex: the moment the caller
       // observes remaining == 0 it may return and destroy the stack-
       // allocated Job, so nothing may touch it after this lock releases.
-      std::lock_guard<std::mutex> done_lock(job->done_mutex);
+      MutexLock done_lock(job->done_mutex);
       job->remaining.fetch_sub(1, std::memory_order_relaxed);
-      job->done_cv.notify_one();
+      job->done_cv.NotifyOne();
     }
-    lock.lock();
+    mutex_.Lock();
   }
 }
 
@@ -88,17 +97,17 @@ void ThreadPool::Run(int num_workers, const std::function<void(int)>& body) {
   job.next_index.store(1, std::memory_order_relaxed);  // 0 is the caller
   job.remaining.store(num_workers - 1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(&job);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   body(0);
 
-  std::unique_lock<std::mutex> done_lock(job.done_mutex);
-  job.done_cv.wait(done_lock, [&] {
-    return job.remaining.load(std::memory_order_relaxed) == 0;
-  });
+  MutexLock done_lock(job.done_mutex);
+  while (job.remaining.load(std::memory_order_relaxed) != 0) {
+    job.done_cv.Wait(job.done_mutex);
+  }
 }
 
 void RunOnThreads(int num_threads, const std::function<void(int)>& body) {

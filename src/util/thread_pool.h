@@ -2,13 +2,13 @@
 #define KBOOST_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace kboost {
 
@@ -56,19 +56,26 @@ class ThreadPool {
     const std::function<void(int)>* body = nullptr;
     std::atomic<int> next_index{0};
     int num_workers = 0;         // total including the caller
-    std::atomic<int> remaining{0};  // helper invocations still running
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    /// Helper invocations still running. Decremented under done_mutex (so
+    /// the caller cannot miss the final notify), but read atomically in the
+    /// caller's wait condition — hence atomic rather than KB_GUARDED_BY.
+    std::atomic<int> remaining{0};
+    Mutex done_mutex;
+    CondVar done_cv;
   };
 
-  void EnsureWorkers(int count);
-  void WorkerLoop();
+  void EnsureWorkers(int count) KB_EXCLUDES(mutex_);
+  void WorkerLoop() KB_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<Job*> queue_;  // jobs with unclaimed helper slots
-  std::vector<std::thread> workers_;
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  CondVar work_cv_;
+  /// Jobs with unclaimed helper slots.
+  std::deque<Job*> queue_ KB_GUARDED_BY(mutex_);
+  /// Started worker threads. Grown only under mutex_; the destructor swaps
+  /// the vector out under the lock before joining so a racing EnsureWorkers
+  /// can never append to a vector being iterated.
+  std::vector<std::thread> workers_ KB_GUARDED_BY(mutex_);
+  bool shutdown_ KB_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs `body(thread_index)` on `num_threads` workers and waits for them.

@@ -510,6 +510,39 @@ TEST_F(V3CorruptionTest, InflatedValueCountIsRejectedNotAllocated) {
   ExpectRejected("");
 }
 
+TEST_F(V3CorruptionTest, CriticalEntryAtSuperSeedSlotIsRejected) {
+  // Local 0 is the super-seed slot; its global id is kInvalidNode, so a
+  // critical entry pointing at it would feed an unvalidated id to the
+  // coverage index (found by fuzz_snapshot: segfault at first solve).
+  const size_t entry = SectionEntryOffset(dir_, 0, 7);
+  const uint64_t crit_offset = PeekU64(bytes_, entry);
+  ASSERT_GE(PeekU64(bytes_, entry + 16), 4u);  // shard 0 has criticals
+  PokeU32(&bytes_, crit_offset, 0);
+  WriteFileBytes(path_, bytes_);
+  StatusOr<std::unique_ptr<BoostSession>> r = LoadPoolSnapshot(graph_, path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The mmap path runs the same deep walk when verification is requested.
+  PoolLoadOptions verify;
+  verify.use_mmap = true;
+  verify.verify_mapped = true;
+  EXPECT_FALSE(LoadPoolSnapshot(graph_, path_, verify).ok());
+}
+
+TEST_F(V3CorruptionTest, InvalidHeaderSamplingOptionsAreRejectedTyped) {
+  // ℓ lives at header offset 40; zero must be a typed rejection — it used
+  // to reach the trusting BoostSession constructor and KB_CHECK-abort the
+  // process (found by fuzz_snapshot).
+  PokeU64(&bytes_, 40, 0);  // the f64 bit pattern of 0.0
+  WriteFileBytes(path_, bytes_);
+  StatusOr<std::unique_ptr<BoostSession>> r = LoadPoolSnapshot(graph_, path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("sampling options"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_FALSE(MmapPool(graph_, path_).ok());
+}
+
 TEST_F(V3CorruptionTest, NopSectionWithMismatchedSizesIsRejected) {
   // A nop block must be stored verbatim: shrink raw_bytes (keeping it a
   // multiple of 4) and the stored/raw equality check must fire.

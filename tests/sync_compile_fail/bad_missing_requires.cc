@@ -1,0 +1,27 @@
+// Negative compile test: calling a KB_REQUIRES member without holding the
+// required capability MUST be rejected by `-Wthread-safety -Werror`.
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() KB_REQUIRES(mutex_) { ++value_; }
+
+  void Increment() {
+    IncrementLocked();  // BAD: caller does not hold mutex_.
+  }
+
+ private:
+  kboost::Mutex mutex_;
+  int value_ KB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

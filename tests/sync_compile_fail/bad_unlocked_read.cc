@@ -1,0 +1,27 @@
+// Negative compile test: reading a KB_GUARDED_BY field without holding its
+// capability MUST be rejected by `-Wthread-safety -Werror`. If this file ever
+// compiles under Clang, the annotation macros have silently become no-ops and
+// the whole compile-time concurrency gate is dead — that is what
+// check_sync_annotations.cmake catches.
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Read() {
+    return value_;  // BAD: no lock held — -Wthread-safety must reject this.
+  }
+
+ private:
+  kboost::Mutex mutex_;
+  int value_ KB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Read();
+}

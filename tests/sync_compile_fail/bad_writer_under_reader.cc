@@ -1,0 +1,28 @@
+// Negative compile test: writing a KB_GUARDED_BY field while holding only the
+// SHARED side of its SharedMutex MUST be rejected by `-Wthread-safety
+// -Werror`. This is the exact bug class the BoostService registry migration
+// exists to prevent (a refresh mutating pools_ under a ReaderLock).
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Grow() {
+    kboost::ReaderLock lock(mutex_);
+    ++size_;  // BAD: shared capability held, exclusive required for a write.
+  }
+
+ private:
+  kboost::SharedMutex mutex_;
+  int size_ KB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  registry.Grow();
+  return 0;
+}

@@ -1,0 +1,66 @@
+# Negative compile test driver for the Clang Thread Safety annotations in
+# src/util/sync.h. Run as a ctest via `cmake -P` with:
+#
+#   -DCXX_COMPILER=<path>        the configured C++ compiler
+#   -DCXX_COMPILER_ID=<id>       its CMAKE_CXX_COMPILER_ID
+#   -DSOURCE_DIR=<repo root>     include root (sources resolved relative to it)
+#
+# Contract:
+#   * good_locked_access.cc must compile under -Wthread-safety -Werror;
+#   * every bad_*.cc must FAIL to compile, and the diagnostic must be a
+#     thread-safety one (so an unrelated syntax error can't fake a pass);
+#   * on a non-Clang compiler the analysis does not exist, so the script
+#     prints the skip marker matched by the test's SKIP_REGULAR_EXPRESSION
+#     and returns — ctest records a Skip instead of a vacuous Pass.
+
+if(NOT CXX_COMPILER_ID STREQUAL "Clang" AND
+   NOT CXX_COMPILER_ID STREQUAL "AppleClang")
+  message(STATUS "sync_compile_fail: compiler is ${CXX_COMPILER_ID}, "
+                 "not Clang — thread-safety analysis unavailable, skipping")
+  return()
+endif()
+
+set(FLAGS -std=c++20 -fsyntax-only -Wthread-safety -Werror
+          -I ${SOURCE_DIR})
+set(CASE_DIR ${SOURCE_DIR}/tests/sync_compile_fail)
+
+# Positive control: the correctly-locked file must be accepted.
+execute_process(
+  COMMAND ${CXX_COMPILER} ${FLAGS} ${CASE_DIR}/good_locked_access.cc
+  RESULT_VARIABLE good_rc
+  ERROR_VARIABLE good_err)
+if(NOT good_rc EQUAL 0)
+  message(FATAL_ERROR
+    "good_locked_access.cc failed to compile under -Wthread-safety "
+    "-Werror; the annotations are rejecting correct code:\n${good_err}")
+endif()
+
+# Negative cases: each must be rejected with a thread-safety diagnostic.
+file(GLOB BAD_CASES ${CASE_DIR}/bad_*.cc)
+list(LENGTH BAD_CASES num_bad)
+if(num_bad EQUAL 0)
+  message(FATAL_ERROR "no bad_*.cc cases found in ${CASE_DIR}")
+endif()
+
+foreach(case IN LISTS BAD_CASES)
+  get_filename_component(case_name ${case} NAME)
+  execute_process(
+    COMMAND ${CXX_COMPILER} ${FLAGS} ${case}
+    RESULT_VARIABLE bad_rc
+    ERROR_VARIABLE bad_err)
+  if(bad_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${case_name} COMPILED but must not: the thread-safety annotations "
+      "are not rejecting unlocked guarded access. The compile-time "
+      "concurrency gate is dead.")
+  endif()
+  if(NOT bad_err MATCHES "-Wthread-safety")
+    message(FATAL_ERROR
+      "${case_name} failed to compile, but not with a thread-safety "
+      "diagnostic — fix the test case:\n${bad_err}")
+  endif()
+  message(STATUS "sync_compile_fail: ${case_name} rejected as expected")
+endforeach()
+
+message(STATUS "sync_compile_fail: ${num_bad} bad cases rejected, "
+               "good case accepted")

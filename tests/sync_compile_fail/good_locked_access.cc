@@ -1,0 +1,89 @@
+// Positive control for the thread-safety negative compile test: the same
+// shapes as the bad_*.cc files, written correctly. Must compile cleanly under
+// `-Wthread-safety -Werror` (and under any compiler without the analysis).
+//
+// Compiled with -fsyntax-only by check_sync_annotations.cmake; never linked.
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() KB_EXCLUDES(mutex_) {
+    kboost::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int Read() KB_EXCLUDES(mutex_) {
+    kboost::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  // A KB_REQUIRES member: callers hold the lock, the body touches the
+  // guarded field directly.
+  void IncrementLocked() KB_REQUIRES(mutex_) { ++value_; }
+
+  void IncrementTwice() KB_EXCLUDES(mutex_) {
+    kboost::MutexLock lock(mutex_);
+    IncrementLocked();
+    IncrementLocked();
+  }
+
+ private:
+  kboost::Mutex mutex_;
+  int value_ KB_GUARDED_BY(mutex_) = 0;
+};
+
+class Registry {
+ public:
+  int LookUp(int key) KB_EXCLUDES(mutex_) {
+    kboost::ReaderLock lock(mutex_);
+    return key < size_ ? key : -1;
+  }
+
+  void Grow() KB_EXCLUDES(mutex_) {
+    kboost::WriterLock lock(mutex_);
+    ++size_;
+  }
+
+ private:
+  kboost::SharedMutex mutex_;
+  int size_ KB_GUARDED_BY(mutex_) = 0;
+};
+
+// Condition-variable wait in the annotated style used across the repo:
+// explicit while loop, guarded predicate read while the capability is held.
+class Gate {
+ public:
+  void WaitOpen() KB_EXCLUDES(mutex_) {
+    kboost::MutexLock lock(mutex_);
+    while (!open_) cv_.Wait(mutex_);
+  }
+
+  void Open() KB_EXCLUDES(mutex_) {
+    {
+      kboost::MutexLock lock(mutex_);
+      open_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  kboost::Mutex mutex_;
+  kboost::CondVar cv_;
+  bool open_ KB_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.IncrementTwice();
+  Registry registry;
+  registry.Grow();
+  Gate gate;
+  gate.Open();
+  return counter.Read() + registry.LookUp(0);
+}
